@@ -1,0 +1,87 @@
+#ifndef COPYDETECT_BENCH_BENCH_UTIL_H_
+#define COPYDETECT_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the table/figure reproduction harnesses.
+//
+// Every harness runs with no arguments at a scale that finishes in
+// seconds-to-minutes on a laptop and accepts --scale=<f> / --seed=<k>
+// to move toward the paper's full sizes. Absolute numbers differ from
+// the paper (C++ vs Java, synthetic vs crawled data, smaller default
+// scale); the *shapes* — who wins, by what order of magnitude — are
+// the reproduction target. See EXPERIMENTS.md.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stringutil.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "model/stats.h"
+
+namespace copydetect {
+namespace bench {
+
+struct BenchDataset {
+  std::string name;
+  double scale;  // relative to the paper's full size
+};
+
+/// The four evaluation data sets at bench-default scales. `scale`
+/// multiplies each data set's default.
+inline std::vector<BenchDataset> DefaultDatasets(double scale) {
+  return {
+      {"book-cs", 0.5 * scale},
+      {"stock-1day", 0.2 * scale},
+      {"book-full", 0.05 * scale},
+      {"stock-2wk", 0.04 * scale},
+  };
+}
+
+/// The two small data sets the paper uses for quality tables.
+inline std::vector<BenchDataset> QualityDatasets(double scale) {
+  return {
+      {"book-cs", 0.5 * scale},
+      {"stock-1day", 0.2 * scale},
+  };
+}
+
+/// Standard fusion options for a generated world: the paper's alpha
+/// and s, with n matched to the generator's false pool.
+inline FusionOptions OptionsFor(const World& world, int max_rounds = 8) {
+  FusionOptions options;
+  options.params.alpha = 0.1;
+  options.params.s = 0.8;
+  options.params.n = world.suggested_n;
+  options.max_rounds = max_rounds;
+  options.epsilon = 1e-4;
+  return options;
+}
+
+/// Generates a bench world, dying on error.
+inline World MakeWorld(const BenchDataset& spec, uint64_t seed) {
+  auto world = MakeWorldByName(spec.name, spec.scale, seed);
+  CD_CHECK_OK(world.status());
+  return std::move(world).value();
+}
+
+inline std::string Fmt(double v, const char* fmt = "%.3f") {
+  return StrFormat(fmt, v);
+}
+
+inline std::string Millions(uint64_t n) {
+  return StrFormat("%.3f", static_cast<double>(n) / 1e6);
+}
+
+/// Percent improvement of `now` over `before` ("99.5%").
+inline std::string Improvement(double before, double now) {
+  if (before <= 0.0) return "-";
+  double frac = 1.0 - now / before;
+  return StrFormat("%.1f%%", frac * 100.0);
+}
+
+}  // namespace bench
+}  // namespace copydetect
+
+#endif  // COPYDETECT_BENCH_BENCH_UTIL_H_

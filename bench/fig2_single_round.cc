@@ -1,0 +1,59 @@
+// Figure 2: the single-round algorithms — INDEX, BOUND, BOUND+, HYBRID
+// — compared on total computations (left plot) and copy-detection time
+// (right plot) across the four data sets, accumulated over all fusion
+// rounds as in the paper.
+#include "bench_util.h"
+
+using namespace copydetect;
+using namespace copydetect::bench;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  double scale = flags.GetDouble("scale", 1.0);
+  uint64_t seed = flags.GetUint64("seed", 7);
+  flags.Finish();
+
+  TextTable computations;
+  computations.SetHeader(
+      {"Dataset", "index", "bound", "bound+", "hybrid"});
+  TextTable time;
+  time.SetHeader({"Dataset", "index", "bound", "bound+", "hybrid"});
+
+  const DetectorKind kinds[] = {
+      DetectorKind::kIndex,
+      DetectorKind::kBound,
+      DetectorKind::kBoundPlus,
+      DetectorKind::kHybrid,
+  };
+
+  for (const BenchDataset& spec : DefaultDatasets(scale)) {
+    World world = MakeWorld(spec, seed);
+    FusionOptions options = OptionsFor(world);
+
+    std::vector<std::string> comp_row = {spec.name};
+    std::vector<std::string> time_row = {spec.name};
+    for (DetectorKind kind : kinds) {
+      auto outcome = RunFusion(world, kind, options);
+      CD_CHECK_OK(outcome.status());
+      comp_row.push_back(Millions(outcome->counters.Total()));
+      time_row.push_back(HumanSeconds(outcome->fusion.detect_seconds));
+    }
+    computations.AddRow(comp_row);
+    time.AddRow(time_row);
+  }
+  std::printf(
+      "%s\n",
+      computations
+          .Render("Figure 2 (left) — computations, millions, all rounds")
+          .c_str());
+  std::printf(
+      "%s\n",
+      time.Render("Figure 2 (right) — copy-detection time, all rounds")
+          .c_str());
+  std::printf(
+      "Paper reference: BOUND often costs *more* than INDEX (bound "
+      "overhead); BOUND+ cuts ~55%% of BOUND's computations; HYBRID "
+      "shaves a further ~20%% on the Book data sets and matches BOUND+ "
+      "on Stock.\n");
+  return 0;
+}

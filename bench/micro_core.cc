@@ -1,0 +1,203 @@
+// Micro-benchmarks of the primitives behind the detection scan:
+// hashing, pair-map updates, Bayesian scoring, index construction,
+// overlap counting, NRA, and the PAIRWISE inner merge.
+#include <benchmark/benchmark.h>
+
+#include "common/flat_hash.h"
+#include "common/random.h"
+#include "core/bayes.h"
+#include "core/inverted_index.h"
+#include "core/pairwise.h"
+#include "datagen/generator.h"
+#include "simjoin/overlap.h"
+#include "simjoin/prefix_join.h"
+#include "topk/nra.h"
+
+namespace copydetect {
+namespace {
+
+DetectionParams Params() {
+  DetectionParams params;
+  params.alpha = 0.1;
+  params.s = 0.8;
+  params.n = 50.0;
+  return params;
+}
+
+World BenchWorld(size_t sources, size_t items) {
+  WorldConfig config;
+  config.num_sources = sources;
+  config.num_items = items;
+  config.false_pool = 12;
+  config.coverage = {.frac_small = 0.3,
+                     .small_lo = 0.05,
+                     .small_hi = 0.3,
+                     .big_lo = 0.4,
+                     .big_hi = 0.9};
+  config.copying.num_groups = sources / 10;
+  auto world = GenerateWorld(config, 42);
+  CD_CHECK_OK(world.status());
+  return std::move(world).value();
+}
+
+struct WorldInputs {
+  World world;
+  std::vector<double> probs;
+  std::vector<double> accs;
+
+  WorldInputs(size_t sources, size_t items)
+      : world(BenchWorld(sources, items)) {
+    const Dataset& data = world.data;
+    probs.assign(data.num_slots(), 0.0);
+    for (ItemId d = 0; d < data.num_items(); ++d) {
+      double total = static_cast<double>(data.item_providers(d).size());
+      for (SlotId v = data.slot_begin(d); v < data.slot_end(d); ++v) {
+        probs[v] = total == 0.0
+                       ? 0.0
+                       : 0.9 * static_cast<double>(
+                                   data.providers(v).size()) /
+                             total;
+      }
+    }
+    accs = world.true_accuracy;
+  }
+
+  DetectionInput Input() const {
+    DetectionInput in;
+    in.data = &world.data;
+    in.value_probs = &probs;
+    in.accuracies = &accs;
+    return in;
+  }
+};
+
+void BM_Mix64(benchmark::State& state) {
+  uint64_t x = 0x12345;
+  for (auto _ : state) {
+    x = Mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_FlatHashMapUpsert(benchmark::State& state) {
+  const size_t keys = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<uint64_t> sequence(1 << 14);
+  for (uint64_t& k : sequence) k = rng.NextBelow(keys);
+  FlatHashMap<double> map;
+  map.Reserve(keys);
+  size_t i = 0;
+  for (auto _ : state) {
+    map[sequence[i & (sequence.size() - 1)]] += 1.0;
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlatHashMapUpsert)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_SharedContribution(benchmark::State& state) {
+  DetectionParams params = Params();
+  double p = 0.05;
+  for (auto _ : state) {
+    double c = SharedContribution(p, 0.8, 0.3, params);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SharedContribution);
+
+void BM_MaxEntryContribution(benchmark::State& state) {
+  DetectionParams params = Params();
+  std::vector<double> accs(static_cast<size_t>(state.range(0)));
+  Rng rng(9);
+  for (double& a : accs) a = rng.UniformDouble(0.05, 0.95);
+  for (auto _ : state) {
+    double c = MaxEntryContribution(accs, 0.05, params);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MaxEntryContribution)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_NoCopyPosterior(benchmark::State& state) {
+  DetectionParams params = Params();
+  for (auto _ : state) {
+    double p = NoCopyPosterior(3.4, 2.1, params);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_NoCopyPosterior);
+
+void BM_IndexBuild(benchmark::State& state) {
+  WorldInputs inputs(64, static_cast<size_t>(state.range(0)));
+  DetectionParams params = Params();
+  for (auto _ : state) {
+    auto index = InvertedIndex::Build(inputs.Input(), params);
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(inputs.world.data.num_slots()));
+}
+BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(8000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_OverlapCounting(benchmark::State& state) {
+  WorldInputs inputs(64, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    OverlapCounts counts = ComputeOverlaps(inputs.world.data);
+    benchmark::DoNotOptimize(counts);
+  }
+}
+BENCHMARK(BM_OverlapCounting)->Arg(1000)->Arg(8000)->Unit(
+    benchmark::kMillisecond);
+
+void BM_PrefixJoin(benchmark::State& state) {
+  WorldInputs inputs(128, 2000);
+  for (auto _ : state) {
+    auto pairs = PrefixFilterJoin(inputs.world.data, 16);
+    benchmark::DoNotOptimize(pairs);
+  }
+}
+BENCHMARK(BM_PrefixJoin)->Unit(benchmark::kMillisecond);
+
+void BM_PairMerge(benchmark::State& state) {
+  WorldInputs inputs(64, 4000);
+  DetectionParams params = Params();
+  DetectionInput in = inputs.Input();
+  Counters counters;
+  SourceId a = 0;
+  SourceId b = 1;
+  for (auto _ : state) {
+    PairScores scores = ComputePairScores(in, a, b, params, &counters);
+    benchmark::DoNotOptimize(scores);
+    b = static_cast<SourceId>((b + 1) % 64);
+    if (b == a) b = static_cast<SourceId>(a + 1);
+  }
+}
+BENCHMARK(BM_PairMerge);
+
+void BM_NraTopK(benchmark::State& state) {
+  Rng rng(21);
+  std::vector<NraList> lists(8);
+  for (NraList& list : lists) {
+    for (uint64_t id = 0; id < 2000; ++id) {
+      if (rng.Bernoulli(0.5)) {
+        list.entries.emplace_back(id, rng.UniformDouble(0.0, 10.0));
+      }
+    }
+    std::sort(list.entries.begin(), list.entries.end(),
+              [](const auto& x, const auto& y) {
+                return x.second > y.second;
+              });
+  }
+  for (auto _ : state) {
+    NraResult result = NraTopK(lists, 10);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_NraTopK)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace copydetect
+
+BENCHMARK_MAIN();

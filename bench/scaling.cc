@@ -1,0 +1,65 @@
+// Scaling curves: the paper's headline claim is that the index family
+// turns copy detection from a bottleneck into "very little overhead",
+// with the gap *growing* with data size (2-3 orders of magnitude at
+// the paper's full sizes). This harness sweeps the data-set scale and
+// prints detection time per method so the divergence is visible; the
+// paper-size extrapolation is the last row's trend.
+#include "bench_util.h"
+
+using namespace copydetect;
+using namespace copydetect::bench;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  // Sweep factors applied on top of the bench default scales.
+  double max_factor = flags.GetDouble("max-factor", 4.0);
+  uint64_t seed = flags.GetUint64("seed", 7);
+  std::string dataset = flags.GetString("dataset", "book-cs");
+  flags.Finish();
+
+  TextTable table;
+  table.SetHeader({"scale", "#pairs(all)", "pairwise", "index",
+                   "incremental", "pairwise/incremental"});
+
+  double base_scale = 0.0;
+  for (const BenchDataset& spec : DefaultDatasets(1.0)) {
+    if (spec.name == dataset) base_scale = spec.scale;
+  }
+  if (base_scale == 0.0) {
+    std::fprintf(stderr, "unknown dataset %s\n", dataset.c_str());
+    return 2;
+  }
+
+  for (double factor = 1.0; factor <= max_factor + 1e-9;
+       factor *= 2.0) {
+    BenchDataset spec{dataset, base_scale * factor};
+    World world = MakeWorld(spec, seed);
+    FusionOptions options = OptionsFor(world, /*max_rounds=*/6);
+
+    auto run = [&](DetectorKind kind) {
+      auto outcome = RunFusion(world, kind, options);
+      CD_CHECK_OK(outcome.status());
+      return outcome->fusion.detect_seconds;
+    };
+    double pairwise = run(DetectorKind::kPairwise);
+    double index = run(DetectorKind::kIndex);
+    double incremental = run(DetectorKind::kIncremental);
+
+    size_t n = world.data.num_sources();
+    table.AddRow({Fmt(spec.scale, "%.3f"),
+                  WithCommas(n * (n - 1) / 2), HumanSeconds(pairwise),
+                  HumanSeconds(index), HumanSeconds(incremental),
+                  Fmt(pairwise / incremental, "%.1fx")});
+  }
+  std::printf(
+      "%s\n",
+      table
+          .Render("Scaling sweep on " + dataset +
+                  " — the PAIRWISE/index-family gap grows with size")
+          .c_str());
+  std::printf(
+      "Paper reference: at full size the gap reaches 2-3 orders of "
+      "magnitude (Book-full: 11,536s -> 7.9s; Stock-2wk: 3,408s -> "
+      "127s).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table X: execution-time ratio of HYBRID and INCREMENTAL relative to
+// FAGININPUT — the NRA baseline whose *input generation alone* already
+// costs a full scan per round.
+#include "bench_util.h"
+
+using namespace copydetect;
+using namespace copydetect::bench;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  double scale = flags.GetDouble("scale", 1.0);
+  uint64_t seed = flags.GetUint64("seed", 7);
+  flags.Finish();
+
+  TextTable table;
+  table.SetHeader({"Dataset", "fagin-input", "hybrid", "incremental",
+                   "hybrid/fagin", "incremental/fagin"});
+
+  for (const BenchDataset& spec : DefaultDatasets(scale)) {
+    World world = MakeWorld(spec, seed);
+    FusionOptions options = OptionsFor(world);
+
+    auto run = [&](DetectorKind kind) {
+      auto outcome = RunFusion(world, kind, options);
+      CD_CHECK_OK(outcome.status());
+      return outcome->fusion.detect_seconds;
+    };
+    double fagin = run(DetectorKind::kFaginInput);
+    double hybrid = run(DetectorKind::kHybrid);
+    double incremental = run(DetectorKind::kIncremental);
+
+    table.AddRow({spec.name, HumanSeconds(fagin), HumanSeconds(hybrid),
+                  HumanSeconds(incremental),
+                  Fmt(hybrid / fagin, "%.2f"),
+                  Fmt(incremental / fagin, "%.2f")});
+  }
+  std::printf(
+      "%s\n",
+      table.Render("Table X — execution-time ratio w.r.t. FAGININPUT")
+          .c_str());
+  std::printf(
+      "Paper reference: HYBRID/FAGININPUT = .67-.99 (HYBRID ~18%% "
+      "faster per round on average); INCREMENTAL/FAGININPUT = .19-.30 "
+      "(~75%% faster over all rounds).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Table VII: execution time of each method on the four data sets, with
+// the paper's improvement chain — SAMPLE1/SAMPLE2/INDEX against
+// PAIRWISE, each later row against the row above, and the total
+// improvement of the final configuration against PAIRWISE.
+#include "bench_util.h"
+
+using namespace copydetect;
+using namespace copydetect::bench;
+
+namespace {
+
+struct TimedMethod {
+  std::string name;
+  double seconds = 0.0;
+  std::string improvement;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  double scale = flags.GetDouble("scale", 1.0);
+  uint64_t seed = flags.GetUint64("seed", 7);
+  flags.Finish();
+
+  TextTable table;
+  table.SetHeader({"Dataset", "Method", "Detect time", "Improvement"});
+
+  for (const BenchDataset& spec : DefaultDatasets(scale)) {
+    World world = MakeWorld(spec, seed);
+    FusionOptions options = OptionsFor(world);
+    double rate = DefaultSamplingRate(spec.name);
+
+    auto detect_seconds = [&](DetectorKind kind) {
+      auto outcome = RunFusion(world, kind, options);
+      CD_CHECK_OK(outcome.status());
+      return outcome->fusion.detect_seconds;
+    };
+    auto sampled_seconds = [&](DetectorKind base, SamplingMethod method,
+                               double r) {
+      auto detector =
+          MakeSampledDetector(options.params, base, method, r, seed);
+      auto outcome =
+          RunFusionWithDetector(world, detector.get(), options);
+      CD_CHECK_OK(outcome.status());
+      return outcome->fusion.detect_seconds;
+    };
+
+    double pairwise = detect_seconds(DetectorKind::kPairwise);
+    double sample1 = sampled_seconds(DetectorKind::kPairwise,
+                                     SamplingMethod::kByItem, rate);
+    double sample2 = sampled_seconds(
+        DetectorKind::kPairwise, SamplingMethod::kByCell,
+        spec.name == "stock-1day" || spec.name == "stock-2wk"
+            ? rate
+            : rate * 3.0);
+    double index = detect_seconds(DetectorKind::kIndex);
+    double hybrid = detect_seconds(DetectorKind::kHybrid);
+    double incremental = detect_seconds(DetectorKind::kIncremental);
+    double scalesample = sampled_seconds(
+        DetectorKind::kIncremental, SamplingMethod::kScaleSample, rate);
+
+    std::vector<TimedMethod> rows = {
+        {"pairwise", pairwise, "-"},
+        {"sample1", sample1, Improvement(pairwise, sample1)},
+        {"sample2", sample2, Improvement(pairwise, sample2)},
+        {"index", index, Improvement(pairwise, index)},
+        {"hybrid", hybrid, Improvement(index, hybrid)},
+        {"incremental", incremental, Improvement(hybrid, incremental)},
+        {"scalesample", scalesample,
+         Improvement(incremental, scalesample)},
+    };
+    for (const TimedMethod& row : rows) {
+      table.AddRow({spec.name, row.name, HumanSeconds(row.seconds),
+                    row.improvement});
+    }
+    table.AddRow({spec.name, "TOTAL (scalesample vs pairwise)", "",
+                  Improvement(pairwise, scalesample)});
+  }
+  std::printf("%s\n",
+              table
+                  .Render("Table VII — copy-detection time, full "
+                          "fusion run (improvement vs the paper's "
+                          "comparison row)")
+                  .c_str());
+  std::printf(
+      "Paper reference: INDEX improves 83-99.6%% over PAIRWISE; HYBRID "
+      "a further 2-37%%; INCREMENTAL a further 56-83%%; total "
+      "improvement 99.8-99.97%%.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Table VIII: per-round execution-time ratio of INCREMENTAL vs HYBRID,
+// and the percentage of pairs terminating at each incremental pass.
+#include "core/hybrid.h"
+#include "core/incremental.h"
+
+#include "bench_util.h"
+#include "fusion/truth_finder.h"
+
+using namespace copydetect;
+using namespace copydetect::bench;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  double scale = flags.GetDouble("scale", 1.0);
+  uint64_t seed = flags.GetUint64("seed", 7);
+  flags.Finish();
+
+  TextTable ratio;
+  ratio.SetHeader(
+      {"Dataset", "Round", "hybrid", "incremental", "ratio"});
+  TextTable passes;
+  passes.SetHeader({"Dataset", "Pass 1", "Pass 2", "Pass 3 (+exact)"});
+
+  for (const BenchDataset& spec : DefaultDatasets(scale)) {
+    World world = MakeWorld(spec, seed);
+    FusionOptions options = OptionsFor(world, /*max_rounds=*/8);
+    options.epsilon = 1e-6;  // keep iterating so rounds 3+ exist
+
+    HybridDetector hybrid(options.params);
+    IncrementalDetector incremental(options.params);
+    IterativeFusion fusion(options);
+
+    auto hybrid_run = fusion.Run(world.data, &hybrid);
+    CD_CHECK_OK(hybrid_run.status());
+    auto incremental_run = fusion.Run(world.data, &incremental);
+    CD_CHECK_OK(incremental_run.status());
+
+    const auto& stats = incremental.round_stats();
+    uint64_t pass1 = 0;
+    uint64_t pass2 = 0;
+    uint64_t pass3 = 0;
+    size_t rounds = std::min(stats.size(), hybrid_run->trace.size());
+    for (size_t i = 2; i < rounds; ++i) {
+      double h = hybrid_run->trace[i].detect_seconds;
+      ratio.AddRow({spec.name, StrFormat("%d", stats[i].round),
+                    HumanSeconds(h), HumanSeconds(stats[i].seconds),
+                    h > 0 ? Fmt(100.0 * stats[i].seconds / h, "%.1f%%")
+                          : "-"});
+      pass1 += stats[i].pass1;
+      pass2 += stats[i].pass2;
+      pass3 += stats[i].pass3 + stats[i].exact;
+    }
+    uint64_t total = pass1 + pass2 + pass3;
+    if (total > 0) {
+      passes.AddRow(
+          {spec.name,
+           Fmt(100.0 * static_cast<double>(pass1) /
+               static_cast<double>(total), "%.1f%%"),
+           Fmt(100.0 * static_cast<double>(pass2) /
+               static_cast<double>(total), "%.1f%%"),
+           Fmt(100.0 * static_cast<double>(pass3) /
+               static_cast<double>(total), "%.1f%%")});
+    }
+  }
+  std::printf(
+      "%s\n",
+      ratio
+          .Render("Table VIII (top) — INCREMENTAL vs HYBRID per round "
+                  "(rounds >= 3)")
+          .c_str());
+  std::printf(
+      "%s\n",
+      passes
+          .Render(
+              "Table VIII (bottom) — %% pairs terminating per pass")
+          .c_str());
+  std::printf(
+      "Paper reference: per-round ratio 3-14%%; pass 1 terminates "
+      ">= 86%% of pairs (98-99%% on three of four data sets).\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Book aggregator: many small sources, sampling, and copier clusters.
+//
+// Generates a Book-CS-shaped world (hundreds of book stores, most
+// covering a handful of books) and shows the workflow the paper's
+// §VI-E motivates: run SCALESAMPLE-d incremental detection — item
+// sampling with a per-source floor — and report the copier *clusters*
+// (connected components of the detected copying graph), comparing
+// against detection on the full data.
+//
+//   ./book_aggregator [--scale=0.5] [--seed=11] [--rate=0.1]
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "common/stringutil.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "model/stats.h"
+
+using namespace copydetect;
+
+namespace {
+
+/// Tiny union-find over source ids.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+void PrintClusters(const Dataset& data, const CopyResult& copies,
+                   const char* label) {
+  UnionFind uf(data.num_sources());
+  std::vector<uint64_t> pairs = copies.CopyingPairs();
+  for (uint64_t key : pairs) uf.Union(PairFirst(key), PairSecond(key));
+  std::vector<std::vector<SourceId>> clusters(data.num_sources());
+  for (uint64_t key : pairs) {
+    // Collect members lazily: only sources that appear in some pair.
+    clusters[uf.Find(PairFirst(key))].push_back(PairFirst(key));
+    clusters[uf.Find(PairSecond(key))].push_back(PairSecond(key));
+  }
+  std::printf("%s: %zu copying pairs\n", label, pairs.size());
+  for (auto& members : clusters) {
+    if (members.empty()) continue;
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    if (members.size() < 2) continue;
+    std::printf("  cluster:");
+    for (SourceId s : members) {
+      std::printf(" %s", std::string(data.source_name(s)).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  double scale = flags.GetDouble("scale", 0.5);
+  uint64_t seed = flags.GetUint64("seed", 11);
+  double rate = flags.GetDouble("rate", 0.1);
+  flags.Finish();
+
+  auto world_or = MakeWorldByName("book-cs", scale, seed);
+  CD_CHECK_OK(world_or.status());
+  const World& world = *world_or;
+  std::printf("Book world (scale %.2f): %s\n\n", scale,
+              ComputeStats(world.data).ToString().c_str());
+
+  FusionOptions options;
+  options.params.alpha = 0.1;
+  options.params.s = 0.8;
+  options.params.n = 50.0;
+
+  // Full-data incremental detection (reference).
+  auto full = RunFusion(world, DetectorKind::kIncremental, options);
+  CD_CHECK_OK(full.status());
+
+  // SCALESAMPLE-d detection: 10% of items but at least 4 per source.
+  auto sampled_detector = MakeSampledDetector(
+      options.params, DetectorKind::kIncremental,
+      SamplingMethod::kScaleSample, rate, seed);
+  auto sampled =
+      RunFusionWithDetector(world, sampled_detector.get(), options);
+  CD_CHECK_OK(sampled.status());
+
+  TextTable table;
+  table.SetHeader(
+      {"Run", "Detect time", "Gold accuracy", "P vs full", "R vs full"});
+  PrfScores prf =
+      ComparePairs(sampled->fusion.copies, full->fusion.copies);
+  table.AddRow({"full data",
+                HumanSeconds(full->fusion.detect_seconds),
+                StrFormat("%.3f", world.gold.Accuracy(
+                                      world.data, full->fusion.truth)),
+                "-", "-"});
+  table.AddRow(
+      {StrFormat("scalesample %.0f%%", rate * 100.0),
+       HumanSeconds(sampled->fusion.detect_seconds),
+       StrFormat("%.3f",
+                 world.gold.Accuracy(world.data, sampled->fusion.truth)),
+       StrFormat("%.2f", prf.precision), StrFormat("%.2f", prf.recall)});
+  std::printf("%s\n", table.Render("Full vs sampled detection:").c_str());
+
+  PrintClusters(world.data, full->fusion.copies, "Full-data clusters");
+  std::printf("\n");
+  PrintClusters(world.data, sampled->fusion.copies, "Sampled clusters");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Stock feeds: the paper's motivating domain (Li et al., PVLDB 2013).
+//
+// Generates a Stock-1day-shaped world — 55 Deep-Web sources quoting
+// the same ~1000 symbols x 16 attributes, most sources covering more
+// than half the items, a few copier cliques — then compares three
+// fusion strategies on the planted gold standard:
+//   * naive majority voting,
+//   * accuracy-weighted voting (no copy detection),
+//   * copy-aware fusion (HYBRID detection in the loop).
+//
+//   ./stock_feeds [--scale=0.1] [--seed=42]
+#include <cstdio>
+
+#include "common/stringutil.h"
+#include "core/hybrid.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "model/stats.h"
+
+using namespace copydetect;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  double scale = flags.GetDouble("scale", 0.1);
+  uint64_t seed = flags.GetUint64("seed", 42);
+  flags.Finish();
+
+  // Start from the Stock-1day shape, then make the world adversarial:
+  // more low-accuracy feeds, bigger copier cliques with near-total
+  // selectivity, and a coverage mix where cliques can dominate items.
+  WorldConfig config = Stock1DayProfile(scale);
+  config.accuracy.frac_low = 0.35;
+  config.accuracy.low_lo = 0.05;
+  config.accuracy.low_hi = 0.3;
+  config.coverage.frac_small = 0.6;
+  config.coverage.small_lo = 0.1;
+  config.coverage.small_hi = 0.4;
+  config.copying.num_groups = 8;
+  config.copying.group_min = 4;
+  config.copying.group_max = 6;
+  config.copying.selectivity = 0.9;
+  // This example's story is copier cliques; keep errors uncorrelated
+  // so the cliques are the only structure in the noise.
+  config.correlated_error_frac = 0.0;
+  auto world_or = GenerateWorld(config, seed);
+  CD_CHECK_OK(world_or.status());
+  const World& world = *world_or;
+  std::printf("Stock world (scale %.2f): %s\n\n", scale,
+              ComputeStats(world.data).ToString().c_str());
+
+  FusionOptions options;
+  options.params.alpha = 0.1;
+  options.params.s = config.copying.selectivity;
+  options.params.n = world.suggested_n;
+
+  // --- Naive voting. ---
+  std::vector<SlotId> vote_truth = VoteFusion(world.data);
+  double vote_acc = world.gold.Accuracy(world.data, vote_truth);
+
+  // --- Accuracy-only iterative fusion. ---
+  FusionOptions no_copy = options;
+  no_copy.use_copy_detection = false;
+  IterativeFusion accuracy_only(no_copy);
+  auto acc_result = accuracy_only.Run(world.data, nullptr);
+  CD_CHECK_OK(acc_result.status());
+  double acc_acc = world.gold.Accuracy(world.data, acc_result->truth);
+
+  // --- Copy-aware fusion. ---
+  auto aware = RunFusion(world, DetectorKind::kHybrid, options);
+  CD_CHECK_OK(aware.status());
+  double aware_acc =
+      world.gold.Accuracy(world.data, aware->fusion.truth);
+
+  TextTable table;
+  table.SetHeader({"Strategy", "Gold accuracy", "Detection time"});
+  table.AddRow({"majority vote", StrFormat("%.3f", vote_acc), "-"});
+  table.AddRow(
+      {"accuracy only", StrFormat("%.3f", acc_acc), "-"});
+  table.AddRow({"copy-aware (hybrid)", StrFormat("%.3f", aware_acc),
+                HumanSeconds(aware->fusion.detect_seconds)});
+  std::printf("%s\n", table.Render("Fusion quality:").c_str());
+
+  // How well did detection recover the planted copier cliques?
+  // Recall against the direct copier->original edges; precision
+  // against the clique closure (co-copiers of one original are
+  // indistinguishable from direct copiers — §II footnote 3).
+  PrfScores direct =
+      ComparePairsToTruth(aware->fusion.copies, world.copy_pairs);
+  PrfScores closure = ComparePairsToTruth(
+      aware->fusion.copies, CopyClosure(world.copy_pairs));
+  std::printf("Copy detection: recall (direct edges) %.2f, "
+              "precision (clique closure) %.2f, %zu planted pairs\n",
+              direct.recall, closure.precision, world.copy_pairs.size());
+
+  std::printf("Detected copying pairs:\n");
+  for (uint64_t key : aware->fusion.copies.CopyingPairs()) {
+    std::printf("  %s <-> %s\n",
+                std::string(world.data.source_name(PairFirst(key)))
+                    .c_str(),
+                std::string(world.data.source_name(PairSecond(key)))
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/stringutil.h"
+
+namespace copydetect {
+
+StatusOr<std::vector<std::string>> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+      } else {
+        cur += c;
+        ++i;
+      }
+    } else {
+      if (c == '"') {
+        if (!cur.empty()) {
+          return Status::InvalidArgument(
+              StrFormat("unexpected quote mid-field at column %zu", i));
+        }
+        in_quotes = true;
+        ++i;
+      } else if (c == ',') {
+        fields.push_back(std::move(cur));
+        cur.clear();
+        ++i;
+      } else {
+        cur += c;
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string CsvEscape(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = ParseCsvLine(line);
+    if (!fields.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%zu: %s", path.c_str(), lineno,
+          fields.status().message().c_str()));
+    }
+    rows.push_back(std::move(fields).value());
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for write");
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << CsvEscape(row[i]);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace copydetect

@@ -1,0 +1,29 @@
+#ifndef COPYDETECT_COMMON_CSV_H_
+#define COPYDETECT_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace copydetect {
+
+/// Parses one CSV line (RFC-4180 quoting: fields may be wrapped in
+/// double quotes; embedded quotes are doubled). Returns the fields.
+StatusOr<std::vector<std::string>> ParseCsvLine(std::string_view line);
+
+/// Escapes a field for CSV output (quotes when it contains , " or \n).
+std::string CsvEscape(std::string_view field);
+
+/// Reads an entire CSV file into rows of fields. Blank lines skipped.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// Writes rows to a CSV file, escaping as needed.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_COMMON_CSV_H_

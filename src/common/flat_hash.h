@@ -1,0 +1,213 @@
+#ifndef COPYDETECT_COMMON_FLAT_HASH_H_
+#define COPYDETECT_COMMON_FLAT_HASH_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace copydetect {
+
+/// Mixes a 64-bit integer (finalizer from MurmurHash3 / SplitMix64).
+/// Used to hash packed (source, source) pair keys, which are sequential
+/// and would cluster badly under identity hashing.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines two hash values (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 12) +
+                 (seed >> 4));
+}
+
+/// Open-addressing hash map from uint64_t keys to V, with linear probing
+/// and power-of-two capacity. Tailored to the hot path of copy detection:
+/// pair-keyed accumulators. Deliberately minimal — no erase (detection
+/// only retires pairs logically), no iterators invalidation guarantees
+/// across Insert.
+///
+/// Key 0xFFFFFFFFFFFFFFFF is reserved as the empty marker; callers never
+/// use it (pair keys pack two 32-bit source ids, both < 2^32 - 1).
+template <typename V>
+class FlatHashMap {
+ public:
+  static constexpr uint64_t kEmptyKey = ~0ULL;
+
+  FlatHashMap() { Rehash(16); }
+
+  /// Pre-sizes the table for `n` entries without rehashing afterwards.
+  void Reserve(size_t n) {
+    size_t needed = NextPow2(n * 4 / 3 + 1);
+    if (needed > keys_.size()) Rehash(needed);
+  }
+
+  /// Returns the value slot for `key`, inserting a default-constructed
+  /// value when absent.
+  V& operator[](uint64_t key) {
+    assert(key != kEmptyKey);
+    if ((size_ + 1) * 4 >= keys_.size() * 3) Rehash(keys_.size() * 2);
+    size_t i = Probe(key);
+    if (keys_[i] == kEmptyKey) {
+      keys_[i] = key;
+      ++size_;
+    }
+    return values_[i];
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr when absent.
+  V* Find(uint64_t key) {
+    size_t i = Probe(key);
+    return keys_[i] == key ? &values_[i] : nullptr;
+  }
+  const V* Find(uint64_t key) const {
+    size_t i = Probe(key);
+    return keys_[i] == key ? &values_[i] : nullptr;
+  }
+
+  bool Contains(uint64_t key) const { return Find(key) != nullptr; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+    std::fill(values_.begin(), values_.end(), V());
+    size_ = 0;
+  }
+
+  /// Visits every (key, value&) pair; `fn(uint64_t, V&)`.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmptyKey) fn(keys_[i], values_[i]);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmptyKey) fn(keys_[i], values_[i]);
+    }
+  }
+
+ private:
+  static size_t NextPow2(size_t n) {
+    size_t p = 16;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  size_t Probe(uint64_t key) const {
+    size_t mask = keys_.size() - 1;
+    size_t i = static_cast<size_t>(Mix64(key)) & mask;
+    while (keys_[i] != kEmptyKey && keys_[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    keys_.assign(new_cap, kEmptyKey);
+    values_.assign(new_cap, V());
+    size_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kEmptyKey) {
+        size_t j = Probe(old_keys[i]);
+        keys_[j] = old_keys[i];
+        values_[j] = std::move(old_values[i]);
+        ++size_;
+      }
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<V> values_;
+  size_t size_ = 0;
+};
+
+/// Open-addressing set of uint64_t with the same design as FlatHashMap.
+class FlatHashSet {
+ public:
+  static constexpr uint64_t kEmptyKey = ~0ULL;
+
+  FlatHashSet() { keys_.assign(16, kEmptyKey); }
+
+  void Reserve(size_t n) {
+    size_t needed = NextPow2(n * 4 / 3 + 1);
+    if (needed > keys_.size()) Rehash(needed);
+  }
+
+  /// Returns true when the key was newly inserted.
+  bool Insert(uint64_t key) {
+    assert(key != kEmptyKey);
+    if ((size_ + 1) * 4 >= keys_.size() * 3) Rehash(keys_.size() * 2);
+    size_t i = Probe(key);
+    if (keys_[i] == key) return false;
+    keys_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  bool Contains(uint64_t key) const {
+    size_t i = Probe(key);
+    return keys_[i] == key;
+  }
+
+  size_t size() const { return size_; }
+
+  void Clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+    size_ = 0;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint64_t k : keys_) {
+      if (k != kEmptyKey) fn(k);
+    }
+  }
+
+ private:
+  static size_t NextPow2(size_t n) {
+    size_t p = 16;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  size_t Probe(uint64_t key) const {
+    size_t mask = keys_.size() - 1;
+    size_t i = static_cast<size_t>(Mix64(key)) & mask;
+    while (keys_[i] != kEmptyKey && keys_[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint64_t> old = std::move(keys_);
+    keys_.assign(new_cap, kEmptyKey);
+    size_ = 0;
+    for (uint64_t k : old) {
+      if (k != kEmptyKey) {
+        keys_[Probe(k)] = k;
+        ++size_;
+      }
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  size_t size_ = 0;
+};
+
+// Template alias so call sites read FlatHashSet<uint64_t> if they prefer
+// the map-like spelling.
+template <typename K = uint64_t>
+using FlatHashSetT = FlatHashSet;
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_COMMON_FLAT_HASH_H_

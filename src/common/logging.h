@@ -1,0 +1,47 @@
+#ifndef COPYDETECT_COMMON_LOGGING_H_
+#define COPYDETECT_COMMON_LOGGING_H_
+
+#include <sstream>
+
+namespace copydetect {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to
+/// kWarning so library users see nothing unless something is off.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is filtered out.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define CD_LOG(level)                                                  \
+  (::copydetect::LogLevel::k##level < ::copydetect::GetLogLevel())     \
+      ? (void)0                                                        \
+      : ::copydetect::internal_logging::Voidify() &                    \
+            ::copydetect::internal_logging::LogMessage(                \
+                ::copydetect::LogLevel::k##level, __FILE__, __LINE__)  \
+                .stream()
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_COMMON_LOGGING_H_

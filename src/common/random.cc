@@ -1,0 +1,177 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/flat_hash.h"
+
+namespace copydetect {
+
+uint64_t Rng::NextU64() {
+  // SplitMix64 (Steele, Lea, Flood 2014). Passes BigCrush when used as a
+  // 64-bit generator and is trivially seedable, which matters more here
+  // than raw speed.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBelow(range));
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gamma(double shape) {
+  assert(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia-Tsang trick).
+    double u = 0.0;
+    do {
+      u = NextDouble();
+    } while (u <= 0.0);
+    return Gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = Normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double Rng::Beta(double a, double b) {
+  double x = Gamma(a);
+  double y = Gamma(b);
+  return x / (x + y);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  assert(n > 0);
+  if (theta <= 0.0 || n == 1) return NextBelow(n);
+  // Rejection-inversion (W. Hormann, G. Derflinger 1996), as popularized
+  // by YCSB's ScrambledZipfian. Handles theta == 1 via the log branch.
+  const double alpha = 1.0 - theta;
+  auto h_integral = [alpha, theta](double x) {
+    double logx = std::log(x);
+    if (std::abs(alpha) < 1e-12) return logx;
+    (void)theta;
+    return (std::exp(alpha * logx) - 1.0) / alpha;
+  };
+  auto h = [theta](double x) { return std::exp(-theta * std::log(x)); };
+  const double hi = h_integral(static_cast<double>(n) + 0.5);
+  const double lo = h_integral(1.5) - 1.0;
+  for (;;) {
+    double u = lo + NextDouble() * (hi - lo);
+    // Inverse of h_integral.
+    double x;
+    if (std::abs(alpha) < 1e-12) {
+      x = std::exp(u);
+    } else {
+      double t = std::max(u * alpha + 1.0, 1e-12);
+      x = std::exp(std::log(t) / alpha);
+    }
+    double k = std::floor(x + 0.5);
+    k = std::clamp(k, 1.0, static_cast<double>(n));
+    if (u >= h_integral(k + 0.5) - h(k)) {
+      return static_cast<uint64_t>(k) - 1;  // 0-based rank
+    }
+  }
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: for j in [n-k, n), pick t in [0, j]; insert t or j.
+  FlatHashSet chosen;
+  chosen.Reserve(static_cast<size_t>(k) * 2 + 8);
+  std::vector<uint64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = NextBelow(j + 1);
+    if (chosen.Contains(t)) {
+      chosen.Insert(j);
+      out.push_back(j);
+    } else {
+      chosen.Insert(t);
+      out.push_back(t);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  assert(total > 0.0);
+  double r = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextU64() ^ 0xda3e39cb94b95bdbULL); }
+
+}  // namespace copydetect

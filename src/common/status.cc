@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace copydetect {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal_status {
+void DieOnError(const Status& status, const char* file, int line) {
+  std::fprintf(stderr, "CD_CHECK_OK failed at %s:%d: %s\n", file, line,
+               status.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal_status
+
+}  // namespace copydetect

@@ -1,0 +1,195 @@
+#include "common/stringutil.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace copydetect {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), static_cast<size_t>(needed) + 1, fmt,
+                   args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty() || errno == ERANGE) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || buf.empty() || errno == ERANGE) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+std::string WithCommas(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i == lead || (i > lead && (i - lead) % 3 == 0)) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string HumanSeconds(double seconds) {
+  if (seconds < 1e-3) return StrFormat("%.0fus", seconds * 1e6);
+  if (seconds < 1.0) return StrFormat("%.1fms", seconds * 1e3);
+  if (seconds < 10.0) return StrFormat("%.2fs", seconds);
+  return StrFormat("%.1fs", seconds);
+}
+
+FlagParser::FlagParser(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!StartsWith(arg, "--")) {
+      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n",
+                   program_.c_str(), argv[i]);
+      std::exit(2);
+    }
+    arg.remove_prefix(2);
+    Entry e;
+    size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      e.key = std::string(arg);
+      e.value = "true";
+    } else {
+      e.key = std::string(arg.substr(0, eq));
+      e.value = std::string(arg.substr(eq + 1));
+    }
+    entries_.push_back(std::move(e));
+  }
+}
+
+double FlagParser::GetDouble(std::string_view name, double def) {
+  for (Entry& e : entries_) {
+    if (e.key == name) {
+      e.consumed = true;
+      double v = 0.0;
+      if (!ParseDouble(e.value, &v)) {
+        std::fprintf(stderr, "%s: --%s expects a number, got '%s'\n",
+                     program_.c_str(), e.key.c_str(), e.value.c_str());
+        std::exit(2);
+      }
+      return v;
+    }
+  }
+  return def;
+}
+
+uint64_t FlagParser::GetUint64(std::string_view name, uint64_t def) {
+  for (Entry& e : entries_) {
+    if (e.key == name) {
+      e.consumed = true;
+      uint64_t v = 0;
+      if (!ParseUint64(e.value, &v)) {
+        std::fprintf(stderr, "%s: --%s expects an integer, got '%s'\n",
+                     program_.c_str(), e.key.c_str(), e.value.c_str());
+        std::exit(2);
+      }
+      return v;
+    }
+  }
+  return def;
+}
+
+std::string FlagParser::GetString(std::string_view name,
+                                  std::string_view def) {
+  for (Entry& e : entries_) {
+    if (e.key == name) {
+      e.consumed = true;
+      return e.value;
+    }
+  }
+  return std::string(def);
+}
+
+bool FlagParser::GetBool(std::string_view name, bool def) {
+  for (Entry& e : entries_) {
+    if (e.key == name) {
+      e.consumed = true;
+      return e.value != "false" && e.value != "0";
+    }
+  }
+  return def;
+}
+
+void FlagParser::Finish() const {
+  bool bad = false;
+  for (const Entry& e : entries_) {
+    if (!e.consumed) {
+      std::fprintf(stderr, "%s: unknown flag --%s\n", program_.c_str(),
+                   e.key.c_str());
+      bad = true;
+    }
+  }
+  if (bad) std::exit(2);
+}
+
+}  // namespace copydetect

@@ -1,0 +1,70 @@
+#ifndef COPYDETECT_COMMON_STRINGUTIL_H_
+#define COPYDETECT_COMMON_STRINGUTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace copydetect {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True when `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a non-negative integer; returns false on malformed input.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// Renders a count with thousands separators ("1,234,567").
+std::string WithCommas(uint64_t n);
+
+/// Renders seconds compactly: "812us", "3.1ms", "2.45s", "81.3s".
+std::string HumanSeconds(double seconds);
+
+/// Parses "--key=value" style flags out of argv. Unknown flags are
+/// fatal (prints usage and exits) so benchmark drivers fail loudly.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  /// Declares a double flag, returns its value (default when absent).
+  double GetDouble(std::string_view name, double def);
+  /// Declares an integer flag.
+  uint64_t GetUint64(std::string_view name, uint64_t def);
+  /// Declares a string flag.
+  std::string GetString(std::string_view name, std::string_view def);
+  /// Declares a boolean flag ("--x" or "--x=true/false").
+  bool GetBool(std::string_view name, bool def);
+
+  /// Call after all Get* declarations: aborts on unconsumed flags.
+  void Finish() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool consumed = false;
+  };
+  std::vector<Entry> entries_;
+  std::string program_;
+};
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_COMMON_STRINGUTIL_H_

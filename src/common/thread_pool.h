@@ -1,0 +1,52 @@
+#ifndef COPYDETECT_COMMON_THREAD_POOL_H_
+#define COPYDETECT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace copydetect {
+
+/// Fixed-size worker pool used by the parallel index-scan extension
+/// (the paper's §VIII future-work direction). Tasks are void() closures;
+/// Wait() blocks until the queue drains and all workers are idle.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits. `fn` must be
+  /// safe to invoke concurrently for distinct i.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_COMMON_THREAD_POOL_H_

@@ -1,0 +1,31 @@
+#include "common/timer.h"
+
+namespace copydetect {
+
+void Stopwatch::Start() {
+  if (running_) return;
+  start_ = Clock::now();
+  running_ = true;
+}
+
+void Stopwatch::Stop() {
+  if (!running_) return;
+  accumulated_ +=
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  running_ = false;
+}
+
+void Stopwatch::Reset() {
+  accumulated_ = 0.0;
+  running_ = false;
+}
+
+double Stopwatch::Seconds() const {
+  double total = accumulated_;
+  if (running_) {
+    total += std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  return total;
+}
+
+}  // namespace copydetect

@@ -1,0 +1,63 @@
+#ifndef COPYDETECT_COMMON_TIMER_H_
+#define COPYDETECT_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace copydetect {
+
+/// Monotonic wall-clock stopwatch with pause/resume, used to attribute
+/// time to phases (indexing vs scanning vs finalization) the way the
+/// paper's evaluation does.
+class Stopwatch {
+ public:
+  Stopwatch() = default;
+
+  /// Starts (or resumes) the clock. No-op when already running.
+  void Start();
+
+  /// Stops the clock, accumulating elapsed time. No-op when stopped.
+  void Stop();
+
+  /// Resets accumulated time to zero (and stops).
+  void Reset();
+
+  /// Accumulated seconds (includes the live segment when running).
+  double Seconds() const;
+
+  /// Convenience: time a callable once, returning its wall seconds.
+  template <typename Fn>
+  static double Time(Fn&& fn) {
+    auto begin = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - begin).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_{};
+  double accumulated_ = 0.0;
+  bool running_ = false;
+};
+
+/// RAII timer that adds the scope's duration to a double (in seconds).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink)
+      : sink_(sink), begin_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    auto end = std::chrono::steady_clock::now();
+    *sink_ += std::chrono::duration<double>(end - begin_).count();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point begin_;
+};
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_COMMON_TIMER_H_

@@ -1,0 +1,122 @@
+#include "core/bayes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace copydetect {
+
+double IndependentSharedProb(double p, double a1, double a2,
+                             const DetectionParams& params) {
+  return p * a1 * a2 + (1.0 - p) * (1.0 - a1) * (1.0 - a2) / params.n;
+}
+
+double CopiedValueProb(double p, double a2) {
+  return p * a2 + (1.0 - p) * (1.0 - a2);
+}
+
+double SharedContribution(double p, double a1, double a2,
+                          const DetectionParams& params) {
+  p = ClampProbability(p);
+  a1 = ClampAccuracy(a1);
+  a2 = ClampAccuracy(a2);
+  double indep = IndependentSharedProb(p, a1, a2, params);
+  double copied = CopiedValueProb(p, a2);
+  return std::log(1.0 - params.s + params.s * copied / indep);
+}
+
+double NoCopyPosterior(double c_fwd, double c_bwd,
+                       const DetectionParams& params) {
+  // 1 / (1 + exp(L + logaddexp(c_fwd, c_bwd))), L = ln(alpha/beta).
+  double m = std::max(c_fwd, c_bwd);
+  double lse = m + std::log(std::exp(c_fwd - m) + std::exp(c_bwd - m));
+  double z = std::log(params.alpha / params.beta()) + lse;
+  if (z > 700.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(z));
+}
+
+Posteriors DirectionPosteriors(double c_fwd, double c_bwd,
+                               const DetectionParams& params) {
+  double lb = std::log(params.beta());
+  double lf = std::log(params.alpha) + c_fwd;
+  double lw = std::log(params.alpha) + c_bwd;
+  double m = std::max({lb, lf, lw});
+  double eb = std::exp(lb - m);
+  double ef = std::exp(lf - m);
+  double ew = std::exp(lw - m);
+  double z = eb + ef + ew;
+  Posteriors out;
+  out.indep = eb / z;
+  out.fwd = ef / z;
+  out.bwd = ew / z;
+  return out;
+}
+
+double MaxEntryContribution(std::span<const double> accuracies, double p,
+                            const DetectionParams& params) {
+  assert(accuracies.size() >= 2);
+  // Prop. 3.1 observes that the maximizing pair uses extreme provider
+  // accuracies. We implement the complete extreme-point argument (which
+  // subsumes the paper's three-case split and is robust at its case
+  // boundaries): Eq. 6's ratio is linear-over-linear in each accuracy
+  // with a positive denominator, hence monotone in each argument, so
+  // the maximizer has a1 ∈ {min, max} and a2 an extreme of the
+  // remaining multiset. Four candidate evaluations suffice.
+  double a_min = 2.0;
+  double a_secmin = 2.0;
+  double a_max = -1.0;
+  double a_secmax = -1.0;
+  for (double a : accuracies) {
+    if (a <= a_min) {
+      a_secmin = a_min;
+      a_min = a;
+    } else if (a < a_secmin) {
+      a_secmin = a;
+    }
+    if (a >= a_max) {
+      a_secmax = a_max;
+      a_max = a;
+    } else if (a > a_secmax) {
+      a_secmax = a;
+    }
+  }
+
+  p = ClampProbability(p);
+  // Each argument of the optimum is an extreme of the provider multiset
+  // minus the instance used by the other argument, giving six
+  // candidates (the paper's case 2 — S1 = second-min, S2 = min — is
+  // among them). ln(1-s+s·r) is monotone in the likelihood ratio r, so
+  // maximize r first and take a single log — this sits on the
+  // per-entry hot path of every index (re)build.
+  auto ratio = [&](double a1, double a2) {
+    a1 = ClampAccuracy(a1);
+    a2 = ClampAccuracy(a2);
+    return CopiedValueProb(p, a2) /
+           IndependentSharedProb(p, a1, a2, params);
+  };
+  double best_r = ratio(a_min, a_secmin);
+  best_r = std::max(best_r, ratio(a_min, a_max));
+  best_r = std::max(best_r, ratio(a_max, a_min));
+  best_r = std::max(best_r, ratio(a_max, a_secmax));
+  best_r = std::max(best_r, ratio(a_secmin, a_min));
+  best_r = std::max(best_r, ratio(a_secmax, a_max));
+  return std::log(1.0 - params.s + params.s * best_r);
+}
+
+double BruteForceMaxEntryContribution(std::span<const double> accuracies,
+                                      double p,
+                                      const DetectionParams& params) {
+  assert(accuracies.size() >= 2);
+  double best = -1e300;
+  for (size_t i = 0; i < accuracies.size(); ++i) {
+    for (size_t j = 0; j < accuracies.size(); ++j) {
+      if (i == j) continue;
+      best = std::max(
+          best, SharedContribution(p, accuracies[i], accuracies[j],
+                                   params));
+    }
+  }
+  return best;
+}
+
+}  // namespace copydetect

@@ -1,0 +1,62 @@
+#ifndef COPYDETECT_CORE_BAYES_H_
+#define COPYDETECT_CORE_BAYES_H_
+
+#include <span>
+
+#include "core/params.h"
+
+namespace copydetect {
+
+/// Probability that two *independent* sources S1, S2 both provide the
+/// same value v on an item, given Pr(v true) = p and accuracies a1, a2
+/// (Eq. 3):  p·a1·a2 + (1-p)·(1-a1)(1-a2)/n.
+double IndependentSharedProb(double p, double a1, double a2,
+                             const DetectionParams& params);
+
+/// Probability of observing S2's value when the copier copied it
+/// (Eq. 4):  p·a2 + (1-p)(1-a2).
+double CopiedValueProb(double p, double a2);
+
+/// Contribution score C→(D) of a *shared* value to "S1 copies from S2"
+/// (Eq. 6):  ln(1 - s + s · CopiedValueProb / IndependentSharedProb).
+/// a1 is the candidate copier's accuracy, a2 the candidate original's.
+/// Positive for plausible values, larger for improbable (false) values.
+double SharedContribution(double p, double a1, double a2,
+                          const DetectionParams& params);
+
+/// Posterior probability of independence given accumulated directional
+/// scores (Eq. 2): 1 / (1 + (alpha/beta)(e^{c_fwd} + e^{c_bwd})).
+/// Overflow-safe for arbitrarily large scores.
+double NoCopyPosterior(double c_fwd, double c_bwd,
+                       const DetectionParams& params);
+
+/// Full directional posterior: Pr(independent), Pr(S1→S2) (S1 copies
+/// from S2) and Pr(S1←S2), proportional to {beta, alpha·e^{c_fwd},
+/// alpha·e^{c_bwd}}. Sums to 1.
+struct Posteriors {
+  double indep = 1.0;
+  double fwd = 0.0;
+  double bwd = 0.0;
+};
+Posteriors DirectionPosteriors(double c_fwd, double c_bwd,
+                               const DetectionParams& params);
+
+/// Maximum shared-value contribution M̂(D.v) over ordered provider
+/// pairs (Prop. 3.1). Implemented via the complete extreme-point
+/// argument — Eq. 6's ratio is monotone in each accuracy, so only the
+/// providers' min / second-min / max / second-max accuracies can
+/// participate in the maximizer; four evaluations suffice. This
+/// subsumes the paper's three-case analysis and is robust at its case
+/// boundaries. `accuracies` are the value's providers' accuracies
+/// (size >= 2).
+double MaxEntryContribution(std::span<const double> accuracies, double p,
+                            const DetectionParams& params);
+
+/// O(k^2) reference maximizer used by tests to validate Prop. 3.1.
+double BruteForceMaxEntryContribution(std::span<const double> accuracies,
+                                      double p,
+                                      const DetectionParams& params);
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_CORE_BAYES_H_

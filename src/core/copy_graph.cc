@@ -1,0 +1,128 @@
+#include "core/copy_graph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/flat_hash.h"
+
+namespace copydetect {
+
+namespace {
+
+/// Path-compressing union-find over sparse source ids.
+class UnionFind {
+ public:
+  SourceId Find(SourceId x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_[x] = x;
+      return x;
+    }
+    if (it->second == x) return x;
+    SourceId root = Find(it->second);
+    parent_[x] = root;
+    return root;
+  }
+  void Union(SourceId a, SourceId b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::unordered_map<SourceId, SourceId> parent_;
+};
+
+}  // namespace
+
+size_t CopyGraph::NumPairs() const {
+  size_t n = 0;
+  for (const CopyCluster& c : clusters) n += c.edges.size();
+  return n;
+}
+
+size_t CopyGraph::NumSources() const {
+  size_t n = 0;
+  for (const CopyCluster& c : clusters) n += c.members.size();
+  return n;
+}
+
+CopyGraph AnalyzeCopyGraph(const CopyResult& result) {
+  std::vector<uint64_t> pairs = result.CopyingPairs();
+  std::sort(pairs.begin(), pairs.end());
+
+  // 1. Connected components.
+  UnionFind uf;
+  for (uint64_t key : pairs) {
+    uf.Union(PairFirst(key), PairSecond(key));
+  }
+  std::unordered_map<SourceId, size_t> cluster_of_root;
+  CopyGraph graph;
+  for (uint64_t key : pairs) {
+    SourceId root = uf.Find(PairFirst(key));
+    if (!cluster_of_root.count(root)) {
+      cluster_of_root[root] = graph.clusters.size();
+      graph.clusters.emplace_back();
+    }
+  }
+  // Collect members.
+  for (uint64_t key : pairs) {
+    CopyCluster& cluster =
+        graph.clusters[cluster_of_root[uf.Find(PairFirst(key))]];
+    cluster.members.push_back(PairFirst(key));
+    cluster.members.push_back(PairSecond(key));
+  }
+  for (CopyCluster& cluster : graph.clusters) {
+    std::sort(cluster.members.begin(), cluster.members.end());
+    cluster.members.erase(
+        std::unique(cluster.members.begin(), cluster.members.end()),
+        cluster.members.end());
+  }
+
+  // 2. Elect originals: incoming "is copied" probability mass.
+  for (CopyCluster& cluster : graph.clusters) {
+    double best_mass = -1.0;
+    for (SourceId candidate : cluster.members) {
+      double mass = 0.0;
+      for (SourceId other : cluster.members) {
+        if (other == candidate) continue;
+        mass += result.PrCopies(other, candidate);
+      }
+      if (mass > best_mass) {
+        best_mass = mass;
+        cluster.original = candidate;
+      }
+    }
+  }
+
+  // 3. Classify edges.
+  for (uint64_t key : pairs) {
+    CopyCluster& cluster =
+        graph.clusters[cluster_of_root[uf.Find(PairFirst(key))]];
+    SourceId a = PairFirst(key);
+    SourceId b = PairSecond(key);
+    ClassifiedEdge edge;
+    edge.a = a;
+    edge.b = b;
+    if (a == cluster.original || b == cluster.original) {
+      edge.kind = EdgeKind::kDirect;
+      SourceId copier = a == cluster.original ? b : a;
+      cluster.direct_edges.push_back(CopyEdge{
+          copier, cluster.original,
+          result.PrCopies(copier, cluster.original)});
+    } else {
+      // Both endpoints copy the original (directly detected or not)?
+      auto has_direct = [&](SourceId s) {
+        return result.IsCopying(s, cluster.original);
+      };
+      edge.kind = has_direct(a) && has_direct(b) ? EdgeKind::kCoCopy
+                                                 : EdgeKind::kIndirect;
+    }
+    cluster.edges.push_back(edge);
+  }
+
+  // Deterministic output order: by smallest member.
+  std::sort(graph.clusters.begin(), graph.clusters.end(),
+            [](const CopyCluster& x, const CopyCluster& y) {
+              return x.members.front() < y.members.front();
+            });
+  return graph;
+}
+
+}  // namespace copydetect

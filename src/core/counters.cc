@@ -1,0 +1,34 @@
+#include "core/counters.h"
+
+#include "common/stringutil.h"
+
+namespace copydetect {
+
+Counters& Counters::operator+=(const Counters& other) {
+  score_evals += other.score_evals;
+  bound_evals += other.bound_evals;
+  finalize_evals += other.finalize_evals;
+  pairs_tracked += other.pairs_tracked;
+  entries_scanned += other.entries_scanned;
+  values_examined += other.values_examined;
+  early_copy += other.early_copy;
+  early_nocopy += other.early_nocopy;
+  return *this;
+}
+
+std::string Counters::ToString() const {
+  return StrFormat(
+      "computations=%llu (score=%llu bound=%llu finalize=%llu) "
+      "pairs=%llu entries=%llu values=%llu early_cp=%llu early_nc=%llu",
+      static_cast<unsigned long long>(Total()),
+      static_cast<unsigned long long>(score_evals),
+      static_cast<unsigned long long>(bound_evals),
+      static_cast<unsigned long long>(finalize_evals),
+      static_cast<unsigned long long>(pairs_tracked),
+      static_cast<unsigned long long>(entries_scanned),
+      static_cast<unsigned long long>(values_examined),
+      static_cast<unsigned long long>(early_copy),
+      static_cast<unsigned long long>(early_nocopy));
+}
+
+}  // namespace copydetect

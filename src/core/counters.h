@@ -1,0 +1,43 @@
+#ifndef COPYDETECT_CORE_COUNTERS_H_
+#define COPYDETECT_CORE_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace copydetect {
+
+/// Computation counters with the accounting the paper uses in its
+/// worked examples (Ex. 3.6, 4.2, 5.4) and in Figure 2:
+///  * `score_evals`   — directional contribution-score evaluations
+///                      (each C→ or C← on one shared value counts 1);
+///  * `bound_evals`   — directional Cmin/Cmax evaluations in BOUND and
+///                      its descendants;
+///  * `finalize_evals`— per-pair wrap-up work (the different-value
+///                      adjustment plus posterior), 2 per finalized pair.
+/// `Total()` is the "number of computations" benches report.
+struct Counters {
+  uint64_t score_evals = 0;
+  uint64_t bound_evals = 0;
+  uint64_t finalize_evals = 0;
+
+  // Diagnostics (not part of Total()).
+  uint64_t pairs_tracked = 0;      ///< pairs ever given state
+  uint64_t entries_scanned = 0;    ///< index entries visited
+  uint64_t values_examined = 0;    ///< shared values actually processed
+  uint64_t early_copy = 0;         ///< pairs concluded copying early
+  uint64_t early_nocopy = 0;       ///< pairs concluded no-copying early
+
+  uint64_t Total() const {
+    return score_evals + bound_evals + finalize_evals;
+  }
+
+  Counters& operator+=(const Counters& other);
+
+  void Reset() { *this = Counters(); }
+
+  std::string ToString() const;
+};
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_CORE_COUNTERS_H_

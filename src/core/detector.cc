@@ -1,0 +1,89 @@
+#include "core/detector.h"
+
+#include "core/bound.h"
+#include "core/fagin_input.h"
+#include "core/hybrid.h"
+#include "core/incremental.h"
+#include "core/index_algo.h"
+#include "core/pairwise.h"
+#include "core/parallel_index.h"
+
+namespace copydetect {
+
+Status DetectionInput::Validate() const {
+  if (data == nullptr || value_probs == nullptr || accuracies == nullptr) {
+    return Status::InvalidArgument("DetectionInput has null fields");
+  }
+  if (value_probs->size() != data->num_slots()) {
+    return Status::InvalidArgument(
+        "value_probs size does not match slot count");
+  }
+  if (accuracies->size() != data->num_sources()) {
+    return Status::InvalidArgument(
+        "accuracies size does not match source count");
+  }
+  return Status::OK();
+}
+
+std::string_view DetectorKindName(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kPairwise:
+      return "pairwise";
+    case DetectorKind::kIndex:
+      return "index";
+    case DetectorKind::kBound:
+      return "bound";
+    case DetectorKind::kBoundPlus:
+      return "bound+";
+    case DetectorKind::kHybrid:
+      return "hybrid";
+    case DetectorKind::kIncremental:
+      return "incremental";
+    case DetectorKind::kFaginInput:
+      return "fagin-input";
+    case DetectorKind::kParallelIndex:
+      return "parallel-index";
+  }
+  return "?";
+}
+
+bool ParseDetectorKind(std::string_view name, DetectorKind* out) {
+  static constexpr DetectorKind kAll[] = {
+      DetectorKind::kPairwise,     DetectorKind::kIndex,
+      DetectorKind::kBound,        DetectorKind::kBoundPlus,
+      DetectorKind::kHybrid,       DetectorKind::kIncremental,
+      DetectorKind::kFaginInput,   DetectorKind::kParallelIndex,
+  };
+  for (DetectorKind kind : kAll) {
+    if (DetectorKindName(kind) == name) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<CopyDetector> MakeDetector(DetectorKind kind,
+                                           const DetectionParams& params) {
+  switch (kind) {
+    case DetectorKind::kPairwise:
+      return std::make_unique<PairwiseDetector>(params);
+    case DetectorKind::kIndex:
+      return std::make_unique<IndexDetector>(params);
+    case DetectorKind::kBound:
+      return std::make_unique<BoundDetector>(params, /*lazy=*/false);
+    case DetectorKind::kBoundPlus:
+      return std::make_unique<BoundDetector>(params, /*lazy=*/true);
+    case DetectorKind::kHybrid:
+      return std::make_unique<HybridDetector>(params);
+    case DetectorKind::kIncremental:
+      return std::make_unique<IncrementalDetector>(params);
+    case DetectorKind::kFaginInput:
+      return std::make_unique<FaginInputDetector>(params);
+    case DetectorKind::kParallelIndex:
+      return std::make_unique<ParallelIndexDetector>(params);
+  }
+  return nullptr;
+}
+
+}  // namespace copydetect

@@ -1,0 +1,80 @@
+#ifndef COPYDETECT_CORE_DETECTOR_H_
+#define COPYDETECT_CORE_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/copy_result.h"
+#include "core/counters.h"
+#include "core/params.h"
+#include "model/dataset.h"
+
+namespace copydetect {
+
+/// Everything a detection round reads: the static data set plus the
+/// fusion loop's current estimates. Value probabilities are per slot
+/// (see Dataset), accuracies per source.
+struct DetectionInput {
+  const Dataset* data = nullptr;
+  const std::vector<double>* value_probs = nullptr;
+  const std::vector<double>* accuracies = nullptr;
+
+  Status Validate() const;
+};
+
+/// Interface every copy-detection algorithm implements. Detectors may
+/// keep cross-round state (INCREMENTAL does); `round` is the 1-based
+/// fusion round. Counters accumulate across rounds until Reset().
+class CopyDetector {
+ public:
+  virtual ~CopyDetector() = default;
+
+  /// Algorithm name for reports ("pairwise", "index", "hybrid", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Runs one detection round. `out` is cleared first.
+  virtual Status DetectRound(const DetectionInput& in, int round,
+                             CopyResult* out) = 0;
+
+  /// Drops any cross-round state and zeroes counters.
+  virtual void Reset() { counters_.Reset(); }
+
+  const Counters& counters() const { return counters_; }
+  const DetectionParams& params() const { return params_; }
+
+ protected:
+  explicit CopyDetector(const DetectionParams& params)
+      : params_(params) {}
+
+  DetectionParams params_;
+  Counters counters_;
+};
+
+/// The algorithms of the paper, plus the parallel extension.
+enum class DetectorKind {
+  kPairwise,      ///< §II-B baseline
+  kIndex,         ///< §III
+  kBound,         ///< §IV-A
+  kBoundPlus,     ///< §IV-B
+  kHybrid,        ///< §IV end
+  kIncremental,   ///< §V (HYBRID for rounds 1-2)
+  kFaginInput,    ///< §II-B NRA baseline
+  kParallelIndex, ///< §VIII future-work extension
+};
+
+/// Name of a detector kind ("pairwise", "index", ...).
+std::string_view DetectorKindName(DetectorKind kind);
+
+/// Parses a detector kind by name; false when unknown.
+bool ParseDetectorKind(std::string_view name, DetectorKind* out);
+
+/// Factory for all detector kinds.
+std::unique_ptr<CopyDetector> MakeDetector(DetectorKind kind,
+                                           const DetectionParams& params);
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_CORE_DETECTOR_H_

@@ -1,0 +1,84 @@
+#include "core/index_algo.h"
+
+#include "core/bayes.h"
+
+namespace copydetect {
+
+namespace {
+
+struct IndexPairState {
+  double c_fwd = 0.0;
+  double c_bwd = 0.0;
+  uint32_t n_shared = 0;
+};
+
+}  // namespace
+
+Status IndexDetector::DetectRound(const DetectionInput& in, int round,
+                                  CopyResult* out) {
+  (void)round;
+  CD_RETURN_IF_ERROR(in.Validate());
+  out->Clear();
+
+  auto index_or = InvertedIndex::Build(in, params_, ordering_, seed_);
+  if (!index_or.ok()) return index_or.status();
+  const InvertedIndex& index = *index_or;
+  const OverlapCounts& overlaps = overlap_cache_.Get(*in.data);
+  last_index_seconds_ = index.build_seconds();
+
+  const std::vector<double>& accs = *in.accuracies;
+  FlatHashMap<IndexPairState> pairs;
+
+  // Steps 1-2: scan entries in order; head entries create state, tail
+  // entries only update pairs already seen.
+  for (size_t rank = 0; rank < index.num_entries(); ++rank) {
+    ++counters_.entries_scanned;
+    const IndexEntry& e = index.entry(rank);
+    std::span<const SourceId> providers = index.providers(rank);
+    const bool tail = index.in_tail(rank);
+    for (size_t i = 0; i + 1 < providers.size(); ++i) {
+      for (size_t j = i + 1; j < providers.size(); ++j) {
+        SourceId a = providers[i];
+        SourceId b = providers[j];
+        uint64_t key = PairKey(a, b);
+        IndexPairState* state;
+        if (tail) {
+          state = pairs.Find(key);
+          if (state == nullptr) continue;
+        } else {
+          bool fresh = pairs.Find(key) == nullptr;
+          state = &pairs[key];
+          if (fresh) ++counters_.pairs_tracked;
+        }
+        // fwd is "smaller id copies from larger id".
+        SourceId lo = a < b ? a : b;
+        SourceId hi = a < b ? b : a;
+        state->c_fwd +=
+            SharedContribution(e.probability, accs[lo], accs[hi], params_);
+        state->c_bwd +=
+            SharedContribution(e.probability, accs[hi], accs[lo], params_);
+        counters_.score_evals += 2;
+        ++counters_.values_examined;
+        ++state->n_shared;
+      }
+    }
+  }
+
+  // Step 3: different-value penalty and posterior.
+  const double penalty = params_.different_penalty();
+  pairs.ForEach([&](uint64_t key, IndexPairState& state) {
+    SourceId a = PairFirst(key);
+    SourceId b = PairSecond(key);
+    uint32_t l = overlaps.Get(a, b);
+    double diff =
+        penalty * static_cast<double>(l - state.n_shared);
+    double c_fwd = state.c_fwd + diff;
+    double c_bwd = state.c_bwd + diff;
+    counters_.finalize_evals += 2;
+    Posteriors post = DirectionPosteriors(c_fwd, c_bwd, params_);
+    out->Set(a, b, PairPosterior{post.indep, post.fwd, post.bwd});
+  });
+  return Status::OK();
+}
+
+}  // namespace copydetect

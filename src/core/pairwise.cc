@@ -1,0 +1,73 @@
+#include "core/pairwise.h"
+
+#include "core/bayes.h"
+
+namespace copydetect {
+
+PairScores ComputePairScores(const DetectionInput& in, SourceId a,
+                             SourceId b, const DetectionParams& params,
+                             Counters* counters) {
+  const Dataset& data = *in.data;
+  const std::vector<double>& probs = *in.value_probs;
+  const std::vector<double>& accs = *in.accuracies;
+
+  PairScores scores;
+  std::span<const ItemId> items_a = data.items_of(a);
+  std::span<const ItemId> items_b = data.items_of(b);
+  std::span<const SlotId> slots_a = data.slots_of(a);
+  std::span<const SlotId> slots_b = data.slots_of(b);
+
+  const double penalty = params.different_penalty();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < items_a.size() && j < items_b.size()) {
+    if (items_a[i] < items_b[j]) {
+      ++i;
+    } else if (items_a[i] > items_b[j]) {
+      ++j;
+    } else {
+      ++scores.shared_items;
+      counters->score_evals += 2;
+      if (slots_a[i] == slots_b[j]) {
+        ++scores.shared_values;
+        double p = probs[slots_a[i]];
+        scores.c_fwd += SharedContribution(p, accs[a], accs[b], params);
+        scores.c_bwd += SharedContribution(p, accs[b], accs[a], params);
+      } else {
+        scores.c_fwd += penalty;
+        scores.c_bwd += penalty;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return scores;
+}
+
+Status PairwiseDetector::DetectRound(const DetectionInput& in, int round,
+                                     CopyResult* out) {
+  (void)round;
+  CD_RETURN_IF_ERROR(in.Validate());
+  out->Clear();
+  const size_t n = in.data->num_sources();
+  for (SourceId a = 0; a + 1 < n; ++a) {
+    for (SourceId b = static_cast<SourceId>(a + 1); b < n; ++b) {
+      PairScores scores =
+          ComputePairScores(in, a, b, params_, &counters_);
+      ++counters_.pairs_tracked;
+      counters_.values_examined += scores.shared_values;
+      counters_.finalize_evals += 2;
+      // Pairs sharing nothing sit at the prior; storing them adds
+      // nothing downstream (fusion only discounts concluded copiers)
+      // and would make the result quadratic in |S|.
+      if (scores.shared_items == 0) continue;
+      Posteriors post =
+          DirectionPosteriors(scores.c_fwd, scores.c_bwd, params_);
+      out->Set(a, b,
+               PairPosterior{post.indep, post.fwd, post.bwd});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace copydetect

@@ -1,0 +1,43 @@
+#ifndef COPYDETECT_CORE_PARALLEL_INDEX_H_
+#define COPYDETECT_CORE_PARALLEL_INDEX_H_
+
+#include <cstddef>
+
+#include "core/detector.h"
+#include "simjoin/overlap.h"
+
+namespace copydetect {
+
+/// The §VIII future-work extension: parallelize the INDEX scan by
+/// sharding entries across a thread pool. Each worker accumulates
+/// per-pair contributions in a private map over its contiguous entry
+/// shard; shards merge at the end, pairs that never co-occur in a head
+/// (non-tail) entry are discarded, and finalization runs once. This is
+/// numerically identical to sequential INDEX because head entries all
+/// precede tail entries in the contribution order, so any pair kept by
+/// the sequential algorithm accumulates exactly the same entry set.
+class ParallelIndexDetector : public CopyDetector {
+ public:
+  ParallelIndexDetector(const DetectionParams& params,
+                        size_t num_threads = 0);
+
+  std::string_view name() const override { return "parallel-index"; }
+
+  Status DetectRound(const DetectionInput& in, int round,
+                     CopyResult* out) override;
+
+  size_t num_threads() const { return num_threads_; }
+
+  void Reset() override {
+    CopyDetector::Reset();
+    overlap_cache_.Clear();
+  }
+
+ private:
+  size_t num_threads_;
+  OverlapCache overlap_cache_;
+};
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_CORE_PARALLEL_INDEX_H_

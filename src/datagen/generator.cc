@@ -1,0 +1,235 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/flat_hash.h"
+#include "common/random.h"
+#include "common/stringutil.h"
+
+namespace copydetect {
+
+namespace {
+
+/// Per-source generation plan.
+struct SourcePlan {
+  double accuracy = 0.8;
+  bool is_copier = false;
+  SourceId original = kInvalidSource;
+};
+
+double DrawCoverageFrac(const CoverageModel& m, Rng* rng) {
+  if (rng->Bernoulli(m.frac_small)) {
+    return rng->UniformDouble(m.small_lo, m.small_hi);
+  }
+  return rng->UniformDouble(m.big_lo, m.big_hi);
+}
+
+double DrawAccuracy(const AccuracyModel& m, Rng* rng) {
+  if (rng->Bernoulli(m.frac_low)) {
+    return rng->UniformDouble(m.low_lo, m.low_hi);
+  }
+  return rng->UniformDouble(m.high_lo, m.high_hi);
+}
+
+}  // namespace
+
+StatusOr<World> GenerateWorld(const WorldConfig& config, uint64_t seed) {
+  if (config.num_sources < 2) {
+    return Status::InvalidArgument("need at least 2 sources");
+  }
+  if (config.num_items < 1) {
+    return Status::InvalidArgument("need at least 1 item");
+  }
+  if (config.false_pool < 1) {
+    return Status::InvalidArgument("false_pool must be >= 1");
+  }
+  const size_t num_sources = config.num_sources;
+  const size_t num_items = config.num_items;
+
+  Rng rng(seed);
+  World world;
+
+  // ---- Roles: carve copier groups out of the source pool. ----
+  std::vector<SourcePlan> plans(num_sources);
+  for (SourcePlan& p : plans) {
+    p.accuracy = DrawAccuracy(config.accuracy, &rng);
+  }
+  {
+    // Originals are drawn from the low-accuracy end of the pool:
+    // copying only leaves a detectable trace when false values spread
+    // (the paper's §II-A intuition and the shape of its running
+    // example, where the copied sources have accuracy .2 and .01).
+    // Copying a highly accurate source is mostly invisible.
+    std::vector<SourceId> pool(num_sources);
+    for (size_t i = 0; i < num_sources; ++i) {
+      pool[i] = static_cast<SourceId>(i);
+    }
+    rng.Shuffle(&pool);
+    std::stable_sort(pool.begin(), pool.end(),
+                     [&plans](SourceId a, SourceId b) {
+                       return plans[a].accuracy < plans[b].accuracy;
+                     });
+    // The shuffled low-accuracy prefix supplies originals; copiers come
+    // from the (shuffled) rest so their own extras look ordinary.
+    size_t low_end = std::max<size_t>(config.copying.num_groups,
+                                      num_sources / 5);
+    low_end = std::min(low_end, num_sources);
+    std::vector<SourceId> originals(pool.begin(),
+                                    pool.begin() + static_cast<long>(
+                                                       low_end));
+    std::vector<SourceId> others(pool.begin() + static_cast<long>(low_end),
+                                 pool.end());
+    rng.Shuffle(&originals);
+    rng.Shuffle(&others);
+    size_t orig_cursor = 0;
+    size_t other_cursor = 0;
+    for (size_t g = 0; g < config.copying.num_groups; ++g) {
+      size_t size = static_cast<size_t>(rng.UniformInt(
+          static_cast<int64_t>(config.copying.group_min),
+          static_cast<int64_t>(config.copying.group_max)));
+      if (orig_cursor >= originals.size()) break;
+      if (other_cursor + size - 1 > others.size()) break;
+      SourceId original = originals[orig_cursor++];
+      SourceId prev = original;
+      for (size_t k = 1; k < size; ++k) {
+        SourceId copier = others[other_cursor++];
+        plans[copier].is_copier = true;
+        plans[copier].original = config.copying.chain ? prev : original;
+        world.copy_pairs.emplace_back(copier, plans[copier].original);
+        prev = copier;
+      }
+    }
+  }
+
+  // ---- Items: one true value + a false pool per item. ----
+  // Value strings are created lazily; names are compact and unique.
+  DatasetBuilder builder;
+  for (size_t s = 0; s < num_sources; ++s) {
+    builder.AddSource(StrFormat("S%zu", s));
+  }
+  for (size_t d = 0; d < num_items; ++d) {
+    builder.AddItem(StrFormat("D%zu", d));
+  }
+
+  auto true_value = [](size_t item) { return StrFormat("T%zu", item); };
+  auto false_value = [](size_t item, uint64_t k) {
+    return StrFormat("F%zu_%llu", item,
+                     static_cast<unsigned long long>(k));
+  };
+
+  // ---- Correlated errors: items with a popular false value. ----
+  std::vector<uint8_t> popular_false(num_items, 0);
+  if (config.correlated_error_frac > 0.0) {
+    for (size_t d = 0; d < num_items; ++d) {
+      popular_false[d] = rng.Bernoulli(config.correlated_error_frac);
+    }
+  }
+  auto draw_false_code = [&](size_t item) -> uint32_t {
+    if (popular_false[item] &&
+        rng.Bernoulli(config.correlated_error_bias)) {
+      return 1;  // the item's popular false value
+    }
+    return 1 + static_cast<uint32_t>(rng.NextBelow(config.false_pool));
+  };
+
+  // ---- Independent observations (also used for originals). ----
+  // Record each source's provided value index per item so copiers can
+  // replay them: value 0 == true, k>0 == false_value(k-1).
+  std::vector<std::vector<std::pair<ItemId, uint32_t>>> provided(
+      num_sources);
+
+  const uint64_t min_cov =
+      std::min<uint64_t>(config.min_coverage_items, num_items);
+  for (size_t s = 0; s < num_sources; ++s) {
+    if (plans[s].is_copier) continue;
+    double frac = DrawCoverageFrac(config.coverage, &rng);
+    uint64_t cov = static_cast<uint64_t>(
+        frac * static_cast<double>(num_items) + 0.5);
+    cov = std::clamp<uint64_t>(cov, min_cov, num_items);
+    std::vector<uint64_t> items = rng.SampleWithoutReplacement(
+        static_cast<uint64_t>(num_items), cov);
+    provided[s].reserve(items.size());
+    for (uint64_t item : items) {
+      uint32_t value_code = 0;
+      if (!rng.Bernoulli(plans[s].accuracy)) {
+        value_code = draw_false_code(item);
+      }
+      provided[s].emplace_back(static_cast<ItemId>(item), value_code);
+    }
+  }
+
+  // ---- Copiers: replay the original with probability `selectivity`,
+  // then add independent extras outside the copied set. ----
+  // Process copiers in an order that guarantees the original's data is
+  // already materialized (star: originals are never copiers; chain:
+  // follow the recorded order, which lists earlier chain members first).
+  for (const auto& [copier, original] : world.copy_pairs) {
+    const auto& orig_data = provided[original];
+    FlatHashSet taken;
+    taken.Reserve(orig_data.size() * 2 + 8);
+    for (const auto& [item, value_code] : orig_data) {
+      if (rng.Bernoulli(config.copying.selectivity)) {
+        provided[copier].emplace_back(item, value_code);
+        taken.Insert(item);
+      }
+    }
+    // Independent extras.
+    uint64_t extra = static_cast<uint64_t>(
+        config.copying.extra_coverage_frac *
+            static_cast<double>(num_items) +
+        0.5);
+    extra = std::min<uint64_t>(extra + min_cov, num_items);
+    std::vector<uint64_t> items = rng.SampleWithoutReplacement(
+        static_cast<uint64_t>(num_items), extra);
+    for (uint64_t item : items) {
+      if (taken.Contains(item)) continue;
+      uint32_t value_code = 0;
+      if (!rng.Bernoulli(plans[copier].accuracy)) {
+        value_code = draw_false_code(item);
+      }
+      provided[copier].emplace_back(static_cast<ItemId>(item), value_code);
+    }
+  }
+
+  // ---- Materialize observations. ----
+  for (size_t s = 0; s < num_sources; ++s) {
+    // A copier may have copied an item and then re-sampled it as an
+    // extra; the `taken` filter above prevents that, but chains can
+    // deliver the same item twice via different originals — dedup
+    // first-wins for safety.
+    std::sort(provided[s].begin(), provided[s].end());
+    provided[s].erase(
+        std::unique(provided[s].begin(), provided[s].end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first == b.first;
+                    }),
+        provided[s].end());
+    for (const auto& [item, value_code] : provided[s]) {
+      std::string value = value_code == 0
+                              ? true_value(item)
+                              : false_value(item, value_code - 1);
+      builder.Add(static_cast<SourceId>(s), item, value);
+    }
+  }
+
+  auto data = builder.Build();
+  if (!data.ok()) return data.status();
+  world.data = std::move(data).value();
+
+  // ---- Truth + accuracies. ----
+  for (size_t d = 0; d < num_items; ++d) {
+    world.full_truth.Set(static_cast<ItemId>(d), true_value(d));
+  }
+  world.gold = config.gold_size > 0
+                   ? world.full_truth.Sample(config.gold_size, seed ^ 0x60)
+                   : world.full_truth;
+  world.true_accuracy.resize(num_sources);
+  for (size_t s = 0; s < num_sources; ++s) {
+    world.true_accuracy[s] = plans[s].accuracy;
+  }
+  world.suggested_n = static_cast<double>(config.false_pool);
+  return world;
+}
+
+}  // namespace copydetect

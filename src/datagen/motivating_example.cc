@@ -1,0 +1,96 @@
+#include "datagen/motivating_example.h"
+
+#include <cassert>
+#include <string_view>
+
+namespace copydetect {
+
+World MotivatingExample() {
+  // Table I. Empty string == missing value.
+  struct Row {
+    const char* nj;
+    const char* az;
+    const char* ny;
+    const char* fl;
+    const char* tx;
+  };
+  static constexpr Row kRows[10] = {
+      /*S0*/ {"Trenton", "Phoenix", "Albany", "", "Austin"},
+      /*S1*/ {"Trenton", "Phoenix", "Albany", "Orlando", "Austin"},
+      /*S2*/ {"Atlantic", "Phoenix", "NewYork", "Miami", "Houston"},
+      /*S3*/ {"Atlantic", "Phoenix", "NewYork", "Miami", "Arlington"},
+      /*S4*/ {"Atlantic", "Phoenix", "NewYork", "Orlando", "Houston"},
+      /*S5*/ {"Union", "Tempe", "Albany", "Orlando", "Austin"},
+      /*S6*/ {"", "Tempe", "Buffalo", "PalmBay", "Dallas"},
+      /*S7*/ {"Trenton", "", "Buffalo", "PalmBay", "Dallas"},
+      /*S8*/ {"Trenton", "Tucson", "Buffalo", "PalmBay", "Dallas"},
+      /*S9*/ {"Trenton", "", "", "Orlando", "Austin"},
+  };
+  static constexpr const char* kItems[5] = {"NJ", "AZ", "NY", "FL", "TX"};
+
+  DatasetBuilder builder;
+  for (int s = 0; s < 10; ++s) {
+    builder.AddSource(std::string("S") + std::to_string(s));
+  }
+  for (const char* item : kItems) builder.AddItem(item);
+
+  for (SourceId s = 0; s < 10; ++s) {
+    const Row& r = kRows[s];
+    const char* vals[5] = {r.nj, r.az, r.ny, r.fl, r.tx};
+    for (ItemId d = 0; d < 5; ++d) {
+      if (vals[d][0] != '\0') builder.Add(s, d, vals[d]);
+    }
+  }
+
+  World world;
+  auto data = builder.Build();
+  assert(data.ok());
+  world.data = std::move(data).value();
+
+  world.full_truth.Set(0, "Trenton");
+  world.full_truth.Set(1, "Phoenix");
+  world.full_truth.Set(2, "Albany");
+  world.full_truth.Set(3, "Orlando");
+  world.full_truth.Set(4, "Austin");
+  world.gold = world.full_truth;
+
+  world.true_accuracy = MotivatingAccuracies();
+  // "There is copying between S2-S4 and between S6-S8."
+  world.copy_pairs = {{3, 2}, {4, 2}, {7, 6}, {8, 6}};
+  return world;
+}
+
+std::vector<double> MotivatingAccuracies() {
+  return {0.99, 0.99, 0.2, 0.2, 0.4, 0.6, 0.01, 0.25, 0.2, 0.99};
+}
+
+std::vector<double> MotivatingValueProbabilities(const Dataset& data) {
+  // Table III "Pr" column (the paper's converged probabilities).
+  struct Entry {
+    std::string_view item;
+    std::string_view value;
+    double prob;
+  };
+  static constexpr Entry kProbs[] = {
+      {"AZ", "Tempe", 0.02},    {"NJ", "Atlantic", 0.01},
+      {"TX", "Houston", 0.02},  {"NY", "NewYork", 0.02},
+      {"TX", "Dallas", 0.02},   {"NY", "Buffalo", 0.04},
+      {"FL", "PalmBay", 0.05},  {"FL", "Miami", 0.03},
+      {"AZ", "Phoenix", 0.95},  {"NJ", "Trenton", 0.97},
+      {"FL", "Orlando", 0.92},  {"NY", "Albany", 0.94},
+      {"TX", "Austin", 0.96},
+  };
+  std::vector<double> probs(data.num_slots(), 0.01);
+  for (SlotId v = 0; v < data.num_slots(); ++v) {
+    ItemId d = data.slot_item(v);
+    for (const Entry& e : kProbs) {
+      if (data.item_name(d) == e.item && data.slot_value(v) == e.value) {
+        probs[v] = e.prob;
+        break;
+      }
+    }
+  }
+  return probs;
+}
+
+}  // namespace copydetect

@@ -1,0 +1,30 @@
+#ifndef COPYDETECT_DATAGEN_MOTIVATING_EXAMPLE_H_
+#define COPYDETECT_DATAGEN_MOTIVATING_EXAMPLE_H_
+
+#include <vector>
+
+#include "datagen/generator.h"
+#include "model/dataset.h"
+
+namespace copydetect {
+
+/// Builds the paper's running example (Table I): 10 sources S0..S9
+/// providing capitals for the 5 states NJ, AZ, NY, FL, TX. The world's
+/// `true_accuracy` carries the table's Accu column and `copy_pairs` the
+/// planted copying (S3,S4 copy S2; S7,S8 copy S6). The gold standard is
+/// {Trenton, Phoenix, Albany, Orlando, Austin} — the values the paper's
+/// iterations converge to (Table II).
+World MotivatingExample();
+
+/// The converged value probabilities the paper assumes when computing
+/// Table III (its "Pr" column), as a per-slot vector aligned with the
+/// example's Dataset. Slots not listed in Table III (single-provider
+/// values) get probability 0.01.
+std::vector<double> MotivatingValueProbabilities(const Dataset& data);
+
+/// The Accu column of Table I as a per-source vector.
+std::vector<double> MotivatingAccuracies();
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_DATAGEN_MOTIVATING_EXAMPLE_H_

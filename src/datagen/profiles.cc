@@ -1,0 +1,146 @@
+#include "datagen/profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace copydetect {
+
+namespace {
+size_t Scaled(size_t base, double scale, size_t min_value) {
+  double v = static_cast<double>(base) * scale;
+  return std::max(min_value, static_cast<size_t>(std::llround(v)));
+}
+
+// Providers-per-item ~ num_sources * coverage_fraction. When a profile
+// scales its *source* count, coverage fractions must scale inversely or
+// a scaled-down world loses the conflicting-value density that defines
+// the data set (and a scaled-up one becomes implausibly dense).
+void BoostCoverage(CoverageModel* m, double source_scale) {
+  double boost = 1.0 / std::max(source_scale, 1e-3);
+  m->small_lo = std::min(1.0, m->small_lo * boost);
+  m->small_hi = std::min(1.0, m->small_hi * boost);
+  m->big_lo = std::min(1.0, m->big_lo * boost);
+  m->big_hi = std::min(1.0, m->big_hi * boost);
+}
+}  // namespace
+
+WorldConfig BookCsProfile(double scale) {
+  WorldConfig cfg;
+  cfg.name = "book-cs";
+  cfg.num_sources = Scaled(894, scale, 20);
+  cfg.num_items = Scaled(2528, scale, 50);
+  cfg.false_pool = 25;
+  cfg.min_coverage_items = 2;
+  cfg.coverage = {.frac_small = 0.85,
+                  .small_lo = 0.002,
+                  .small_hi = 0.01,
+                  .big_lo = 0.01,
+                  .big_hi = 0.25};
+  // Noisier than the stock feeds: many second-hand book stores list
+  // partial or mangled titles/author lists (the paper's gold standard
+  // came from title pages), which is what keeps fusion accuracy at
+  // ~.89 there. A third of the sources are low-accuracy and errors
+  // correlate strongly (formatting variants).
+  cfg.accuracy = {.frac_low = 0.3,
+                  .low_lo = 0.15,
+                  .low_hi = 0.5,
+                  .high_lo = 0.5,
+                  .high_hi = 0.9};
+  cfg.copying = {.num_groups = Scaled(25, scale, 3),
+                 .group_min = 2,
+                 .group_max = 4,
+                 .selectivity = 0.75,
+                 .extra_coverage_frac = 0.005,
+                 .chain = false};
+  cfg.gold_size = 100;
+  cfg.correlated_error_frac = 0.2;
+  cfg.correlated_error_bias = 0.5;
+  BoostCoverage(&cfg.coverage, scale);
+  return cfg;
+}
+
+WorldConfig BookFullProfile(double scale) {
+  WorldConfig cfg;
+  cfg.name = "book-full";
+  cfg.num_sources = Scaled(3182, scale, 40);
+  cfg.num_items = Scaled(147431, scale, 200);
+  cfg.false_pool = 15;
+  cfg.min_coverage_items = 2;
+  // Tiny coverage: ~1.3 providers per item on average.
+  cfg.coverage = {.frac_small = 0.9,
+                  .small_lo = 0.0002,
+                  .small_hi = 0.001,
+                  .big_lo = 0.001,
+                  .big_hi = 0.006};
+  cfg.accuracy = {.frac_low = 0.3,
+                  .low_lo = 0.15,
+                  .low_hi = 0.5,
+                  .high_lo = 0.5,
+                  .high_hi = 0.9};
+  cfg.copying = {.num_groups = Scaled(60, scale, 4),
+                 .group_min = 2,
+                 .group_max = 4,
+                 .selectivity = 0.75,
+                 .extra_coverage_frac = 0.0005,
+                 .chain = false};
+  cfg.gold_size = 100;
+  cfg.correlated_error_frac = 0.2;
+  cfg.correlated_error_bias = 0.5;
+  BoostCoverage(&cfg.coverage, scale);
+  return cfg;
+}
+
+WorldConfig Stock1DayProfile(double scale) {
+  WorldConfig cfg;
+  cfg.name = "stock-1day";
+  cfg.num_sources = 55;
+  cfg.num_items = Scaled(16000, scale, 200);
+  cfg.false_pool = 12;
+  cfg.min_coverage_items = 8;
+  // 80% of sources cover more than half of the items.
+  cfg.coverage = {.frac_small = 0.2,
+                  .small_lo = 0.1,
+                  .small_hi = 0.5,
+                  .big_lo = 0.55,
+                  .big_hi = 1.0};
+  cfg.accuracy = {.frac_low = 0.15,
+                  .low_lo = 0.15,
+                  .low_hi = 0.5,
+                  .high_lo = 0.6,
+                  .high_hi = 0.95};
+  cfg.copying = {.num_groups = 6,
+                 .group_min = 2,
+                 .group_max = 3,
+                 .selectivity = 0.8,
+                 .extra_coverage_frac = 0.1,
+                 .chain = false};
+  cfg.gold_size = 200;
+  cfg.correlated_error_frac = 0.15;
+  cfg.correlated_error_bias = 0.4;
+  return cfg;
+}
+
+WorldConfig Stock2WkProfile(double scale) {
+  WorldConfig cfg = Stock1DayProfile(scale * 10.0);
+  cfg.name = "stock-2wk";
+  cfg.gold_size = 200;
+  return cfg;
+}
+
+bool LookupProfile(const std::string& name, double scale,
+                   WorldConfig* out) {
+  if (name == "book-cs") {
+    *out = BookCsProfile(scale);
+  } else if (name == "book-full") {
+    *out = BookFullProfile(scale);
+  } else if (name == "stock-1day") {
+    *out = Stock1DayProfile(scale);
+  } else if (name == "stock-2wk") {
+    *out = Stock2WkProfile(scale);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace copydetect

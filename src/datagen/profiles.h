@@ -1,0 +1,100 @@
+#ifndef COPYDETECT_DATAGEN_PROFILES_H_
+#define COPYDETECT_DATAGEN_PROFILES_H_
+
+#include <cstddef>
+#include <string>
+
+namespace copydetect {
+
+/// How many items a source covers: a two-component mixture of coverage
+/// fractions, matching the paper's description of its data sets ("85% of
+/// Book-CS sources each cover at most 1% of books"; "80% of Stock
+/// sources each cover over half of the data items").
+struct CoverageModel {
+  double frac_small = 0.5;  ///< probability a source is low-coverage
+  double small_lo = 0.001;  ///< low-coverage fraction range
+  double small_hi = 0.01;
+  double big_lo = 0.01;  ///< high-coverage fraction range
+  double big_hi = 0.3;
+};
+
+/// Source accuracy mixture: a minority of low-accuracy sources plus a
+/// majority of decent ones (uniform within each range).
+struct AccuracyModel {
+  double frac_low = 0.15;
+  double low_lo = 0.05;
+  double low_hi = 0.4;
+  double high_lo = 0.55;
+  double high_hi = 0.95;
+};
+
+/// Planted copying: `num_groups` star-shaped groups, each with one
+/// original and (group size - 1) copiers that copy each of the
+/// original's items independently with probability `selectivity` and
+/// additionally provide their own values on `extra_coverage_frac` of
+/// the items.
+struct CopyingModel {
+  size_t num_groups = 10;
+  size_t group_min = 2;  ///< group size range (original + copiers)
+  size_t group_max = 4;
+  double selectivity = 0.8;
+  double extra_coverage_frac = 0.01;
+  /// When true, copier k copies from copier k-1 (transitive chain)
+  /// instead of everyone copying the original (star).
+  bool chain = false;
+};
+
+/// Full synthetic-world specification.
+struct WorldConfig {
+  std::string name = "world";
+  size_t num_sources = 100;
+  size_t num_items = 1000;
+  /// Number of distinct false values available per item; the paper's
+  /// model parameter `n` used at detection time is configured
+  /// separately (DetectionParams) — this controls how diverse the
+  /// *generated* errors are.
+  size_t false_pool = 20;
+  /// Sources must cover at least this many items (keeps degenerate
+  /// empty sources out of tiny scaled-down worlds).
+  size_t min_coverage_items = 2;
+  /// Fraction of items with a *popular* false value: independent
+  /// sources that err on such an item pick the same false value with
+  /// probability `correlated_error_bias` instead of uniformly. Real
+  /// crawls have exactly this (formatting variants, stale feeds) — it
+  /// is what keeps naive voting below 100% and makes truth finding
+  /// non-trivial (the paper's fusion accuracy is ~.89).
+  double correlated_error_frac = 0.0;
+  double correlated_error_bias = 0.6;
+  CoverageModel coverage;
+  AccuracyModel accuracy;
+  CopyingModel copying;
+  /// Size of the (sub-sampled) gold standard; 0 = keep the full truth.
+  size_t gold_size = 0;
+};
+
+/// Profile mirroring Book-CS: 894 sources, 2,528 items, ~5.9
+/// conflicting values per item, 85% of sources covering <= 1% of items,
+/// at scale = 1. `scale` shrinks/expands both sources and items.
+WorldConfig BookCsProfile(double scale = 1.0);
+
+/// Profile mirroring Book-full: 3,182 sources, 147,431 items, ~1.1
+/// conflicting values per item (mostly single-provider slots).
+WorldConfig BookFullProfile(double scale = 1.0);
+
+/// Profile mirroring Stock-1day: 55 sources, 16,000 items, ~6.5
+/// conflicting values per item, 80% of sources covering > 50% of items.
+/// `scale` changes only the item count (source count is the data set's
+/// defining feature).
+WorldConfig Stock1DayProfile(double scale = 1.0);
+
+/// Profile mirroring Stock-2wk: Stock-1day x 10 trading days.
+WorldConfig Stock2WkProfile(double scale = 1.0);
+
+/// Looks a profile up by name ("book-cs", "book-full", "stock-1day",
+/// "stock-2wk"); nullptr-like empty name in the result means not found.
+bool LookupProfile(const std::string& name, double scale,
+                   WorldConfig* out);
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_DATAGEN_PROFILES_H_

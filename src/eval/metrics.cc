@@ -1,0 +1,122 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <unordered_map>
+
+#include "common/flat_hash.h"
+
+namespace copydetect {
+
+namespace {
+
+PrfScores FromSets(const std::vector<uint64_t>& output,
+                   const FlatHashSet& reference, size_t reference_size) {
+  size_t hits = 0;
+  for (uint64_t key : output) {
+    if (reference.Contains(key)) ++hits;
+  }
+  PrfScores scores;
+  scores.output_pairs = output.size();
+  scores.reference_pairs = reference_size;
+  scores.precision = output.empty()
+                         ? 1.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(output.size());
+  scores.recall = reference_size == 0
+                      ? 1.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(reference_size);
+  double denom = scores.precision + scores.recall;
+  scores.f1 = denom == 0.0
+                  ? 0.0
+                  : 2.0 * scores.precision * scores.recall / denom;
+  return scores;
+}
+
+}  // namespace
+
+PrfScores ComparePairs(const CopyResult& result,
+                       const CopyResult& reference) {
+  std::vector<uint64_t> ref_pairs = reference.CopyingPairs();
+  FlatHashSet ref_set;
+  ref_set.Reserve(ref_pairs.size() * 2 + 8);
+  for (uint64_t key : ref_pairs) ref_set.Insert(key);
+  return FromSets(result.CopyingPairs(), ref_set, ref_pairs.size());
+}
+
+PrfScores ComparePairsToTruth(
+    const CopyResult& result,
+    const std::vector<std::pair<SourceId, SourceId>>& true_pairs) {
+  FlatHashSet ref_set;
+  ref_set.Reserve(true_pairs.size() * 2 + 8);
+  for (const auto& [a, b] : true_pairs) ref_set.Insert(PairKey(a, b));
+  return FromSets(result.CopyingPairs(), ref_set, ref_set.size());
+}
+
+std::vector<std::pair<SourceId, SourceId>> CopyClosure(
+    const std::vector<std::pair<SourceId, SourceId>>& pairs) {
+  // Union-find over the touched sources.
+  std::unordered_map<SourceId, SourceId> parent;
+  std::function<SourceId(SourceId)> find = [&](SourceId x) {
+    auto it = parent.find(x);
+    if (it == parent.end()) {
+      parent[x] = x;
+      return x;
+    }
+    if (it->second == x) return x;
+    SourceId root = find(it->second);
+    parent[x] = root;
+    return root;
+  };
+  for (const auto& [a, b] : pairs) parent[find(a)] = find(b);
+
+  std::unordered_map<SourceId, std::vector<SourceId>> components;
+  for (const auto& [node, p] : parent) {
+    (void)p;
+    components[find(node)].push_back(node);
+  }
+  std::vector<std::pair<SourceId, SourceId>> closure;
+  for (auto& [root, members] : components) {
+    (void)root;
+    std::sort(members.begin(), members.end());
+    for (size_t i = 0; i + 1 < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        closure.emplace_back(members[i], members[j]);
+      }
+    }
+  }
+  std::sort(closure.begin(), closure.end());
+  return closure;
+}
+
+double FusionDifference(const Dataset& data,
+                        const std::vector<SlotId>& a,
+                        const std::vector<SlotId>& b) {
+  assert(a.size() == data.num_items());
+  assert(b.size() == data.num_items());
+  size_t considered = 0;
+  size_t different = 0;
+  for (ItemId d = 0; d < data.num_items(); ++d) {
+    if (data.num_values(d) == 0) continue;
+    ++considered;
+    if (a[d] != b[d]) ++different;
+  }
+  return considered == 0 ? 0.0
+                         : static_cast<double>(different) /
+                               static_cast<double>(considered);
+}
+
+double AccuracyVariance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::abs(a[i] - b[i]);
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+}  // namespace copydetect

@@ -1,0 +1,55 @@
+#ifndef COPYDETECT_EVAL_METRICS_H_
+#define COPYDETECT_EVAL_METRICS_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/copy_result.h"
+#include "model/dataset.h"
+#include "model/gold_standard.h"
+
+namespace copydetect {
+
+/// Precision/recall/F1 of a set of detected copying pairs against a
+/// reference set (the paper compares every method against PAIRWISE).
+struct PrfScores {
+  double precision = 1.0;
+  double recall = 1.0;
+  double f1 = 1.0;
+  size_t output_pairs = 0;
+  size_t reference_pairs = 0;
+};
+
+/// Compares copying conclusions: precision = fraction of `result`'s
+/// copying pairs also concluded by `reference`; recall the converse.
+PrfScores ComparePairs(const CopyResult& result,
+                       const CopyResult& reference);
+
+/// Same, against a planted (unordered) copy-pair list.
+PrfScores ComparePairsToTruth(
+    const CopyResult& result,
+    const std::vector<std::pair<SourceId, SourceId>>& true_pairs);
+
+/// Expands a copy graph to its clique closure: all unordered pairs of
+/// sources in the same connected component. Detection cannot separate
+/// direct copying from co-copying (two copiers of the same original
+/// share the same values — §II's footnote defers that distinction to
+/// Dong et al. 2010), so precision is best measured against the
+/// closure while recall is measured against the direct edges.
+std::vector<std::pair<SourceId, SourceId>> CopyClosure(
+    const std::vector<std::pair<SourceId, SourceId>>& pairs);
+
+/// Fraction of items (with at least one value) on which two truth
+/// assignments disagree — the paper's "fusion difference".
+double FusionDifference(const Dataset& data,
+                        const std::vector<SlotId>& a,
+                        const std::vector<SlotId>& b);
+
+/// Mean absolute difference of two per-source accuracy vectors — the
+/// paper's "accuracy variance".
+double AccuracyVariance(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_EVAL_METRICS_H_

@@ -1,0 +1,55 @@
+#include "eval/table.h"
+
+#include <algorithm>
+
+namespace copydetect {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render(const std::string& title) const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> width(cols, 0);
+  auto measure = [&width](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line += cell;
+      line.append(width[i] - cell.size(), ' ');
+      if (i + 1 < cols) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  if (!header_.empty()) {
+    out += render_row(header_);
+    size_t total = 0;
+    for (size_t i = 0; i < cols; ++i) {
+      total += width[i] + (i + 1 < cols ? 2 : 0);
+    }
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace copydetect

@@ -1,0 +1,32 @@
+#ifndef COPYDETECT_EVAL_TABLE_H_
+#define COPYDETECT_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace copydetect {
+
+/// Minimal column-aligned text table used by the benchmark harnesses
+/// to print the paper's tables.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column alignment, a separator under the header and
+  /// an optional title line.
+  std::string Render(const std::string& title = "") const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_EVAL_TABLE_H_

@@ -1,0 +1,98 @@
+#include "fusion/truth_finder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+
+namespace copydetect {
+
+std::vector<SlotId> VoteFusion(const Dataset& data) {
+  std::vector<SlotId> truth(data.num_items(), kInvalidSlot);
+  for (ItemId d = 0; d < data.num_items(); ++d) {
+    size_t best = 0;
+    for (SlotId v = data.slot_begin(d); v < data.slot_end(d); ++v) {
+      size_t n = data.providers(v).size();
+      if (n > best) {
+        best = n;
+        truth[d] = v;
+      }
+    }
+  }
+  return truth;
+}
+
+StatusOr<FusionResult> IterativeFusion::Run(const Dataset& data,
+                                            CopyDetector* detector) const {
+  CD_RETURN_IF_ERROR(options_.params.Validate());
+  if (options_.use_copy_detection && detector == nullptr) {
+    return Status::InvalidArgument(
+        "use_copy_detection requires a detector");
+  }
+
+  Stopwatch total;
+  total.Start();
+
+  FusionResult result;
+  result.value_probs = InitialValueProbs(data);
+  result.accuracies =
+      InitialAccuracies(data.num_sources(), options_.initial_accuracy);
+
+  for (int round = 1; round <= options_.max_rounds; ++round) {
+    RoundTrace trace;
+    trace.round = round;
+
+    if (options_.use_copy_detection) {
+      DetectionInput in;
+      in.data = &data;
+      in.value_probs = &result.value_probs;
+      in.accuracies = &result.accuracies;
+      Stopwatch detect;
+      detect.Start();
+      CD_RETURN_IF_ERROR(detector->DetectRound(in, round, &result.copies));
+      detect.Stop();
+      trace.detect_seconds = detect.Seconds();
+      trace.computations = detector->counters().Total();
+      trace.copying_pairs = result.copies.CopyingPairs().size();
+      result.detect_seconds += trace.detect_seconds;
+    }
+
+    Stopwatch fuse;
+    fuse.Start();
+    std::vector<double> old_probs;
+    if (options_.damping > 0.0) old_probs = result.value_probs;
+    ComputeValueProbs(data, result.accuracies, result.copies,
+                      options_.params, &result.value_probs);
+    if (options_.damping > 0.0) {
+      for (size_t v = 0; v < result.value_probs.size(); ++v) {
+        result.value_probs[v] =
+            (1.0 - options_.damping) * result.value_probs[v] +
+            options_.damping * old_probs[v];
+      }
+    }
+    std::vector<double> old_accs = result.accuracies;
+    ComputeAccuracies(data, result.value_probs, &result.accuracies);
+    fuse.Stop();
+    trace.fusion_seconds = fuse.Seconds();
+
+    double delta = 0.0;
+    for (size_t s = 0; s < old_accs.size(); ++s) {
+      delta = std::max(delta,
+                       std::abs(old_accs[s] - result.accuracies[s]));
+    }
+    trace.max_accuracy_change = delta;
+    result.trace.push_back(trace);
+    result.rounds = round;
+    if (round > 1 && delta < options_.epsilon) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.truth = ChooseTruth(data, result.value_probs);
+  total.Stop();
+  result.total_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace copydetect

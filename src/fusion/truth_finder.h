@@ -1,0 +1,80 @@
+#ifndef COPYDETECT_FUSION_TRUTH_FINDER_H_
+#define COPYDETECT_FUSION_TRUTH_FINDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/detector.h"
+#include "fusion/value_probs.h"
+#include "model/dataset.h"
+
+namespace copydetect {
+
+/// Options of the iterative truth-finding loop (§II's "iterative
+/// computation": copy detection → value truthfulness → source
+/// accuracy, until convergence).
+struct FusionOptions {
+  DetectionParams params;
+  int max_rounds = 12;
+  /// Converged when the largest per-source accuracy change in a round
+  /// falls below this.
+  double epsilon = 1e-3;
+  double initial_accuracy = 0.8;
+  /// When false, the loop never calls the detector (the
+  /// accuracy-only baseline the paper contrasts against).
+  bool use_copy_detection = true;
+  /// Exponential smoothing of the value-probability update:
+  /// p = (1-damping)·p_new + damping·p_previous. Without it the
+  /// softmax saturates to {0,1} after one or two rounds on clean data;
+  /// the damped dynamics match the paper's observed gradual
+  /// convergence (Table II: accuracies move .75→.94→.96→.98→.99) and
+  /// give the incremental detector its small-changes regime.
+  double damping = 0.25;
+};
+
+/// Per-round measurements for the time/computation tables.
+struct RoundTrace {
+  int round = 0;
+  double detect_seconds = 0.0;
+  double fusion_seconds = 0.0;
+  uint64_t computations = 0;  ///< detector counter total after round
+  size_t copying_pairs = 0;
+  double max_accuracy_change = 0.0;
+};
+
+/// Everything the loop produces.
+struct FusionResult {
+  std::vector<double> value_probs;  ///< per slot
+  std::vector<double> accuracies;   ///< per source
+  std::vector<SlotId> truth;        ///< per item argmax slot
+  CopyResult copies;                ///< last round's detection
+  int rounds = 0;
+  bool converged = false;
+  std::vector<RoundTrace> trace;
+  double total_seconds = 0.0;
+  double detect_seconds = 0.0;
+};
+
+/// Majority vote per item (ties broken to the first slot) — the naive
+/// baseline.
+std::vector<SlotId> VoteFusion(const Dataset& data);
+
+/// The iterative fusion loop. `detector` may be null when
+/// options.use_copy_detection is false; otherwise it is invoked once
+/// per round with the current estimates (stateful detectors like
+/// INCREMENTAL rely on the monotonically increasing round number).
+class IterativeFusion {
+ public:
+  explicit IterativeFusion(const FusionOptions& options)
+      : options_(options) {}
+
+  StatusOr<FusionResult> Run(const Dataset& data,
+                             CopyDetector* detector) const;
+
+ private:
+  FusionOptions options_;
+};
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_FUSION_TRUTH_FINDER_H_

@@ -1,0 +1,123 @@
+#include "fusion/value_probs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace copydetect {
+
+std::vector<double> InitialValueProbs(const Dataset& data) {
+  std::vector<double> probs(data.num_slots(), 0.0);
+  for (ItemId d = 0; d < data.num_items(); ++d) {
+    double total = static_cast<double>(data.item_providers(d).size());
+    if (total == 0.0) continue;
+    for (SlotId v = data.slot_begin(d); v < data.slot_end(d); ++v) {
+      probs[v] =
+          static_cast<double>(data.providers(v).size()) / total;
+    }
+  }
+  return probs;
+}
+
+std::vector<double> InitialAccuracies(size_t num_sources, double a0) {
+  return std::vector<double>(num_sources, a0);
+}
+
+void ComputeValueProbs(const Dataset& data,
+                       const std::vector<double>& accuracies,
+                       const CopyResult& copies,
+                       const DetectionParams& params,
+                       std::vector<double>* probs) {
+  probs->assign(data.num_slots(), 0.0);
+  std::vector<double> votes;
+  std::vector<SourceId> order;
+
+  // Pair lookups in the discount loop are O(#providers^2) per value;
+  // skip them entirely for sources with no copying relation at all
+  // (the overwhelming majority).
+  std::vector<uint8_t> in_copying(data.num_sources(), 0);
+  for (uint64_t key : copies.CopyingPairs()) {
+    in_copying[PairFirst(key)] = 1;
+    in_copying[PairSecond(key)] = 1;
+  }
+  for (ItemId d = 0; d < data.num_items(); ++d) {
+    const SlotId begin = data.slot_begin(d);
+    const SlotId end = data.slot_end(d);
+    if (begin == end) continue;
+    votes.assign(end - begin, 0.0);
+    size_t provided = end - begin;
+
+    for (SlotId v = begin; v < end; ++v) {
+      std::span<const SourceId> providers = data.providers(v);
+      order.assign(providers.begin(), providers.end());
+      std::sort(order.begin(), order.end(),
+                [&accuracies](SourceId a, SourceId b) {
+                  if (accuracies[a] != accuracies[b]) {
+                    return accuracies[a] > accuracies[b];
+                  }
+                  return a < b;
+                });
+      double vote = 0.0;
+      for (size_t i = 0; i < order.size(); ++i) {
+        SourceId s = order[i];
+        double a = ClampAccuracy(accuracies[s]);
+        double weight = std::log(params.n * a / (1.0 - a));
+        // Copy discount against earlier (higher-accuracy) providers.
+        double independence = 1.0;
+        if (in_copying[s]) {
+          for (size_t j = 0; j < i; ++j) {
+            if (!in_copying[order[j]]) continue;
+            const PairPosterior post = copies.Get(s, order[j]);
+            if (!post.IsCopying()) continue;
+            independence *=
+                1.0 - params.s * copies.PrCopies(s, order[j]);
+          }
+        }
+        vote += weight * independence;
+      }
+      votes[v - begin] = vote;
+    }
+
+    // Softmax over provided values + unprovided false candidates.
+    double mx = 0.0;  // vote of an unprovided value is 0
+    for (double v : votes) mx = std::max(mx, v);
+    double z = 0.0;
+    for (double v : votes) z += std::exp(v - mx);
+    double unprovided =
+        std::max(0.0, params.n + 1.0 - static_cast<double>(provided));
+    z += unprovided * std::exp(0.0 - mx);
+    for (SlotId v = begin; v < end; ++v) {
+      (*probs)[v] = std::exp(votes[v - begin] - mx) / z;
+    }
+  }
+}
+
+void ComputeAccuracies(const Dataset& data,
+                       const std::vector<double>& probs,
+                       std::vector<double>* accuracies) {
+  accuracies->assign(data.num_sources(), 0.5);
+  for (SourceId s = 0; s < data.num_sources(); ++s) {
+    std::span<const SlotId> slots = data.slots_of(s);
+    if (slots.empty()) continue;
+    double sum = 0.0;
+    for (SlotId v : slots) sum += probs[v];
+    (*accuracies)[s] =
+        ClampAccuracy(sum / static_cast<double>(slots.size()));
+  }
+}
+
+std::vector<SlotId> ChooseTruth(const Dataset& data,
+                                const std::vector<double>& probs) {
+  std::vector<SlotId> truth(data.num_items(), kInvalidSlot);
+  for (ItemId d = 0; d < data.num_items(); ++d) {
+    double best = -1.0;
+    for (SlotId v = data.slot_begin(d); v < data.slot_end(d); ++v) {
+      if (probs[v] > best) {
+        best = probs[v];
+        truth[d] = v;
+      }
+    }
+  }
+  return truth;
+}
+
+}  // namespace copydetect

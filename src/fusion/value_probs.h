@@ -1,0 +1,51 @@
+#ifndef COPYDETECT_FUSION_VALUE_PROBS_H_
+#define COPYDETECT_FUSION_VALUE_PROBS_H_
+
+#include <vector>
+
+#include "core/copy_result.h"
+#include "core/params.h"
+#include "model/dataset.h"
+
+namespace copydetect {
+
+/// Initial per-slot value probabilities: the vote share of each value
+/// among its item's providers (the natural prior before any accuracy
+/// estimates exist).
+std::vector<double> InitialValueProbs(const Dataset& data);
+
+/// Uniform initial accuracies (the iterative loop's round-1 state).
+std::vector<double> InitialAccuracies(size_t num_sources,
+                                      double a0 = 0.8);
+
+/// One round of value-probability computation in the style of Dong,
+/// Berti-Equille, Srivastava (VLDB 2009), the loop the paper plugs its
+/// detectors into:
+///  * each source votes with weight A'(S) = ln(n·A(S) / (1 - A(S)));
+///  * a source's vote for a value is discounted by its probability of
+///    having copied it: providers of the same value are visited in
+///    decreasing accuracy order and each later provider S is scaled by
+///    Π (1 - s·Pr(S copies S')) over earlier same-value providers S'
+///    (only pairs concluded as copying contribute, so detectors that
+///    skip hopeless pairs yield identical fusion results);
+///  * P(v) = softmax over the item's provided values plus
+///    (n + 1 - #provided) unprovided candidates with vote 0.
+void ComputeValueProbs(const Dataset& data,
+                       const std::vector<double>& accuracies,
+                       const CopyResult& copies,
+                       const DetectionParams& params,
+                       std::vector<double>* probs);
+
+/// Accuracy update: A(S) = mean probability of S's provided values,
+/// clamped away from {0, 1}. Sources with no observations keep 0.5.
+void ComputeAccuracies(const Dataset& data,
+                       const std::vector<double>& probs,
+                       std::vector<double>* accuracies);
+
+/// Per-item argmax slot ("the truth"); kInvalidSlot for empty items.
+std::vector<SlotId> ChooseTruth(const Dataset& data,
+                                const std::vector<double>& probs);
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_FUSION_VALUE_PROBS_H_

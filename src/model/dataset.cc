@@ -1,0 +1,193 @@
+#include "model/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/csv.h"
+#include "common/stringutil.h"
+
+namespace copydetect {
+
+SlotId Dataset::slot_of(SourceId s, ItemId item) const {
+  std::span<const ItemId> items = items_of(s);
+  auto it = std::lower_bound(items.begin(), items.end(), item);
+  if (it == items.end() || *it != item) return kInvalidSlot;
+  size_t offset = static_cast<size_t>(it - items.begin());
+  return obs_slot_[src_begin_[s] + offset];
+}
+
+Status Dataset::SaveCsv(const std::string& path) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(num_observations() + 1);
+  rows.push_back({"source", "item", "value"});
+  for (SourceId s = 0; s < num_sources(); ++s) {
+    std::span<const ItemId> items = items_of(s);
+    std::span<const SlotId> slots = slots_of(s);
+    for (size_t i = 0; i < items.size(); ++i) {
+      rows.push_back({std::string(source_name(s)),
+                      std::string(item_name(items[i])),
+                      std::string(slot_value(slots[i]))});
+    }
+  }
+  return WriteCsvFile(path, rows);
+}
+
+StatusOr<Dataset> Dataset::LoadCsv(const std::string& path) {
+  auto rows = ReadCsvFile(path);
+  if (!rows.ok()) return rows.status();
+  DatasetBuilder builder;
+  bool first = true;
+  for (const auto& row : *rows) {
+    if (first) {
+      first = false;
+      // Tolerate an optional header row.
+      if (row.size() == 3 && row[0] == "source" && row[1] == "item") {
+        continue;
+      }
+    }
+    if (row.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("%s: expected 3 fields per row, got %zu", path.c_str(),
+                    row.size()));
+    }
+    builder.Add(row[0], row[1], row[2]);
+  }
+  return builder.Build();
+}
+
+SourceId DatasetBuilder::AddSource(std::string_view name) {
+  auto it = source_lookup_.find(std::string(name));
+  if (it != source_lookup_.end()) return it->second;
+  SourceId id = static_cast<SourceId>(source_names_.size());
+  source_names_.emplace_back(name);
+  source_lookup_.emplace(std::string(name), id);
+  return id;
+}
+
+ItemId DatasetBuilder::AddItem(std::string_view name) {
+  auto it = item_lookup_.find(std::string(name));
+  if (it != item_lookup_.end()) return it->second;
+  ItemId id = static_cast<ItemId>(item_names_.size());
+  item_names_.emplace_back(name);
+  item_lookup_.emplace(std::string(name), id);
+  return id;
+}
+
+uint32_t DatasetBuilder::InternValue(std::string_view v) {
+  auto it = value_lookup_.find(std::string(v));
+  if (it != value_lookup_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(value_strings_.size());
+  value_strings_.emplace_back(v);
+  value_lookup_.emplace(std::string(v), id);
+  return id;
+}
+
+void DatasetBuilder::Add(SourceId source, ItemId item,
+                         std::string_view value) {
+  assert(source < source_names_.size());
+  assert(item < item_names_.size());
+  obs_.push_back(Obs{source, item, InternValue(value)});
+}
+
+void DatasetBuilder::Add(std::string_view source, std::string_view item,
+                         std::string_view value) {
+  Add(AddSource(source), AddItem(item), value);
+}
+
+StatusOr<Dataset> DatasetBuilder::Build() {
+  // Sort observations by (item, value, source) to lay out slots.
+  std::sort(obs_.begin(), obs_.end(), [](const Obs& a, const Obs& b) {
+    if (a.item != b.item) return a.item < b.item;
+    if (a.value_idx != b.value_idx) return a.value_idx < b.value_idx;
+    return a.source < b.source;
+  });
+  // Detect a source providing two different values for one item.
+  for (size_t i = 1; i < obs_.size(); ++i) {
+    const Obs& a = obs_[i - 1];
+    const Obs& b = obs_[i];
+    if (a.item == b.item && a.source == b.source) {
+      if (a.value_idx == b.value_idx) continue;  // harmless duplicate
+      return Status::InvalidArgument(StrFormat(
+          "source '%s' provides two values for item '%s'",
+          source_names_[a.source].c_str(), item_names_[a.item].c_str()));
+    }
+  }
+  // Drop exact duplicates.
+  obs_.erase(std::unique(obs_.begin(), obs_.end(),
+                         [](const Obs& a, const Obs& b) {
+                           return a.item == b.item &&
+                                  a.source == b.source &&
+                                  a.value_idx == b.value_idx;
+                         }),
+             obs_.end());
+
+  Dataset d;
+  d.source_names_ = std::move(source_names_);
+  d.item_names_ = std::move(item_names_);
+
+  const size_t num_items = d.item_names_.size();
+  const size_t num_sources = d.source_names_.size();
+
+  d.item_slot_begin_.assign(num_items + 1, 0);
+  // First pass: create slots (contiguous per item, in (item, value) order)
+  // and the provider CSR.
+  std::vector<SlotId> obs_to_slot(obs_.size());
+  for (size_t i = 0; i < obs_.size();) {
+    size_t j = i;
+    while (j < obs_.size() && obs_[j].item == obs_[i].item &&
+           obs_[j].value_idx == obs_[i].value_idx) {
+      ++j;
+    }
+    SlotId slot = static_cast<SlotId>(d.slot_value_.size());
+    d.slot_value_.push_back(value_strings_[obs_[i].value_idx]);
+    d.slot_item_.push_back(obs_[i].item);
+    d.provider_begin_.push_back(static_cast<uint32_t>(d.providers_.size()));
+    for (size_t k = i; k < j; ++k) {
+      d.providers_.push_back(obs_[k].source);
+      obs_to_slot[k] = slot;
+    }
+    i = j;
+  }
+  d.provider_begin_.push_back(static_cast<uint32_t>(d.providers_.size()));
+
+  // item -> slot range (slots already grouped by item in order).
+  for (SlotId v = 0; v < d.slot_value_.size(); ++v) {
+    d.item_slot_begin_[d.slot_item_[v] + 1] = v + 1;
+  }
+  // Items with no slots inherit the previous boundary.
+  for (size_t i = 1; i <= num_items; ++i) {
+    if (d.item_slot_begin_[i] < d.item_slot_begin_[i - 1]) {
+      d.item_slot_begin_[i] = d.item_slot_begin_[i - 1];
+    }
+  }
+
+  // Second pass: per-source CSR sorted by item.
+  d.src_begin_.assign(num_sources + 1, 0);
+  for (const Obs& o : obs_) d.src_begin_[o.source + 1]++;
+  for (size_t s = 0; s < num_sources; ++s) {
+    d.src_begin_[s + 1] += d.src_begin_[s];
+  }
+  d.obs_item_.resize(obs_.size());
+  d.obs_slot_.resize(obs_.size());
+  std::vector<uint32_t> cursor(d.src_begin_.begin(),
+                               d.src_begin_.end() - 1);
+  // obs_ is sorted by (item, value, source); emitting in this order per
+  // source yields per-source arrays sorted by item (values within an
+  // item are unique per source).
+  for (size_t i = 0; i < obs_.size(); ++i) {
+    uint32_t pos = cursor[obs_[i].source]++;
+    d.obs_item_[pos] = obs_[i].item;
+    d.obs_slot_[pos] = obs_to_slot[i];
+  }
+
+  // Reset the builder.
+  value_strings_.clear();
+  source_lookup_.clear();
+  item_lookup_.clear();
+  value_lookup_.clear();
+  obs_.clear();
+
+  return d;
+}
+
+}  // namespace copydetect

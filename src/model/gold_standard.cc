@@ -1,0 +1,73 @@
+#include "model/gold_standard.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/random.h"
+#include "model/dataset.h"
+
+namespace copydetect {
+
+void GoldStandard::Set(ItemId item, std::string_view true_value) {
+  truth_[item] = std::string(true_value);
+}
+
+std::string_view GoldStandard::Lookup(ItemId item) const {
+  auto it = truth_.find(item);
+  if (it == truth_.end()) return {};
+  return it->second;
+}
+
+bool GoldStandard::Contains(ItemId item) const {
+  return truth_.count(item) > 0;
+}
+
+std::vector<ItemId> GoldStandard::Items() const {
+  std::vector<ItemId> items;
+  items.reserve(truth_.size());
+  for (const auto& [item, value] : truth_) items.push_back(item);
+  return items;
+}
+
+double GoldStandard::Accuracy(const Dataset& data,
+                              const std::vector<SlotId>& chosen) const {
+  if (truth_.empty()) return 0.0;
+  size_t correct = 0;
+  for (const auto& [item, value] : truth_) {
+    if (item >= chosen.size()) continue;
+    SlotId slot = chosen[item];
+    if (slot != kInvalidSlot && data.slot_value(slot) == value) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth_.size());
+}
+
+GoldStandard GoldStandard::Sample(size_t k, uint64_t seed) const {
+  if (k >= truth_.size()) return *this;
+  std::vector<ItemId> items = Items();
+  std::sort(items.begin(), items.end());
+  Rng rng(seed);
+  std::vector<uint64_t> picks =
+      rng.SampleWithoutReplacement(items.size(), k);
+  GoldStandard out;
+  for (uint64_t i : picks) {
+    ItemId item = items[static_cast<size_t>(i)];
+    out.Set(item, truth_.at(item));
+  }
+  return out;
+}
+
+Status GoldStandard::SaveCsv(const Dataset& data,
+                             const std::string& path) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(truth_.size() + 1);
+  rows.push_back({"item", "true_value"});
+  std::vector<ItemId> items = Items();
+  std::sort(items.begin(), items.end());
+  for (ItemId item : items) {
+    rows.push_back(
+        {std::string(data.item_name(item)), truth_.at(item)});
+  }
+  return WriteCsvFile(path, rows);
+}
+
+}  // namespace copydetect

@@ -1,0 +1,51 @@
+#ifndef COPYDETECT_MODEL_GOLD_STANDARD_H_
+#define COPYDETECT_MODEL_GOLD_STANDARD_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "model/types.h"
+
+namespace copydetect {
+
+class Dataset;
+
+/// True values for a subset of items — the evaluation gold standard.
+/// For synthetic worlds this is (a sample of) the planted truth; the
+/// paper's crawls had 100–200 manually verified items.
+class GoldStandard {
+ public:
+  /// Records the true value of `item`.
+  void Set(ItemId item, std::string_view true_value);
+
+  /// True value of `item`, or empty view when not in the gold set.
+  std::string_view Lookup(ItemId item) const;
+
+  bool Contains(ItemId item) const;
+  size_t size() const { return truth_.size(); }
+
+  /// Items present in the gold set (unsorted).
+  std::vector<ItemId> Items() const;
+
+  /// Fraction of gold items on which `chosen` (item -> chosen slot,
+  /// kInvalidSlot when undecided) matches the true value string.
+  double Accuracy(const Dataset& data,
+                  const std::vector<SlotId>& chosen) const;
+
+  /// Restricts to a random sample of `k` items (used to mimic the
+  /// paper's small manually-verified gold sets). Returns the sample.
+  GoldStandard Sample(size_t k, uint64_t seed) const;
+
+  /// Serializes as CSV rows: item,value (item by name).
+  Status SaveCsv(const Dataset& data, const std::string& path) const;
+
+ private:
+  std::unordered_map<ItemId, std::string> truth_;
+};
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_MODEL_GOLD_STANDARD_H_

@@ -1,0 +1,62 @@
+#include "model/stats.h"
+
+#include "common/stringutil.h"
+#include "model/dataset.h"
+
+namespace copydetect {
+
+DatasetStats ComputeStats(const Dataset& data) {
+  DatasetStats st;
+  st.num_sources = data.num_sources();
+  st.num_items = data.num_items();
+  st.num_observations = data.num_observations();
+  st.num_distinct_values = data.num_slots();
+
+  size_t items_with_values = 0;
+  size_t providers_total = 0;
+  for (ItemId d = 0; d < data.num_items(); ++d) {
+    size_t values = data.num_values(d);
+    if (values > 0) ++items_with_values;
+    providers_total += data.item_providers(d).size();
+  }
+  for (SlotId v = 0; v < data.num_slots(); ++v) {
+    if (data.providers(v).size() >= 2) ++st.num_index_entries;
+  }
+  if (items_with_values > 0) {
+    st.avg_values_per_item = static_cast<double>(st.num_distinct_values) /
+                             static_cast<double>(items_with_values);
+    st.avg_providers_per_item = static_cast<double>(providers_total) /
+                                static_cast<double>(items_with_values);
+  }
+
+  size_t low = 0;
+  size_t high = 0;
+  const double low_cut =
+      st.low_coverage_threshold * static_cast<double>(data.num_items());
+  for (SourceId s = 0; s < data.num_sources(); ++s) {
+    double cov = static_cast<double>(data.coverage(s));
+    if (cov <= low_cut) ++low;
+    if (cov > 0.5 * static_cast<double>(data.num_items())) ++high;
+  }
+  if (data.num_sources() > 0) {
+    st.frac_low_coverage_sources =
+        static_cast<double>(low) / static_cast<double>(data.num_sources());
+    st.frac_high_coverage_sources =
+        static_cast<double>(high) /
+        static_cast<double>(data.num_sources());
+  }
+  return st;
+}
+
+std::string DatasetStats::ToString() const {
+  return StrFormat(
+      "sources=%zu items=%zu obs=%zu dist_values=%zu index_entries=%zu "
+      "avg_values/item=%.2f avg_providers/item=%.2f low_cov=%.0f%% "
+      "high_cov=%.0f%%",
+      num_sources, num_items, num_observations, num_distinct_values,
+      num_index_entries, avg_values_per_item, avg_providers_per_item,
+      frac_low_coverage_sources * 100.0,
+      frac_high_coverage_sources * 100.0);
+}
+
+}  // namespace copydetect

@@ -1,0 +1,44 @@
+#ifndef COPYDETECT_MODEL_STATS_H_
+#define COPYDETECT_MODEL_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace copydetect {
+
+class Dataset;
+
+/// Summary statistics of a Dataset — the columns of the paper's
+/// Table V plus a few shape diagnostics used to validate the synthetic
+/// generators against the crawled data sets they stand in for.
+struct DatasetStats {
+  size_t num_sources = 0;
+  size_t num_items = 0;
+  size_t num_observations = 0;
+  /// Distinct (item, value) pairs ("#Dist-values" in Table V).
+  size_t num_distinct_values = 0;
+  /// Distinct values provided by >= 2 sources ("#Index-entries").
+  size_t num_index_entries = 0;
+  /// Average number of conflicting values per item (over items with at
+  /// least one value).
+  double avg_values_per_item = 0.0;
+  /// Average number of providers per item.
+  double avg_providers_per_item = 0.0;
+  /// Fraction of sources covering at most `low_coverage_threshold` of
+  /// the items (the paper: 85% of Book-CS sources cover <= 1%).
+  double frac_low_coverage_sources = 0.0;
+  double low_coverage_threshold = 0.01;
+  /// Fraction of sources covering more than half the items (the paper:
+  /// 80% of Stock sources cover > 50%).
+  double frac_high_coverage_sources = 0.0;
+
+  /// One-line rendering for logs and benches.
+  std::string ToString() const;
+};
+
+/// Computes statistics in one pass over the data set.
+DatasetStats ComputeStats(const Dataset& data);
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_MODEL_STATS_H_

@@ -1,0 +1,46 @@
+#ifndef COPYDETECT_MODEL_TYPES_H_
+#define COPYDETECT_MODEL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace copydetect {
+
+/// Identifies a data source (e.g. a book store or a stock web site).
+using SourceId = uint32_t;
+/// Identifies a data item: one attribute of one real-world object
+/// (e.g. "the author list of book X").
+using ItemId = uint32_t;
+/// Identifies a value slot: one distinct (item, value) pair. Slots are
+/// the unit the inverted index is built over.
+using SlotId = uint32_t;
+
+inline constexpr SourceId kInvalidSource =
+    std::numeric_limits<SourceId>::max();
+inline constexpr ItemId kInvalidItem = std::numeric_limits<ItemId>::max();
+inline constexpr SlotId kInvalidSlot = std::numeric_limits<SlotId>::max();
+
+/// Packs an unordered source pair into a 64-bit map key. Callers must
+/// pass ids < 2^32 - 1 (enforced by Dataset capacity checks).
+inline uint64_t PairKey(SourceId a, SourceId b) {
+  if (a > b) {
+    SourceId t = a;
+    a = b;
+    b = t;
+  }
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+/// First (smaller) source of a packed pair key.
+inline SourceId PairFirst(uint64_t key) {
+  return static_cast<SourceId>(key >> 32);
+}
+
+/// Second (larger) source of a packed pair key.
+inline SourceId PairSecond(uint64_t key) {
+  return static_cast<SourceId>(key & 0xffffffffULL);
+}
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_MODEL_TYPES_H_

@@ -1,0 +1,73 @@
+#include "simjoin/overlap.h"
+
+#include <algorithm>
+
+#include "model/dataset.h"
+
+namespace copydetect {
+
+uint32_t OverlapCounts::Get(SourceId a, SourceId b) const {
+  if (a == b) return 0;
+  if (a > b) std::swap(a, b);
+  if (dense_mode_) return dense_[DenseIndex(a, b)];
+  const uint32_t* c = sparse_.Find(PairKey(a, b));
+  return c ? *c : 0;
+}
+
+size_t OverlapCounts::NumPositivePairs() const {
+  if (!dense_mode_) return sparse_.size();
+  size_t n = 0;
+  for (uint32_t c : dense_) {
+    if (c > 0) ++n;
+  }
+  return n;
+}
+
+const OverlapCounts& OverlapCache::Get(const Dataset& data) {
+  if (data_ != &data) {
+    counts_ = ComputeOverlaps(data);
+    data_ = &data;
+  }
+  return counts_;
+}
+
+void OverlapCache::Clear() {
+  data_ = nullptr;
+  counts_ = OverlapCounts();
+}
+
+OverlapCounts ComputeOverlaps(const Dataset& data,
+                              size_t dense_threshold) {
+  OverlapCounts out;
+  out.num_sources_ = static_cast<SourceId>(data.num_sources());
+  out.dense_mode_ = data.num_sources() <= dense_threshold;
+  if (out.dense_mode_) {
+    size_t n = data.num_sources();
+    out.dense_.assign(n * (n - 1) / 2, 0);
+  }
+
+  // Reusable scratch for the per-item provider list (sorted).
+  std::vector<SourceId> providers;
+  for (ItemId d = 0; d < data.num_items(); ++d) {
+    std::span<const SourceId> span = data.item_providers(d);
+    if (span.size() < 2) continue;
+    providers.assign(span.begin(), span.end());
+    std::sort(providers.begin(), providers.end());
+    if (out.dense_mode_) {
+      for (size_t i = 0; i + 1 < providers.size(); ++i) {
+        for (size_t j = i + 1; j < providers.size(); ++j) {
+          ++out.dense_[out.DenseIndex(providers[i], providers[j])];
+        }
+      }
+    } else {
+      for (size_t i = 0; i + 1 < providers.size(); ++i) {
+        for (size_t j = i + 1; j < providers.size(); ++j) {
+          ++out.sparse_[PairKey(providers[i], providers[j])];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace copydetect

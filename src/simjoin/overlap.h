@@ -1,0 +1,88 @@
+#ifndef COPYDETECT_SIMJOIN_OVERLAP_H_
+#define COPYDETECT_SIMJOIN_OVERLAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "model/types.h"
+
+namespace copydetect {
+
+class Dataset;
+
+/// All-pairs shared-item counts l(S1, S2) — the quantity the INDEX
+/// family needs at index-build time (§III: "the number of shared items
+/// ... counted at index building time"). Chooses a dense triangular
+/// array when the source count is small enough, a hash map otherwise.
+class OverlapCounts {
+ public:
+  /// Number of items both sources provide (any value). 0 when a == b is
+  /// never asked for but returns 0 defensively.
+  uint32_t Get(SourceId a, SourceId b) const;
+
+  /// Number of pairs with a positive count.
+  size_t NumPositivePairs() const;
+
+  /// Visits every pair with a positive count: fn(pair_key, count).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (dense_mode_) {
+      for (SourceId a = 0; a + 1 < num_sources_; ++a) {
+        for (SourceId b = a + 1; b < num_sources_; ++b) {
+          uint32_t c = dense_[DenseIndex(a, b)];
+          if (c > 0) fn(PairKey(a, b), c);
+        }
+      }
+    } else {
+      sparse_.ForEach([&fn](uint64_t key, const uint32_t& c) {
+        if (c > 0) fn(key, c);
+      });
+    }
+  }
+
+ private:
+  friend OverlapCounts ComputeOverlaps(const Dataset& data,
+                                       size_t dense_threshold);
+
+  size_t DenseIndex(SourceId a, SourceId b) const {
+    // Upper triangle, a < b.
+    size_t n = num_sources_;
+    size_t ai = a;
+    size_t bi = b;
+    return ai * (2 * n - ai - 1) / 2 + (bi - ai - 1);
+  }
+
+  bool dense_mode_ = false;
+  SourceId num_sources_ = 0;
+  std::vector<uint32_t> dense_;
+  FlatHashMap<uint32_t> sparse_;
+};
+
+/// Counts shared items for every pair of sources in one pass over the
+/// per-item provider lists. O(sum over items of providers^2) time.
+/// `dense_threshold`: use the dense triangular array when
+/// num_sources <= threshold (default keeps memory under ~64 MB).
+OverlapCounts ComputeOverlaps(const Dataset& data,
+                              size_t dense_threshold = 5000);
+
+/// Round-to-round cache: l(S1,S2) depends only on which cells are
+/// filled, which never changes inside a fusion run, so detectors
+/// compute it once per data set and reuse it every round (§III counts
+/// it as index-build work; only the first round pays it).
+class OverlapCache {
+ public:
+  /// Returns the counts for `data`, computing them on first use or
+  /// when a different data set is passed.
+  const OverlapCounts& Get(const Dataset& data);
+
+  void Clear();
+
+ private:
+  const Dataset* data_ = nullptr;
+  OverlapCounts counts_;
+};
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_SIMJOIN_OVERLAP_H_

@@ -1,0 +1,111 @@
+#include "simjoin/prefix_join.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/flat_hash.h"
+#include "model/dataset.h"
+
+namespace copydetect {
+
+namespace {
+
+/// Sorted-merge intersection size of two ascending item spans.
+uint32_t IntersectSize(std::span<const ItemId> a,
+                       std::span<const ItemId> b) {
+  uint32_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<OverlapPair> PrefixFilterJoin(const Dataset& data,
+                                          uint32_t min_overlap) {
+  assert(min_overlap >= 1);
+  const size_t num_items = data.num_items();
+  const size_t num_sources = data.num_sources();
+
+  // Global token order: ascending document frequency (rarest first) so
+  // prefixes collide rarely.
+  std::vector<uint32_t> freq(num_items, 0);
+  for (SourceId s = 0; s < num_sources; ++s) {
+    for (ItemId d : data.items_of(s)) ++freq[d];
+  }
+  std::vector<ItemId> order(num_items);
+  for (ItemId d = 0; d < num_items; ++d) order[d] = d;
+  std::sort(order.begin(), order.end(), [&freq](ItemId x, ItemId y) {
+    if (freq[x] != freq[y]) return freq[x] < freq[y];
+    return x < y;
+  });
+  std::vector<uint32_t> rank(num_items);
+  for (size_t i = 0; i < order.size(); ++i) {
+    rank[order[i]] = static_cast<uint32_t>(i);
+  }
+
+  // Per-source item lists sorted by rank.
+  std::vector<std::vector<ItemId>> by_rank(num_sources);
+  for (SourceId s = 0; s < num_sources; ++s) {
+    std::span<const ItemId> items = data.items_of(s);
+    by_rank[s].assign(items.begin(), items.end());
+    std::sort(by_rank[s].begin(), by_rank[s].end(),
+              [&rank](ItemId x, ItemId y) { return rank[x] < rank[y]; });
+  }
+
+  // Inverted index over prefixes; emit candidate pairs on collision.
+  std::vector<std::vector<SourceId>> posting(num_items);
+  FlatHashSet candidates;
+  for (SourceId s = 0; s < num_sources; ++s) {
+    const std::vector<ItemId>& items = by_rank[s];
+    if (items.size() < min_overlap) continue;
+    size_t prefix = items.size() - min_overlap + 1;
+    for (size_t i = 0; i < prefix; ++i) {
+      for (SourceId other : posting[items[i]]) {
+        candidates.Insert(PairKey(s, other));
+      }
+      posting[items[i]].push_back(s);
+    }
+  }
+
+  // Verify candidates exactly on the item-sorted spans.
+  std::vector<OverlapPair> out;
+  candidates.ForEach([&](uint64_t key) {
+    SourceId a = PairFirst(key);
+    SourceId b = PairSecond(key);
+    uint32_t ov = IntersectSize(data.items_of(a), data.items_of(b));
+    if (ov >= min_overlap) out.push_back(OverlapPair{a, b, ov});
+  });
+  std::sort(out.begin(), out.end(),
+            [](const OverlapPair& x, const OverlapPair& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return out;
+}
+
+std::vector<OverlapPair> BruteForceJoin(const Dataset& data,
+                                        uint32_t min_overlap) {
+  std::vector<OverlapPair> out;
+  const size_t n = data.num_sources();
+  for (SourceId a = 0; a + 1 < n; ++a) {
+    for (SourceId b = static_cast<SourceId>(a + 1); b < n; ++b) {
+      uint32_t ov = IntersectSize(data.items_of(a), data.items_of(b));
+      if (ov >= min_overlap) out.push_back(OverlapPair{a, b, ov});
+    }
+  }
+  return out;
+}
+
+}  // namespace copydetect

@@ -1,0 +1,41 @@
+#ifndef COPYDETECT_SIMJOIN_PREFIX_JOIN_H_
+#define COPYDETECT_SIMJOIN_PREFIX_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/types.h"
+
+namespace copydetect {
+
+class Dataset;
+
+/// One qualifying pair of sources and their exact item overlap.
+struct OverlapPair {
+  SourceId a = kInvalidSource;
+  SourceId b = kInvalidSource;
+  uint32_t overlap = 0;
+};
+
+/// Exact set-similarity join with an absolute overlap threshold: all
+/// source pairs sharing at least `min_overlap` items, using prefix
+/// filtering (Chaudhuri/Ganti/Kaushik; cited by the paper via Arasu et
+/// al. for index-build-time counting).
+///
+/// Tokens (items) are globally ordered by ascending document frequency;
+/// a source with |D̄(S)| items need only index its first
+/// |D̄(S)| - min_overlap + 1 tokens: any pair sharing >= min_overlap
+/// items must collide inside these prefixes. Candidates are verified by
+/// a sorted-merge intersection.
+///
+/// min_overlap must be >= 1.
+std::vector<OverlapPair> PrefixFilterJoin(const Dataset& data,
+                                          uint32_t min_overlap);
+
+/// Reference O(n^2) implementation used by tests and tiny inputs.
+std::vector<OverlapPair> BruteForceJoin(const Dataset& data,
+                                        uint32_t min_overlap);
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_SIMJOIN_PREFIX_JOIN_H_

@@ -1,0 +1,173 @@
+#include "topk/nra.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/flat_hash.h"
+
+namespace copydetect {
+
+namespace {
+
+struct ObjectState {
+  double seen_sum = 0.0;
+  // Bitset of lists the object has been seen in (supports <= 64 lists;
+  // larger inputs fall back to a per-object vector — not needed here
+  // because FAGININPUT feeds two logical lists, but kept general via
+  // chunked words).
+  std::vector<uint64_t> seen_words;
+  void MarkSeen(size_t list, size_t num_words) {
+    if (seen_words.empty()) seen_words.assign(num_words, 0);
+    seen_words[list / 64] |= (1ULL << (list % 64));
+  }
+  bool Seen(size_t list) const {
+    if (seen_words.empty()) return false;
+    return (seen_words[list / 64] >> (list % 64)) & 1ULL;
+  }
+};
+
+}  // namespace
+
+NraResult NraTopK(std::span<const NraList> lists, size_t k) {
+  NraResult result;
+  if (k == 0 || lists.empty()) return result;
+  const size_t m = lists.size();
+  const size_t num_words = (m + 63) / 64;
+
+  // Per-list scan positions, thresholds and minima.
+  std::vector<size_t> pos(m, 0);
+  std::vector<double> threshold(m);  // last read score (starts at +inf)
+  std::vector<double> list_min(m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    threshold[i] = lists[i].entries.empty()
+                       ? 0.0
+                       : lists[i].entries.front().second;
+    for (const auto& [id, score] : lists[i].entries) {
+      list_min[i] = std::min(list_min[i], score);
+    }
+  }
+
+  FlatHashMap<ObjectState> objects;
+
+  auto unseen_upper = [&](const ObjectState& st) {
+    double ub = st.seen_sum;
+    for (size_t i = 0; i < m; ++i) {
+      if (!st.Seen(i) && pos[i] < lists[i].entries.size()) {
+        ub += std::max(0.0, threshold[i]);
+      }
+    }
+    return ub;
+  };
+  auto unseen_lower = [&](const ObjectState& st) {
+    double lb = st.seen_sum;
+    for (size_t i = 0; i < m; ++i) {
+      if (!st.Seen(i) && pos[i] < lists[i].entries.size()) {
+        lb += std::min(0.0, list_min[i]);
+      }
+    }
+    return lb;
+  };
+
+  bool exhausted = false;
+  size_t round = 0;
+  while (!exhausted) {
+    exhausted = true;
+    for (size_t i = 0; i < m; ++i) {
+      if (pos[i] >= lists[i].entries.size()) continue;
+      exhausted = false;
+      const auto& [id, score] = lists[i].entries[pos[i]];
+      threshold[i] = score;
+      ++pos[i];
+      ++result.entries_scanned;
+      ObjectState& st = objects[id];
+      st.seen_sum += score;
+      st.MarkSeen(i, num_words);
+    }
+    // Check the stopping condition every few rounds (it is O(objects)).
+    ++round;
+    if (exhausted || (round & 0x3f) == 0) {
+      // Gather k best lower bounds and the best upper bound among the
+      // rest; also account for wholly-unseen objects, whose upper bound
+      // is the sum of positive thresholds.
+      std::vector<std::pair<double, uint64_t>> lbs;
+      lbs.reserve(objects.size());
+      objects.ForEach([&](uint64_t id, ObjectState& st) {
+        lbs.emplace_back(unseen_lower(st), id);
+      });
+      if (lbs.size() < k) continue;
+      std::nth_element(
+          lbs.begin(), lbs.begin() + static_cast<std::ptrdiff_t>(k - 1),
+          lbs.end(), [](const auto& a, const auto& b) {
+            return a.first > b.first;
+          });
+      double kth_lb = lbs[k - 1].first;
+      // Upper bound of any object outside the current top-k.
+      double best_other_ub = 0.0;
+      bool any_input_left = false;
+      for (size_t i = 0; i < m; ++i) {
+        if (pos[i] < lists[i].entries.size()) {
+          any_input_left = true;
+          best_other_ub += std::max(0.0, threshold[i]);
+        }
+      }
+      FlatHashSet topk_ids;
+      for (size_t i = 0; i < k; ++i) topk_ids.Insert(lbs[i].second);
+      objects.ForEach([&](uint64_t id, ObjectState& st) {
+        if (!topk_ids.Contains(id)) {
+          best_other_ub = std::max(best_other_ub, unseen_upper(st));
+        }
+      });
+      if (!exhausted && (!any_input_left || kth_lb >= best_other_ub)) {
+        result.early_terminated = true;
+        exhausted = true;
+      }
+    }
+  }
+
+  // Emit the k best by lower bound (exact sums when fully scanned).
+  std::vector<std::pair<double, uint64_t>> final_scores;
+  final_scores.reserve(objects.size());
+  objects.ForEach([&](uint64_t id, ObjectState& st) {
+    final_scores.emplace_back(unseen_lower(st), id);
+  });
+  std::sort(final_scores.begin(), final_scores.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  size_t out_n = std::min(k, final_scores.size());
+  result.top.reserve(out_n);
+  for (size_t i = 0; i < out_n; ++i) {
+    result.top.emplace_back(final_scores[i].second,
+                            final_scores[i].first);
+  }
+  return result;
+}
+
+NraResult BruteForceTopK(std::span<const NraList> lists, size_t k) {
+  NraResult result;
+  FlatHashMap<double> sums;
+  for (const NraList& list : lists) {
+    for (const auto& [id, score] : list.entries) {
+      sums[id] += score;
+      ++result.entries_scanned;
+    }
+  }
+  std::vector<std::pair<double, uint64_t>> all;
+  all.reserve(sums.size());
+  sums.ForEach([&](uint64_t id, double& sum) {
+    all.emplace_back(sum, id);
+  });
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  size_t out_n = std::min(k, all.size());
+  for (size_t i = 0; i < out_n; ++i) {
+    result.top.emplace_back(all[i].second, all[i].first);
+  }
+  return result;
+}
+
+}  // namespace copydetect

@@ -1,0 +1,44 @@
+#ifndef COPYDETECT_TOPK_NRA_H_
+#define COPYDETECT_TOPK_NRA_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace copydetect {
+
+/// One sorted input list for NRA: (object id, score) entries in
+/// descending score order. An object absent from a list contributes 0
+/// to its aggregate — the convention the FAGININPUT baseline needs
+/// (a pair absent from a value's list did not share that value).
+struct NraList {
+  std::vector<std::pair<uint64_t, double>> entries;
+};
+
+/// Result of an NRA run.
+struct NraResult {
+  /// Top-k (object id, lower-bound score), best first. Exact sums when
+  /// the scan completed; certified bounds when it terminated early.
+  std::vector<std::pair<uint64_t, double>> top;
+  /// Total list entries consumed.
+  size_t entries_scanned = 0;
+  /// True when the stopping condition fired before exhausting input.
+  bool early_terminated = false;
+};
+
+/// Fagin's No-Random-Access top-k aggregation (Fagin, Lotem, Naor,
+/// PODS 2001) over sum scoring. Performs sorted (sequential) access
+/// only, maintaining lower/upper bounds per seen object; stops when the
+/// k-th best lower bound dominates every other object's upper bound.
+///
+/// Scores may be negative: per-list minima are used for sound lower
+/// bounds. k == 0 returns an empty result.
+NraResult NraTopK(std::span<const NraList> lists, size_t k);
+
+/// Reference implementation: full accumulation then sort.
+NraResult BruteForceTopK(std::span<const NraList> lists, size_t k);
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_TOPK_NRA_H_

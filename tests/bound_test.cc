@@ -1,0 +1,184 @@
+#include "core/bound.h"
+
+#include <gtest/gtest.h>
+
+#include "core/index_algo.h"
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+using testutil::CopySet;
+using testutil::ExampleFixture;
+using testutil::PaperParams;
+
+TEST(BoundDetector, MotivatingExampleVerdicts) {
+  ExampleFixture fx;
+  for (bool lazy : {false, true}) {
+    BoundDetector detector(PaperParams(), lazy);
+    CopyResult result;
+    ASSERT_TRUE(detector.DetectRound(fx.Input(), 1, &result).ok());
+    EXPECT_TRUE(result.IsCopying(2, 3)) << "lazy=" << lazy;
+    EXPECT_TRUE(result.IsCopying(2, 4));
+    EXPECT_TRUE(result.IsCopying(3, 4));
+    EXPECT_TRUE(result.IsCopying(6, 7));
+    EXPECT_TRUE(result.IsCopying(6, 8));
+    EXPECT_TRUE(result.IsCopying(7, 8));
+    EXPECT_FALSE(result.IsCopying(0, 1));
+  }
+}
+
+TEST(BoundDetector, ExaminesFewerValuesThanIndex) {
+  // Ex. 4.2: BOUND considers 26 pairs but only 33 shared values vs
+  // INDEX's 51 — early termination trims the scan.
+  ExampleFixture fx;
+  BoundDetector bound(PaperParams(), /*lazy=*/false);
+  IndexDetector index_detector(PaperParams());
+  CopyResult r1;
+  CopyResult r2;
+  ASSERT_TRUE(bound.DetectRound(fx.Input(), 1, &r1).ok());
+  ASSERT_TRUE(index_detector.DetectRound(fx.Input(), 1, &r2).ok());
+  EXPECT_EQ(bound.counters().pairs_tracked, 26u);
+  EXPECT_LT(bound.counters().values_examined,
+            index_detector.counters().values_examined);
+}
+
+TEST(BoundDetector, ConcludesCopyingEarly) {
+  // Ex. 4.2: (S2, S3) concludes copying after 2 shared values.
+  ExampleFixture fx;
+  BoundDetector detector(PaperParams(), /*lazy=*/false);
+  CopyResult result;
+  ASSERT_TRUE(detector.DetectRound(fx.Input(), 1, &result).ok());
+  EXPECT_GT(detector.counters().early_copy, 0u);
+  EXPECT_GT(detector.counters().early_nocopy, 0u);
+}
+
+TEST(BoundPlus, SavesBoundComputations) {
+  // §IV-B: the timers skip most Cmin/Cmax re-evaluations.
+  testutil::World world = testutil::SmallWorld(31, 40, 400);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+  BoundDetector bound(PaperParams(), /*lazy=*/false);
+  BoundDetector bound_plus(PaperParams(), /*lazy=*/true);
+  CopyResult r1;
+  CopyResult r2;
+  ASSERT_TRUE(bound.DetectRound(in, 1, &r1).ok());
+  ASSERT_TRUE(bound_plus.DetectRound(in, 1, &r2).ok());
+  EXPECT_LT(bound_plus.counters().bound_evals,
+            bound.counters().bound_evals);
+}
+
+struct BoundCase {
+  uint64_t seed;
+  bool lazy;
+};
+
+class BoundQualityTest : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(BoundQualityTest, DecisionsNearlyMatchIndex) {
+  // The h estimate makes BOUND approximate; the paper reports rare
+  // differences. On our worlds decisions should agree on the vast
+  // majority of copying pairs.
+  BoundCase param = GetParam();
+  testutil::World world = testutil::SmallWorld(param.seed, 50, 300);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+
+  BoundDetector bound(PaperParams(), param.lazy);
+  IndexDetector index_detector(PaperParams());
+  CopyResult bound_result;
+  CopyResult index_result;
+  ASSERT_TRUE(bound.DetectRound(in, 1, &bound_result).ok());
+  ASSERT_TRUE(index_detector.DetectRound(in, 1, &index_result).ok());
+
+  std::vector<uint64_t> a = CopySet(bound_result);
+  std::vector<uint64_t> b = CopySet(index_result);
+  size_t hits = 0;
+  for (uint64_t key : a) {
+    if (std::find(b.begin(), b.end(), key) != b.end()) ++hits;
+  }
+  ASSERT_FALSE(b.empty());
+  double recall =
+      static_cast<double>(hits) / static_cast<double>(b.size());
+  double precision =
+      a.empty() ? 1.0
+                : static_cast<double>(hits) / static_cast<double>(a.size());
+  // BOUND's h estimate (Eq. 10) is an expectation, not a bound, so a
+  // few wrong early no-copy conclusions are inherent (§IV-A: "the
+  // decisions are rarely different"). HYBRID — the recommended
+  // configuration — is held to a tighter bar in hybrid_test.cc.
+  EXPECT_GE(recall, 0.7) << "seed=" << param.seed;
+  EXPECT_GE(precision, 0.9) << "seed=" << param.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Worlds, BoundQualityTest,
+    ::testing::Values(BoundCase{41, false}, BoundCase{41, true},
+                      BoundCase{42, false}, BoundCase{42, true},
+                      BoundCase{43, false}, BoundCase{43, true}));
+
+TEST(BoundedScan, BookkeepingRecordsDecisions) {
+  ExampleFixture fx;
+  ScanConfig config;
+  config.lazy_bounds = true;
+  config.hybrid_threshold = 0;
+  Counters counters;
+  CopyResult result;
+  ScanBookkeeping book;
+  OverlapCounts overlaps = ComputeOverlaps(fx.world.data);
+  ASSERT_TRUE(BoundedScan(fx.Input(), PaperParams(), config, overlaps,
+                          &counters, &result, &book, nullptr)
+                  .ok());
+  EXPECT_EQ(book.size(), 26u);
+  const PairBook* pb = book.Find(PairKey(2, 3));
+  ASSERT_NE(pb, nullptr);
+  EXPECT_EQ(pb->decision, 1);
+  EXPECT_EQ(pb->l, 5u);
+  // Consistency: values split around the decision point.
+  EXPECT_LE(pb->n_before + pb->n_after, 4u);
+  const PairBook* honest = book.Find(PairKey(0, 1));
+  ASSERT_NE(honest, nullptr);
+  EXPECT_EQ(honest->decision, -1);
+}
+
+TEST(BoundedScan, BookkeepingCountsAfterDecisionValues) {
+  // Every shared value of a decided pair must land in n_before or
+  // n_after (nothing lost for the incremental preparation step).
+  testutil::World world = testutil::SmallWorld(44, 30, 200);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+  ScanConfig config;
+  config.lazy_bounds = true;
+  Counters counters;
+  CopyResult result;
+  ScanBookkeeping book;
+  OverlapCounts overlaps = ComputeOverlaps(world.data);
+  ASSERT_TRUE(BoundedScan(in, PaperParams(), config, overlaps, &counters,
+                          &result, &book, nullptr)
+                  .ok());
+  // Verify against an exhaustive recount for a handful of pairs.
+  size_t checked = 0;
+  book.ForEach([&](uint64_t key, PairBook& pb) {
+    if (checked >= 20) return;
+    ++checked;
+    SourceId a = PairFirst(key);
+    SourceId b = PairSecond(key);
+    const Dataset& data = world.data;
+    uint32_t shared_values = 0;
+    uint32_t shared_items = 0;
+    std::span<const ItemId> items_a = data.items_of(a);
+    std::span<const SlotId> slots_a = data.slots_of(a);
+    for (size_t i = 0; i < items_a.size(); ++i) {
+      SlotId other = data.slot_of(b, items_a[i]);
+      if (other == kInvalidSlot) continue;
+      ++shared_items;
+      if (other == slots_a[i]) ++shared_values;
+    }
+    EXPECT_EQ(pb.l, shared_items) << "pair " << a << "," << b;
+    EXPECT_EQ(pb.n_before + pb.n_after, shared_values);
+  });
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -1,0 +1,123 @@
+#include "core/copy_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pairwise.h"
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+PairPosterior Copying(double to_second, double to_first) {
+  return PairPosterior{1.0 - to_second - to_first, to_second, to_first};
+}
+
+TEST(CopyGraph, EmptyResultEmptyGraph) {
+  CopyResult result;
+  CopyGraph graph = AnalyzeCopyGraph(result);
+  EXPECT_TRUE(graph.clusters.empty());
+  EXPECT_EQ(graph.NumPairs(), 0u);
+}
+
+TEST(CopyGraph, SinglePairElectsTheCopiedSide) {
+  CopyResult result;
+  // Pr(1 copies 2) = .8: source 2 is the original.
+  result.Set(1, 2, Copying(/*first copies second=*/0.8,
+                           /*second copies first=*/0.1));
+  CopyGraph graph = AnalyzeCopyGraph(result);
+  ASSERT_EQ(graph.clusters.size(), 1u);
+  const CopyCluster& cluster = graph.clusters[0];
+  EXPECT_EQ(cluster.original, 2u);
+  ASSERT_EQ(cluster.direct_edges.size(), 1u);
+  EXPECT_EQ(cluster.direct_edges[0].copier, 1u);
+  EXPECT_EQ(cluster.direct_edges[0].original, 2u);
+  EXPECT_NEAR(cluster.direct_edges[0].probability, 0.8, 1e-12);
+}
+
+TEST(CopyGraph, StarClusterClassifiesCoCopies) {
+  // Sources 1, 2, 3 all copy source 0; detection flags every pair.
+  CopyResult result;
+  for (SourceId s : {1u, 2u, 3u}) {
+    // Pair (0, s): second copies first with high probability.
+    result.Set(0, s, Copying(/*first copies second=*/0.05,
+                             /*second copies first=*/0.85));
+  }
+  result.Set(1, 2, Copying(0.45, 0.45));
+  result.Set(1, 3, Copying(0.45, 0.45));
+  result.Set(2, 3, Copying(0.45, 0.45));
+
+  CopyGraph graph = AnalyzeCopyGraph(result);
+  ASSERT_EQ(graph.clusters.size(), 1u);
+  const CopyCluster& cluster = graph.clusters[0];
+  EXPECT_EQ(cluster.original, 0u);
+  EXPECT_EQ(cluster.members.size(), 4u);
+  EXPECT_EQ(cluster.direct_edges.size(), 3u);
+  size_t co_copies = 0;
+  for (const ClassifiedEdge& edge : cluster.edges) {
+    if (edge.kind == EdgeKind::kCoCopy) ++co_copies;
+  }
+  EXPECT_EQ(co_copies, 3u);  // (1,2), (1,3), (2,3)
+}
+
+TEST(CopyGraph, SeparateClustersStaySeparate) {
+  CopyResult result;
+  result.Set(0, 1, Copying(0.7, 0.1));
+  result.Set(5, 6, Copying(0.1, 0.7));
+  CopyGraph graph = AnalyzeCopyGraph(result);
+  ASSERT_EQ(graph.clusters.size(), 2u);
+  EXPECT_EQ(graph.NumSources(), 4u);
+  EXPECT_EQ(graph.NumPairs(), 2u);
+}
+
+TEST(CopyGraph, MotivatingExampleFindsBothCliques) {
+  testutil::ExampleFixture fx;
+  PairwiseDetector detector(testutil::PaperParams());
+  CopyResult result;
+  ASSERT_TRUE(detector.DetectRound(fx.Input(), 1, &result).ok());
+  CopyGraph graph = AnalyzeCopyGraph(result);
+  ASSERT_EQ(graph.clusters.size(), 2u);
+  // Clusters {2,3,4} and {6,7,8}.
+  EXPECT_EQ(graph.clusters[0].members,
+            (std::vector<SourceId>{2, 3, 4}));
+  EXPECT_EQ(graph.clusters[1].members,
+            (std::vector<SourceId>{6, 7, 8}));
+  // The paper's planted originals are S2 and S6; with symmetric
+  // evidence the election may pick any member, but the clique
+  // structure must be complete.
+  EXPECT_EQ(graph.clusters[0].edges.size(), 3u);
+  EXPECT_EQ(graph.clusters[1].edges.size(), 3u);
+}
+
+TEST(CopyGraph, PlantedStarOnSyntheticWorld) {
+  // Star copier groups: the elected original should usually be the
+  // planted one (the copiers' directional evidence points at it).
+  testutil::World world = testutil::SmallWorld(701, 40, 300);
+  testutil::WorldInput wi(world);
+  PairwiseDetector detector(testutil::PaperParams());
+  CopyResult result;
+  ASSERT_TRUE(detector.DetectRound(wi.Input(world), 1, &result).ok());
+  CopyGraph graph = AnalyzeCopyGraph(result);
+  ASSERT_FALSE(graph.clusters.empty());
+  // Every planted original that appears in a cluster with >= 2 of its
+  // copiers should win the election at least half the time.
+  size_t checked = 0;
+  size_t correct = 0;
+  for (const CopyCluster& cluster : graph.clusters) {
+    // Find the planted original among members (if any).
+    for (const auto& [copier, original] : world.copy_pairs) {
+      if (std::find(cluster.members.begin(), cluster.members.end(),
+                    original) != cluster.members.end() &&
+          cluster.members.size() >= 3) {
+        ++checked;
+        if (cluster.original == original) ++correct;
+        break;
+      }
+    }
+  }
+  if (checked > 0) {
+    EXPECT_GE(correct * 2, checked);
+  }
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -1,0 +1,81 @@
+#include "core/copy_result.h"
+
+#include <gtest/gtest.h>
+
+namespace copydetect {
+namespace {
+
+PairPosterior MakePosterior(double indep, double first, double second) {
+  return PairPosterior{indep, first, second};
+}
+
+TEST(CopyResult, GetIsOrderInsensitive) {
+  CopyResult result;
+  result.Set(3, 7, MakePosterior(0.2, 0.5, 0.3));
+  PairPosterior a = result.Get(3, 7);
+  PairPosterior b = result.Get(7, 3);
+  EXPECT_EQ(a.p_indep, b.p_indep);
+  EXPECT_EQ(a.p_first_copies, 0.5);
+  EXPECT_EQ(b.p_first_copies, 0.5);  // "first" = smaller id, always
+}
+
+TEST(CopyResult, UntrackedPairIsIdentity) {
+  CopyResult result;
+  PairPosterior p = result.Get(1, 2);
+  EXPECT_EQ(p.p_indep, 1.0);
+  EXPECT_EQ(p.p_first_copies, 0.0);
+  EXPECT_FALSE(result.IsCopying(1, 2));
+  EXPECT_EQ(result.PrCopies(1, 2), 0.0);
+}
+
+TEST(CopyResult, PrCopiesIsDirectionAware) {
+  CopyResult result;
+  // Pair (2, 5): Pr(2 copies 5) = .6, Pr(5 copies 2) = .1.
+  result.Set(2, 5, MakePosterior(0.3, 0.6, 0.1));
+  EXPECT_EQ(result.PrCopies(2, 5), 0.6);
+  EXPECT_EQ(result.PrCopies(5, 2), 0.1);
+}
+
+TEST(CopyResult, IsCopyingThreshold) {
+  CopyResult result;
+  result.Set(1, 2, MakePosterior(0.5, 0.25, 0.25));   // boundary: copying
+  result.Set(3, 4, MakePosterior(0.51, 0.25, 0.24));  // just not
+  EXPECT_TRUE(result.IsCopying(1, 2));
+  EXPECT_FALSE(result.IsCopying(3, 4));
+}
+
+TEST(CopyResult, CopyingPairsFiltersAndForEachVisitsAll) {
+  CopyResult result;
+  result.Set(1, 2, MakePosterior(0.1, 0.45, 0.45));
+  result.Set(3, 4, MakePosterior(0.9, 0.05, 0.05));
+  result.Set(5, 6, MakePosterior(0.2, 0.4, 0.4));
+  EXPECT_EQ(result.CopyingPairs().size(), 2u);
+  EXPECT_EQ(result.NumTracked(), 3u);
+  size_t visits = 0;
+  result.ForEach([&visits](SourceId a, SourceId b,
+                           const PairPosterior& p) {
+    (void)p;
+    EXPECT_LT(a, b);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 3u);
+}
+
+TEST(CopyResult, SetOverwrites) {
+  CopyResult result;
+  result.Set(1, 2, MakePosterior(0.1, 0.45, 0.45));
+  result.Set(2, 1, MakePosterior(0.9, 0.05, 0.05));
+  EXPECT_FALSE(result.IsCopying(1, 2));
+  EXPECT_EQ(result.NumTracked(), 1u);
+}
+
+TEST(CopyResult, ClearEmpties) {
+  CopyResult result;
+  result.Set(1, 2, MakePosterior(0.1, 0.45, 0.45));
+  result.Clear();
+  EXPECT_EQ(result.NumTracked(), 0u);
+  EXPECT_FALSE(result.IsCopying(1, 2));
+}
+
+}  // namespace
+}  // namespace copydetect

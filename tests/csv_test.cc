@@ -1,0 +1,67 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace copydetect {
+namespace {
+
+TEST(ParseCsvLine, PlainFields) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLine, QuotedFields) {
+  auto fields = ParseCsvLine("\"a,b\",c,\"d\"\"e\"");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 3u);
+  EXPECT_EQ((*fields)[0], "a,b");
+  EXPECT_EQ((*fields)[1], "c");
+  EXPECT_EQ((*fields)[2], "d\"e");
+}
+
+TEST(ParseCsvLine, EmptyFields) {
+  auto fields = ParseCsvLine(",,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 3u);
+  for (const auto& f : *fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(ParseCsvLine, RejectsMalformed) {
+  EXPECT_FALSE(ParseCsvLine("\"unterminated").ok());
+  EXPECT_FALSE(ParseCsvLine("ab\"cd").ok());
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvFile, RoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cd_csv_test.csv")
+          .string();
+  std::vector<std::vector<std::string>> rows = {
+      {"source", "item", "value"},
+      {"S1", "NJ", "Trenton"},
+      {"S2", "NJ", "Atlantic, City"},
+  };
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, MissingFileIsIOError) {
+  auto read = ReadCsvFile("/nonexistent/definitely/not/here.csv");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -1,0 +1,146 @@
+#include "datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "model/stats.h"
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+TEST(Generator, DeterministicFromSeed) {
+  WorldConfig config = BookCsProfile(0.05);
+  auto w1 = GenerateWorld(config, 7);
+  auto w2 = GenerateWorld(config, 7);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  EXPECT_EQ(w1->data.num_observations(), w2->data.num_observations());
+  EXPECT_EQ(w1->data.num_slots(), w2->data.num_slots());
+  EXPECT_EQ(w1->copy_pairs, w2->copy_pairs);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  WorldConfig config = BookCsProfile(0.05);
+  auto w1 = GenerateWorld(config, 7);
+  auto w2 = GenerateWorld(config, 8);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  EXPECT_NE(w1->data.num_observations(), w2->data.num_observations());
+}
+
+TEST(Generator, RejectsDegenerateConfigs) {
+  WorldConfig config;
+  config.num_sources = 1;
+  EXPECT_FALSE(GenerateWorld(config, 1).ok());
+  config.num_sources = 10;
+  config.num_items = 0;
+  EXPECT_FALSE(GenerateWorld(config, 1).ok());
+  config.num_items = 10;
+  config.false_pool = 0;
+  EXPECT_FALSE(GenerateWorld(config, 1).ok());
+}
+
+TEST(Generator, TruthIsCompleteAndConsistent) {
+  testutil::World world = testutil::SmallWorld(91);
+  EXPECT_EQ(world.full_truth.size(), world.data.num_items());
+  // Every item's true value is "T<item>" by construction.
+  EXPECT_EQ(world.full_truth.Lookup(0), "T0");
+}
+
+TEST(Generator, CopiersShareMostOfOriginalsItems) {
+  testutil::World world = testutil::SmallWorld(92);
+  ASSERT_FALSE(world.copy_pairs.empty());
+  const Dataset& data = world.data;
+  for (const auto& [copier, original] : world.copy_pairs) {
+    size_t shared_values = 0;
+    std::span<const ItemId> items = data.items_of(copier);
+    std::span<const SlotId> slots = data.slots_of(copier);
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (data.slot_of(original, items[i]) == slots[i]) ++shared_values;
+    }
+    // With selectivity .8 a copier should share a large value overlap
+    // with its original.
+    EXPECT_GT(shared_values, data.coverage(copier) / 3)
+        << "copier " << copier << " original " << original;
+  }
+}
+
+TEST(Generator, HonestSourceAccuracyMatchesPlan) {
+  // For a non-copier source, the empirical fraction of true values
+  // should concentrate around its planned accuracy.
+  WorldConfig config = Stock1DayProfile(0.05);
+  config.copying.num_groups = 0;
+  auto world_or = GenerateWorld(config, 17);
+  ASSERT_TRUE(world_or.ok());
+  const World& world = *world_or;
+  const Dataset& data = world.data;
+  for (SourceId s = 0; s < data.num_sources(); ++s) {
+    std::span<const SlotId> slots = data.slots_of(s);
+    if (slots.size() < 100) continue;
+    size_t correct = 0;
+    for (SlotId v : slots) {
+      if (data.slot_value(v)[0] == 'T') ++correct;
+    }
+    double empirical =
+        static_cast<double>(correct) / static_cast<double>(slots.size());
+    EXPECT_NEAR(empirical, world.true_accuracy[s], 0.12)
+        << "source " << s;
+  }
+}
+
+TEST(Profiles, BookCsShapeAtFullScale) {
+  WorldConfig config = BookCsProfile(1.0);
+  EXPECT_EQ(config.num_sources, 894u);
+  EXPECT_EQ(config.num_items, 2528u);
+  auto world_or = GenerateWorld(config, 5);
+  ASSERT_TRUE(world_or.ok());
+  DatasetStats st = ComputeStats(world_or->data);
+  // The defining feature: most sources are tiny.
+  EXPECT_GT(st.frac_low_coverage_sources, 0.6);
+  // Items attract several conflicting values on average.
+  EXPECT_GT(st.avg_values_per_item, 3.0);
+  EXPECT_LT(st.avg_values_per_item, 10.0);
+}
+
+TEST(Profiles, StockShapeAtReducedScale) {
+  WorldConfig config = Stock1DayProfile(0.1);
+  EXPECT_EQ(config.num_sources, 55u);
+  auto world_or = GenerateWorld(config, 5);
+  ASSERT_TRUE(world_or.ok());
+  DatasetStats st = ComputeStats(world_or->data);
+  // The defining feature: most sources cover > half the items.
+  EXPECT_GT(st.frac_high_coverage_sources, 0.5);
+  EXPECT_GT(st.avg_values_per_item, 3.0);
+}
+
+TEST(Profiles, LookupByName) {
+  WorldConfig config;
+  EXPECT_TRUE(LookupProfile("book-cs", 1.0, &config));
+  EXPECT_EQ(config.name, "book-cs");
+  EXPECT_TRUE(LookupProfile("stock-2wk", 0.1, &config));
+  EXPECT_EQ(config.name, "stock-2wk");
+  EXPECT_FALSE(LookupProfile("nope", 1.0, &config));
+}
+
+TEST(Profiles, ScaleShrinksWorlds) {
+  WorldConfig small = BookFullProfile(0.01);
+  WorldConfig big = BookFullProfile(0.1);
+  EXPECT_LT(small.num_sources, big.num_sources);
+  EXPECT_LT(small.num_items, big.num_items);
+}
+
+TEST(Generator, ChainCopyingProducesPairs) {
+  WorldConfig config;
+  config.num_sources = 30;
+  config.num_items = 100;
+  config.copying.num_groups = 3;
+  config.copying.group_min = 3;
+  config.copying.group_max = 3;
+  config.copying.chain = true;
+  auto world_or = GenerateWorld(config, 77);
+  ASSERT_TRUE(world_or.ok());
+  EXPECT_EQ(world_or->copy_pairs.size(), 6u);  // 3 groups x 2 copiers
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -1,0 +1,148 @@
+#include "model/dataset.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+TEST(DatasetBuilder, BuildsSmallDataset) {
+  DatasetBuilder builder;
+  builder.Add("S1", "NJ", "Trenton");
+  builder.Add("S2", "NJ", "Trenton");
+  builder.Add("S2", "AZ", "Phoenix");
+  builder.Add("S1", "AZ", "Tucson");
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_sources(), 2u);
+  EXPECT_EQ(data->num_items(), 2u);
+  EXPECT_EQ(data->num_observations(), 4u);
+  EXPECT_EQ(data->num_slots(), 3u);  // Trenton, Phoenix, Tucson
+}
+
+TEST(DatasetBuilder, RejectsConflictingObservation) {
+  DatasetBuilder builder;
+  builder.Add("S1", "NJ", "Trenton");
+  builder.Add("S1", "NJ", "Atlantic");
+  auto data = builder.Build();
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetBuilder, ToleratesExactDuplicates) {
+  DatasetBuilder builder;
+  builder.Add("S1", "NJ", "Trenton");
+  builder.Add("S1", "NJ", "Trenton");
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_observations(), 1u);
+}
+
+TEST(Dataset, SlotLayoutInvariants) {
+  testutil::ExampleFixture fx;
+  const Dataset& data = fx.world.data;
+  // Slots are contiguous by item and providers partition each item.
+  for (ItemId d = 0; d < data.num_items(); ++d) {
+    size_t total = 0;
+    for (SlotId v = data.slot_begin(d); v < data.slot_end(d); ++v) {
+      EXPECT_EQ(data.slot_item(v), d);
+      total += data.providers(v).size();
+    }
+    EXPECT_EQ(total, data.item_providers(d).size());
+  }
+}
+
+TEST(Dataset, PerSourceArraysSortedByItem) {
+  testutil::World world = testutil::SmallWorld(81);
+  const Dataset& data = world.data;
+  for (SourceId s = 0; s < data.num_sources(); ++s) {
+    std::span<const ItemId> items = data.items_of(s);
+    for (size_t i = 1; i < items.size(); ++i) {
+      EXPECT_LT(items[i - 1], items[i]);
+    }
+  }
+}
+
+TEST(Dataset, SlotOfFindsValues) {
+  testutil::ExampleFixture fx;
+  const Dataset& data = fx.world.data;
+  // S0 provides Trenton for NJ (item 0) and nothing for FL (item 3).
+  SlotId nj = data.slot_of(0, 0);
+  ASSERT_NE(nj, kInvalidSlot);
+  EXPECT_EQ(data.slot_value(nj), "Trenton");
+  EXPECT_EQ(data.slot_of(0, 3), kInvalidSlot);
+}
+
+TEST(Dataset, ProvidersAreSortedAndDisjointAcrossSlots) {
+  testutil::ExampleFixture fx;
+  const Dataset& data = fx.world.data;
+  for (ItemId d = 0; d < data.num_items(); ++d) {
+    std::vector<SourceId> seen;
+    for (SlotId v = data.slot_begin(d); v < data.slot_end(d); ++v) {
+      std::span<const SourceId> providers = data.providers(v);
+      for (size_t i = 1; i < providers.size(); ++i) {
+        EXPECT_LT(providers[i - 1], providers[i]);
+      }
+      for (SourceId s : providers) {
+        EXPECT_EQ(std::count(seen.begin(), seen.end(), s), 0)
+            << "source " << s << " appears in two slots of item " << d;
+        seen.push_back(s);
+      }
+    }
+  }
+}
+
+TEST(Dataset, MotivatingExampleShape) {
+  testutil::ExampleFixture fx;
+  const Dataset& data = fx.world.data;
+  EXPECT_EQ(data.num_sources(), 10u);
+  EXPECT_EQ(data.num_items(), 5u);
+  // 10 sources x 5 items - 5 missing cells (Table I).
+  EXPECT_EQ(data.num_observations(), 45u);
+  // 16 distinct (item, value) pairs: 3+3+3+3+4.
+  EXPECT_EQ(data.num_slots(), 16u);
+  EXPECT_EQ(data.coverage(9), 3u);
+  EXPECT_EQ(data.coverage(1), 5u);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  testutil::ExampleFixture fx;
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cd_dataset_test.csv")
+          .string();
+  ASSERT_TRUE(fx.world.data.SaveCsv(path).ok());
+  auto loaded = Dataset::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_sources(), fx.world.data.num_sources());
+  EXPECT_EQ(loaded->num_items(), fx.world.data.num_items());
+  EXPECT_EQ(loaded->num_observations(),
+            fx.world.data.num_observations());
+  EXPECT_EQ(loaded->num_slots(), fx.world.data.num_slots());
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, EmptyBuilderProducesEmptyDataset) {
+  DatasetBuilder builder;
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_sources(), 0u);
+  EXPECT_EQ(data->num_items(), 0u);
+  EXPECT_EQ(data->num_slots(), 0u);
+}
+
+TEST(Dataset, SourceWithNoObservationsKept) {
+  DatasetBuilder builder;
+  builder.AddSource("lonely");
+  builder.Add("S1", "NJ", "Trenton");
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->num_sources(), 2u);
+  EXPECT_EQ(data->coverage(0), 0u);
+}
+
+}  // namespace
+}  // namespace copydetect

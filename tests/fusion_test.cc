@@ -1,0 +1,191 @@
+#include "fusion/truth_finder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.h"
+#include "core/pairwise.h"
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+using testutil::ExampleFixture;
+using testutil::PaperParams;
+
+FusionOptions Options(bool use_copy = true) {
+  FusionOptions options;
+  options.params = PaperParams();
+  options.max_rounds = 10;
+  options.use_copy_detection = use_copy;
+  return options;
+}
+
+std::string TruthOf(const Dataset& data,
+                    const std::vector<SlotId>& truth, ItemId item) {
+  SlotId v = truth[item];
+  return v == kInvalidSlot ? "" : std::string(data.slot_value(v));
+}
+
+TEST(VoteFusion, PicksMajorityValue) {
+  ExampleFixture fx;
+  std::vector<SlotId> truth = VoteFusion(fx.world.data);
+  // NJ: Trenton has 5 providers, Atlantic 3, Union 1 -> Trenton.
+  EXPECT_EQ(TruthOf(fx.world.data, truth, 0), "Trenton");
+  // AZ: Phoenix 5, Tempe 2, Tucson 1 -> Phoenix.
+  EXPECT_EQ(TruthOf(fx.world.data, truth, 1), "Phoenix");
+}
+
+TEST(IterativeFusion, MotivatingExampleConvergesToPaperTruth) {
+  // Table II: the copy-aware loop converges to Trenton / Phoenix /
+  // Albany / Orlando / Austin with S0, S1, S9 accurate and S2-S4 at
+  // about .2/.2/.4.
+  ExampleFixture fx;
+  PairwiseDetector detector(PaperParams());
+  IterativeFusion fusion(Options());
+  auto result = fusion.Run(fx.world.data, &detector);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const Dataset& data = fx.world.data;
+  EXPECT_EQ(TruthOf(data, result->truth, 0), "Trenton");
+  EXPECT_EQ(TruthOf(data, result->truth, 1), "Phoenix");
+  EXPECT_EQ(TruthOf(data, result->truth, 2), "Albany");
+  EXPECT_EQ(TruthOf(data, result->truth, 3), "Orlando");
+  EXPECT_EQ(TruthOf(data, result->truth, 4), "Austin");
+  EXPECT_EQ(fx.world.gold.Accuracy(data, result->truth), 1.0);
+
+  // Copier cliques detected; honest high-accuracy pair clean.
+  EXPECT_TRUE(result->copies.IsCopying(2, 3));
+  EXPECT_TRUE(result->copies.IsCopying(6, 7));
+  EXPECT_FALSE(result->copies.IsCopying(0, 1));
+
+  // Accuracy ordering matches Table II: the good sources end high,
+  // the copier clique low.
+  EXPECT_GT(result->accuracies[0], 0.85);
+  EXPECT_GT(result->accuracies[1], 0.85);
+  EXPECT_LT(result->accuracies[2], 0.5);
+  EXPECT_LT(result->accuracies[3], 0.5);
+}
+
+TEST(IterativeFusion, CopyAwareMatchesOrBeatsAccuracyOnly) {
+  // The NY item is the paper's showcase: NewYork is a false value
+  // spread by copying (S2, S3, S4 all claim it). On this 5-item
+  // example the accuracy-only loop also recovers (the honest sources'
+  // reputation from other items carries NY), so we assert the
+  // copy-aware loop is perfect and never worse; the mechanism itself
+  // (copier votes discounted) is asserted in CopyDiscount below and
+  // the accuracy *gap* shows up at scale in the integration suite.
+  ExampleFixture fx;
+  IterativeFusion with_copy(Options(true));
+  IterativeFusion without_copy(Options(false));
+  PairwiseDetector detector(PaperParams());
+  auto aware = with_copy.Run(fx.world.data, &detector);
+  auto naive = without_copy.Run(fx.world.data, nullptr);
+  ASSERT_TRUE(aware.ok());
+  ASSERT_TRUE(naive.ok());
+  double aware_acc =
+      fx.world.gold.Accuracy(fx.world.data, aware->truth);
+  double naive_acc =
+      fx.world.gold.Accuracy(fx.world.data, naive->truth);
+  EXPECT_GE(aware_acc, naive_acc);
+  EXPECT_EQ(aware_acc, 1.0);
+}
+
+TEST(IterativeFusion, ConvergesWithinRounds) {
+  ExampleFixture fx;
+  PairwiseDetector detector(PaperParams());
+  IterativeFusion fusion(Options());
+  auto result = fusion.Run(fx.world.data, &detector);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  // The paper's example converges in about 5 rounds.
+  EXPECT_LE(result->rounds, 8);
+  EXPECT_EQ(result->trace.size(), static_cast<size_t>(result->rounds));
+}
+
+TEST(IterativeFusion, TraceRecordsDetectionCosts) {
+  ExampleFixture fx;
+  PairwiseDetector detector(PaperParams());
+  IterativeFusion fusion(Options());
+  auto result = fusion.Run(fx.world.data, &detector);
+  ASSERT_TRUE(result.ok());
+  uint64_t prev = 0;
+  for (const RoundTrace& t : result->trace) {
+    EXPECT_GE(t.computations, prev);  // counters are cumulative
+    prev = t.computations;
+  }
+  // Once the probabilities settle, both cliques are flagged.
+  EXPECT_GE(result->trace.back().copying_pairs, 6u);
+}
+
+TEST(IterativeFusion, RequiresDetectorWhenCopyAware) {
+  ExampleFixture fx;
+  IterativeFusion fusion(Options(true));
+  auto result = fusion.Run(fx.world.data, nullptr);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ComputeValueProbs, ProbabilitiesFormDistribution) {
+  ExampleFixture fx;
+  std::vector<double> probs;
+  CopyResult no_copies;
+  std::vector<double> accs = InitialAccuracies(10, 0.8);
+  ComputeValueProbs(fx.world.data, accs, no_copies, PaperParams(),
+                    &probs);
+  const Dataset& data = fx.world.data;
+  for (ItemId d = 0; d < data.num_items(); ++d) {
+    double sum = 0.0;
+    for (SlotId v = data.slot_begin(d); v < data.slot_end(d); ++v) {
+      EXPECT_GT(probs[v], 0.0);
+      EXPECT_LT(probs[v], 1.0);
+      sum += probs[v];
+    }
+    EXPECT_LE(sum, 1.0 + 1e-9);
+  }
+}
+
+TEST(ComputeAccuracies, MeanOfProvidedProbabilities) {
+  DatasetBuilder builder;
+  builder.Add("S1", "A", "x");
+  builder.Add("S1", "B", "y");
+  builder.Add("S2", "A", "x");
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  // Slot order: A.x then B.y.
+  std::vector<double> probs = {0.8, 0.4};
+  std::vector<double> accs;
+  ComputeAccuracies(*data, probs, &accs);
+  EXPECT_NEAR(accs[0], 0.6, 1e-9);
+  EXPECT_NEAR(accs[1], 0.8, 1e-9);
+}
+
+TEST(CopyDiscount, CopierVotesCountLess) {
+  // Two worlds: identical data, but in one we tell fusion that S2/S3
+  // copy. The false value's probability must drop when copying is
+  // known.
+  ExampleFixture fx;
+  std::vector<double> accs = InitialAccuracies(10, 0.8);
+  CopyResult no_copies;
+  CopyResult with_copies;
+  PairPosterior copying{0.01, 0.495, 0.495};
+  with_copies.Set(2, 3, copying);
+  with_copies.Set(2, 4, copying);
+  with_copies.Set(3, 4, copying);
+
+  std::vector<double> p_indep;
+  std::vector<double> p_aware;
+  ComputeValueProbs(fx.world.data, accs, no_copies, PaperParams(),
+                    &p_indep);
+  ComputeValueProbs(fx.world.data, accs, with_copies, PaperParams(),
+                    &p_aware);
+  // NY.NewYork is provided by exactly S2, S3, S4.
+  const Dataset& data = fx.world.data;
+  SlotId newyork = kInvalidSlot;
+  for (SlotId v = data.slot_begin(2); v < data.slot_end(2); ++v) {
+    if (data.slot_value(v) == "NewYork") newyork = v;
+  }
+  ASSERT_NE(newyork, kInvalidSlot);
+  EXPECT_LT(p_aware[newyork], p_indep[newyork]);
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -1,0 +1,70 @@
+#include "model/gold_standard.h"
+
+#include <gtest/gtest.h>
+
+#include "fusion/value_probs.h"
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+TEST(GoldStandard, LookupAndContains) {
+  GoldStandard gold;
+  gold.Set(3, "Orlando");
+  EXPECT_TRUE(gold.Contains(3));
+  EXPECT_FALSE(gold.Contains(4));
+  EXPECT_EQ(gold.Lookup(3), "Orlando");
+  EXPECT_TRUE(gold.Lookup(4).empty());
+  EXPECT_EQ(gold.size(), 1u);
+}
+
+TEST(GoldStandard, AccuracyAgainstChosenSlots) {
+  testutil::ExampleFixture fx;
+  const Dataset& data = fx.world.data;
+  // Choose the planted truth for every item: accuracy 1.
+  std::vector<SlotId> correct(data.num_items(), kInvalidSlot);
+  for (ItemId d = 0; d < data.num_items(); ++d) {
+    std::string_view want = fx.world.full_truth.Lookup(d);
+    for (SlotId v = data.slot_begin(d); v < data.slot_end(d); ++v) {
+      if (data.slot_value(v) == want) correct[d] = v;
+    }
+  }
+  EXPECT_EQ(fx.world.full_truth.Accuracy(data, correct), 1.0);
+
+  // Break two of five items.
+  std::vector<SlotId> partial = correct;
+  partial[0] = kInvalidSlot;
+  partial[1] = data.slot_begin(1) == correct[1]
+                   ? correct[1] + 1
+                   : data.slot_begin(1);
+  EXPECT_NEAR(fx.world.full_truth.Accuracy(data, partial), 0.6, 1e-9);
+}
+
+TEST(GoldStandard, SampleIsSubset) {
+  GoldStandard gold;
+  for (ItemId d = 0; d < 100; ++d) {
+    gold.Set(d, "T" + std::to_string(d));
+  }
+  GoldStandard sample = gold.Sample(10, 7);
+  EXPECT_EQ(sample.size(), 10u);
+  for (ItemId d : sample.Items()) {
+    EXPECT_EQ(sample.Lookup(d), gold.Lookup(d));
+  }
+  // Deterministic.
+  GoldStandard again = gold.Sample(10, 7);
+  auto a = sample.Items();
+  auto b = again.Items();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(GoldStandard, SampleLargerThanSetReturnsAll) {
+  GoldStandard gold;
+  gold.Set(1, "x");
+  gold.Set(2, "y");
+  EXPECT_EQ(gold.Sample(10, 1).size(), 2u);
+}
+
+}  // namespace
+}  // namespace copydetect

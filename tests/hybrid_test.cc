@@ -1,0 +1,98 @@
+#include "core/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "core/index_algo.h"
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+using testutil::CopySet;
+using testutil::ExampleFixture;
+using testutil::PaperParams;
+
+TEST(HybridDetector, MotivatingExampleVerdicts) {
+  ExampleFixture fx;
+  HybridDetector detector(PaperParams());
+  CopyResult result;
+  ASSERT_TRUE(detector.DetectRound(fx.Input(), 1, &result).ok());
+  EXPECT_TRUE(result.IsCopying(2, 3));
+  EXPECT_TRUE(result.IsCopying(6, 8));
+  EXPECT_FALSE(result.IsCopying(0, 1));
+}
+
+TEST(HybridDetector, SmallPairsUseIndexMode) {
+  // With the example's 5 items every pair shares <= 16 items, so
+  // HYBRID degenerates to INDEX: identical decisions and no bound
+  // evaluations at all.
+  ExampleFixture fx;
+  HybridDetector hybrid(PaperParams());
+  IndexDetector index_detector(PaperParams());
+  CopyResult r1;
+  CopyResult r2;
+  ASSERT_TRUE(hybrid.DetectRound(fx.Input(), 1, &r1).ok());
+  ASSERT_TRUE(index_detector.DetectRound(fx.Input(), 1, &r2).ok());
+  EXPECT_EQ(hybrid.counters().bound_evals, 0u);
+  EXPECT_EQ(CopySet(r1), CopySet(r2));
+}
+
+TEST(HybridDetector, LargePairsUseBounds) {
+  testutil::World world = testutil::SmallWorld(51, 40, 400);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+  HybridDetector hybrid(PaperParams());
+  CopyResult result;
+  ASSERT_TRUE(hybrid.DetectRound(in, 1, &result).ok());
+  // Worlds with high-coverage sources have pairs sharing > 16 items.
+  EXPECT_GT(hybrid.counters().bound_evals, 0u);
+  EXPECT_GT(hybrid.counters().early_copy + hybrid.counters().early_nocopy,
+            0u);
+}
+
+TEST(HybridDetector, QualityCloseToIndex) {
+  for (uint64_t seed : {61ULL, 62ULL, 63ULL}) {
+    testutil::World world = testutil::SmallWorld(seed, 50, 300);
+    testutil::WorldInput wi(world);
+    DetectionInput in = wi.Input(world);
+    HybridDetector hybrid(PaperParams());
+    IndexDetector index_detector(PaperParams());
+    CopyResult r1;
+    CopyResult r2;
+    ASSERT_TRUE(hybrid.DetectRound(in, 1, &r1).ok());
+    ASSERT_TRUE(index_detector.DetectRound(in, 1, &r2).ok());
+    std::vector<uint64_t> a = CopySet(r1);
+    std::vector<uint64_t> b = CopySet(r2);
+    size_t hits = 0;
+    for (uint64_t key : a) {
+      if (std::find(b.begin(), b.end(), key) != b.end()) ++hits;
+    }
+    ASSERT_FALSE(b.empty()) << "seed " << seed;
+    EXPECT_GE(static_cast<double>(hits) / static_cast<double>(b.size()),
+              0.9);
+    if (!a.empty()) {
+      EXPECT_GE(static_cast<double>(hits) / static_cast<double>(a.size()),
+                0.9);
+    }
+  }
+}
+
+TEST(HybridDetector, ThresholdZeroMatchesBoundPlus) {
+  // hybrid_threshold = 0 turns HYBRID into pure BOUND+.
+  testutil::World world = testutil::SmallWorld(71, 30, 200);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+  DetectionParams params = PaperParams();
+  params.hybrid_threshold = 0;
+  HybridDetector hybrid(params);
+  BoundDetector bound_plus(params, /*lazy=*/true);
+  CopyResult r1;
+  CopyResult r2;
+  ASSERT_TRUE(hybrid.DetectRound(in, 1, &r1).ok());
+  ASSERT_TRUE(bound_plus.DetectRound(in, 1, &r2).ok());
+  EXPECT_EQ(CopySet(r1), CopySet(r2));
+  EXPECT_EQ(hybrid.counters().Total(), bound_plus.counters().Total());
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -1,0 +1,128 @@
+#include "core/index_algo.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pairwise.h"
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+using testutil::CopySet;
+using testutil::ExampleFixture;
+using testutil::PaperParams;
+
+TEST(IndexDetector, MotivatingExampleVerdicts) {
+  ExampleFixture fx;
+  IndexDetector detector(PaperParams());
+  CopyResult result;
+  ASSERT_TRUE(detector.DetectRound(fx.Input(), 1, &result).ok());
+  EXPECT_TRUE(result.IsCopying(2, 3));
+  EXPECT_TRUE(result.IsCopying(2, 4));
+  EXPECT_TRUE(result.IsCopying(3, 4));
+  EXPECT_TRUE(result.IsCopying(6, 7));
+  EXPECT_TRUE(result.IsCopying(6, 8));
+  EXPECT_TRUE(result.IsCopying(7, 8));
+  EXPECT_FALSE(result.IsCopying(0, 1));
+}
+
+TEST(IndexDetector, Example36Accounting) {
+  // Ex. 3.6: 26 pairs occur in entries outside E̅; 51 shared values are
+  // examined; 51*2 + 26*2 = 154 computations.
+  ExampleFixture fx;
+  IndexDetector detector(PaperParams());
+  CopyResult result;
+  ASSERT_TRUE(detector.DetectRound(fx.Input(), 1, &result).ok());
+  EXPECT_EQ(detector.counters().pairs_tracked, 26u);
+  EXPECT_EQ(detector.counters().values_examined, 51u);
+  EXPECT_EQ(detector.counters().score_evals, 102u);
+  EXPECT_EQ(detector.counters().finalize_evals, 52u);
+  EXPECT_EQ(detector.counters().Total(), 154u);
+}
+
+TEST(IndexDetector, SkipsPairsSharingOnlyTailValues) {
+  // Ex. 3.6: S0 and S5 share only values in E̅ (NY.Albany, TX.Austin)
+  // and are never considered.
+  ExampleFixture fx;
+  IndexDetector detector(PaperParams());
+  CopyResult result;
+  ASSERT_TRUE(detector.DetectRound(fx.Input(), 1, &result).ok());
+  // Untracked pairs report the identity posterior.
+  EXPECT_EQ(result.Get(0, 5).p_indep, 1.0);
+  EXPECT_FALSE(result.IsCopying(0, 5));
+}
+
+TEST(IndexDetector, TrackedPairScoresMatchPairwiseExactly) {
+  // Prop. 3.5: INDEX obtains the same binary results as PAIRWISE, and
+  // for tracked pairs the accumulated scores are the same sums.
+  ExampleFixture fx;
+  IndexDetector index_detector(PaperParams());
+  PairwiseDetector pairwise(PaperParams());
+  CopyResult index_result;
+  CopyResult pairwise_result;
+  ASSERT_TRUE(
+      index_detector.DetectRound(fx.Input(), 1, &index_result).ok());
+  ASSERT_TRUE(pairwise.DetectRound(fx.Input(), 1, &pairwise_result).ok());
+  index_result.ForEach(
+      [&](SourceId a, SourceId b, const PairPosterior& p) {
+        PairPosterior q = pairwise_result.Get(a, b);
+        EXPECT_NEAR(p.p_indep, q.p_indep, 1e-9)
+            << "pair (" << a << "," << b << ")";
+        EXPECT_NEAR(p.p_first_copies, q.p_first_copies, 1e-9);
+      });
+}
+
+struct EquivalenceCase {
+  uint64_t seed;
+  size_t sources;
+  size_t items;
+};
+
+class IndexEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(IndexEquivalenceTest, SameBinaryDecisionsAsPairwise) {
+  EquivalenceCase param = GetParam();
+  testutil::World world =
+      testutil::SmallWorld(param.seed, param.sources, param.items);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+
+  IndexDetector index_detector(PaperParams());
+  PairwiseDetector pairwise(PaperParams());
+  CopyResult index_result;
+  CopyResult pairwise_result;
+  ASSERT_TRUE(index_detector.DetectRound(in, 1, &index_result).ok());
+  ASSERT_TRUE(pairwise.DetectRound(in, 1, &pairwise_result).ok());
+
+  EXPECT_EQ(CopySet(index_result), CopySet(pairwise_result));
+  // And INDEX does no more work than PAIRWISE.
+  EXPECT_LE(index_detector.counters().Total(),
+            pairwise.counters().Total());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorlds, IndexEquivalenceTest,
+    ::testing::Values(EquivalenceCase{11, 30, 150},
+                      EquivalenceCase{12, 40, 200},
+                      EquivalenceCase{13, 60, 300},
+                      EquivalenceCase{14, 25, 500},
+                      EquivalenceCase{15, 80, 120},
+                      EquivalenceCase{16, 50, 250}));
+
+TEST(IndexDetector, DeterministicAcrossRuns) {
+  testutil::World world = testutil::SmallWorld(21);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+  IndexDetector d1(PaperParams());
+  IndexDetector d2(PaperParams());
+  CopyResult r1;
+  CopyResult r2;
+  ASSERT_TRUE(d1.DetectRound(in, 1, &r1).ok());
+  ASSERT_TRUE(d2.DetectRound(in, 1, &r2).ok());
+  EXPECT_EQ(CopySet(r1), CopySet(r2));
+  EXPECT_EQ(d1.counters().Total(), d2.counters().Total());
+}
+
+}  // namespace
+}  // namespace copydetect

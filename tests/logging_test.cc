@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace copydetect {
+namespace {
+
+TEST(Logging, DefaultLevelIsWarning) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST(Logging, SetAndGetRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(Logging, FilteredMessagesDoNotEvaluateStream) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return 42;
+  };
+  CD_LOG(Debug) << "never shown " << expensive();
+  EXPECT_EQ(evaluations, 0);  // short-circuited by the level check
+  CD_LOG(Error) << "shown " << expensive();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(original);
+}
+
+TEST(Logging, MacroCompilesForAllLevels) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // silence output during tests
+  CD_LOG(Debug) << "d";
+  CD_LOG(Info) << "i";
+  CD_LOG(Warning) << "w";
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -1,0 +1,80 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+PairPosterior Copying() { return PairPosterior{0.1, 0.45, 0.45}; }
+PairPosterior Clean() { return PairPosterior{0.9, 0.05, 0.05}; }
+
+TEST(ComparePairs, PerfectAgreement) {
+  CopyResult a;
+  CopyResult b;
+  a.Set(1, 2, Copying());
+  b.Set(1, 2, Copying());
+  PrfScores scores = ComparePairs(a, b);
+  EXPECT_EQ(scores.precision, 1.0);
+  EXPECT_EQ(scores.recall, 1.0);
+  EXPECT_EQ(scores.f1, 1.0);
+}
+
+TEST(ComparePairs, PartialOverlap) {
+  CopyResult result;
+  CopyResult reference;
+  result.Set(1, 2, Copying());
+  result.Set(3, 4, Copying());   // false positive
+  reference.Set(1, 2, Copying());
+  reference.Set(5, 6, Copying());  // missed
+  reference.Set(3, 4, Clean());    // reference says clean
+  PrfScores scores = ComparePairs(result, reference);
+  EXPECT_NEAR(scores.precision, 0.5, 1e-9);
+  EXPECT_NEAR(scores.recall, 0.5, 1e-9);
+  EXPECT_NEAR(scores.f1, 0.5, 1e-9);
+  EXPECT_EQ(scores.output_pairs, 2u);
+  EXPECT_EQ(scores.reference_pairs, 2u);
+}
+
+TEST(ComparePairs, EmptyOutputHasPerfectPrecision) {
+  CopyResult result;
+  CopyResult reference;
+  reference.Set(1, 2, Copying());
+  PrfScores scores = ComparePairs(result, reference);
+  EXPECT_EQ(scores.precision, 1.0);
+  EXPECT_EQ(scores.recall, 0.0);
+  EXPECT_EQ(scores.f1, 0.0);
+}
+
+TEST(ComparePairsToTruth, OrderInsensitive) {
+  CopyResult result;
+  result.Set(2, 1, Copying());
+  std::vector<std::pair<SourceId, SourceId>> truth = {{1, 2}};
+  PrfScores scores = ComparePairsToTruth(result, truth);
+  EXPECT_EQ(scores.f1, 1.0);
+}
+
+TEST(FusionDifference, CountsDisagreementsOverNonEmptyItems) {
+  testutil::ExampleFixture fx;
+  const Dataset& data = fx.world.data;
+  std::vector<SlotId> a(data.num_items());
+  std::vector<SlotId> b(data.num_items());
+  for (ItemId d = 0; d < data.num_items(); ++d) {
+    a[d] = data.slot_begin(d);
+    b[d] = data.slot_begin(d);
+  }
+  EXPECT_EQ(FusionDifference(data, a, b), 0.0);
+  b[0] = a[0] + 1;
+  EXPECT_NEAR(FusionDifference(data, a, b), 0.2, 1e-9);  // 1 of 5
+}
+
+TEST(AccuracyVariance, MeanAbsoluteDifference) {
+  std::vector<double> a = {0.5, 0.8, 0.2};
+  std::vector<double> b = {0.6, 0.8, 0.1};
+  EXPECT_NEAR(AccuracyVariance(a, b), 0.2 / 3.0, 1e-12);
+  EXPECT_EQ(AccuracyVariance({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace copydetect

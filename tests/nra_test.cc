@@ -1,0 +1,122 @@
+#include "topk/nra.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace copydetect {
+namespace {
+
+NraList MakeList(std::vector<std::pair<uint64_t, double>> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.second > b.second;
+            });
+  NraList list;
+  list.entries = std::move(entries);
+  return list;
+}
+
+TEST(Nra, SimpleTopOne) {
+  std::vector<NraList> lists;
+  lists.push_back(MakeList({{1, 5.0}, {2, 3.0}, {3, 1.0}}));
+  lists.push_back(MakeList({{1, 4.0}, {3, 3.5}, {2, 0.5}}));
+  NraResult result = NraTopK(lists, 1);
+  ASSERT_EQ(result.top.size(), 1u);
+  EXPECT_EQ(result.top[0].first, 1u);  // 9.0 beats 4.5 and 3.5
+  EXPECT_NEAR(result.top[0].second, 9.0, 1e-9);
+}
+
+TEST(Nra, EmptyInputs) {
+  std::vector<NraList> lists;
+  EXPECT_TRUE(NraTopK(lists, 3).top.empty());
+  lists.emplace_back();
+  EXPECT_TRUE(NraTopK(lists, 0).top.empty());
+  EXPECT_TRUE(NraTopK(lists, 3).top.empty());
+}
+
+TEST(Nra, ObjectMissingFromSomeListsContributesZero) {
+  std::vector<NraList> lists;
+  lists.push_back(MakeList({{1, 1.0}, {2, 0.9}}));
+  lists.push_back(MakeList({{2, 0.2}}));
+  NraResult result = NraTopK(lists, 2);
+  ASSERT_EQ(result.top.size(), 2u);
+  EXPECT_EQ(result.top[0].first, 2u);  // 1.1
+  EXPECT_EQ(result.top[1].first, 1u);  // 1.0
+}
+
+TEST(Nra, HandlesNegativeScores) {
+  std::vector<NraList> lists;
+  lists.push_back(MakeList({{1, 3.0}, {2, 2.0}}));
+  lists.push_back(MakeList({{2, -0.5}, {1, -2.5}}));
+  NraResult result = NraTopK(lists, 1);
+  ASSERT_EQ(result.top.size(), 1u);
+  EXPECT_EQ(result.top[0].first, 2u);  // 1.5 beats 0.5
+}
+
+struct NraCase {
+  uint64_t seed;
+  size_t lists;
+  size_t objects;
+  size_t k;
+  bool negatives;
+};
+
+class NraRandomTest : public ::testing::TestWithParam<NraCase> {};
+
+TEST_P(NraRandomTest, MatchesBruteForce) {
+  NraCase param = GetParam();
+  Rng rng(param.seed);
+  std::vector<NraList> lists(param.lists);
+  for (NraList& list : lists) {
+    std::vector<std::pair<uint64_t, double>> entries;
+    for (uint64_t id = 0; id < param.objects; ++id) {
+      if (rng.Bernoulli(0.7)) {
+        double lo = param.negatives ? -5.0 : 0.0;
+        entries.emplace_back(id, rng.UniformDouble(lo, 10.0));
+      }
+    }
+    list = MakeList(std::move(entries));
+  }
+  NraResult fast = NraTopK(lists, param.k);
+  NraResult brute = BruteForceTopK(lists, param.k);
+  ASSERT_EQ(fast.top.size(), brute.top.size());
+  for (size_t i = 0; i < fast.top.size(); ++i) {
+    // Scores must agree; ids may differ only on exact ties.
+    EXPECT_NEAR(fast.top[i].second, brute.top[i].second, 1e-9) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInputs, NraRandomTest,
+    ::testing::Values(NraCase{1, 2, 50, 5, false},
+                      NraCase{2, 4, 100, 10, false},
+                      NraCase{3, 8, 30, 3, true},
+                      NraCase{4, 3, 200, 20, true},
+                      NraCase{5, 1, 40, 40, false},
+                      NraCase{6, 6, 80, 1, true}));
+
+TEST(Nra, EarlyTerminationSavesScans) {
+  // A heavily skewed input lets NRA stop early.
+  std::vector<NraList> lists(2);
+  std::vector<std::pair<uint64_t, double>> a;
+  std::vector<std::pair<uint64_t, double>> b;
+  a.emplace_back(0, 1000.0);
+  b.emplace_back(0, 1000.0);
+  for (uint64_t id = 1; id < 2000; ++id) {
+    a.emplace_back(id, 0.001);
+    b.emplace_back(id, 0.001);
+  }
+  lists[0] = MakeList(std::move(a));
+  lists[1] = MakeList(std::move(b));
+  NraResult result = NraTopK(lists, 1);
+  ASSERT_EQ(result.top.size(), 1u);
+  EXPECT_EQ(result.top[0].first, 0u);
+  EXPECT_TRUE(result.early_terminated);
+  EXPECT_LT(result.entries_scanned, 4000u);
+}
+
+}  // namespace
+}  // namespace copydetect

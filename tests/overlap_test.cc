@@ -1,0 +1,64 @@
+#include "simjoin/overlap.h"
+
+#include <gtest/gtest.h>
+
+#include "simjoin/prefix_join.h"
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+TEST(OverlapCounts, MotivatingExampleCounts) {
+  testutil::ExampleFixture fx;
+  OverlapCounts counts = ComputeOverlaps(fx.world.data);
+  EXPECT_EQ(counts.Get(2, 3), 5u);
+  EXPECT_EQ(counts.Get(3, 2), 5u);  // symmetric
+  EXPECT_EQ(counts.Get(0, 1), 4u);
+  EXPECT_EQ(counts.Get(0, 6), 3u);
+  EXPECT_EQ(counts.Get(0, 9), 2u);  // NJ and TX
+
+  EXPECT_EQ(counts.Get(5, 5), 0u);  // self
+}
+
+TEST(OverlapCounts, DenseAndSparseAgree) {
+  testutil::World world = testutil::SmallWorld(55, 35, 250);
+  OverlapCounts dense = ComputeOverlaps(world.data, /*threshold=*/1000);
+  OverlapCounts sparse = ComputeOverlaps(world.data, /*threshold=*/1);
+  for (SourceId a = 0; a < world.data.num_sources(); ++a) {
+    for (SourceId b = static_cast<SourceId>(a + 1);
+         b < world.data.num_sources(); ++b) {
+      EXPECT_EQ(dense.Get(a, b), sparse.Get(a, b))
+          << "pair " << a << "," << b;
+    }
+  }
+  EXPECT_EQ(dense.NumPositivePairs(), sparse.NumPositivePairs());
+}
+
+TEST(OverlapCounts, MatchesBruteForceJoin) {
+  testutil::World world = testutil::SmallWorld(56, 25, 150);
+  OverlapCounts counts = ComputeOverlaps(world.data);
+  std::vector<OverlapPair> brute = BruteForceJoin(world.data, 1);
+  for (const OverlapPair& p : brute) {
+    EXPECT_EQ(counts.Get(p.a, p.b), p.overlap);
+  }
+  EXPECT_EQ(counts.NumPositivePairs(), brute.size());
+}
+
+TEST(OverlapCounts, ForEachVisitsPositivePairsOnce) {
+  testutil::ExampleFixture fx;
+  OverlapCounts counts = ComputeOverlaps(fx.world.data);
+  size_t visits = 0;
+  uint64_t sum = 0;
+  counts.ForEach([&](uint64_t key, uint32_t c) {
+    (void)key;
+    ++visits;
+    sum += c;
+  });
+  EXPECT_EQ(visits, counts.NumPositivePairs());
+  // Sum over pairs of shared items = sum over items of C(providers,2)
+  // = 36+28+36+36+45 = 181 on the running example.
+  EXPECT_EQ(sum, 181u);
+}
+
+}  // namespace
+}  // namespace copydetect

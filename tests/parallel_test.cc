@@ -1,0 +1,77 @@
+#include "core/parallel_index.h"
+
+#include <gtest/gtest.h>
+
+#include "core/index_algo.h"
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+using testutil::CopySet;
+using testutil::PaperParams;
+
+TEST(ParallelIndexDetector, MatchesSequentialIndexOnExample) {
+  testutil::ExampleFixture fx;
+  ParallelIndexDetector parallel(PaperParams(), 4);
+  IndexDetector sequential(PaperParams());
+  CopyResult r1;
+  CopyResult r2;
+  ASSERT_TRUE(parallel.DetectRound(fx.Input(), 1, &r1).ok());
+  ASSERT_TRUE(sequential.DetectRound(fx.Input(), 1, &r2).ok());
+  EXPECT_EQ(CopySet(r1), CopySet(r2));
+  EXPECT_EQ(r1.NumTracked(), r2.NumTracked());
+}
+
+TEST(ParallelIndexDetector, PosteriorsMatchSequentialExactly) {
+  testutil::World world = testutil::SmallWorld(501, 40, 300);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+  ParallelIndexDetector parallel(PaperParams(), 8);
+  IndexDetector sequential(PaperParams());
+  CopyResult r1;
+  CopyResult r2;
+  ASSERT_TRUE(parallel.DetectRound(in, 1, &r1).ok());
+  ASSERT_TRUE(sequential.DetectRound(in, 1, &r2).ok());
+  ASSERT_EQ(r1.NumTracked(), r2.NumTracked());
+  r2.ForEach([&](SourceId a, SourceId b, const PairPosterior& q) {
+    PairPosterior p = r1.Get(a, b);
+    EXPECT_NEAR(p.p_indep, q.p_indep, 1e-9)
+        << "pair " << a << "," << b;
+  });
+}
+
+TEST(ParallelIndexDetector, ThreadCountsAgree) {
+  testutil::World world = testutil::SmallWorld(502, 30, 200);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+  std::vector<uint64_t> reference;
+  for (size_t threads : {1UL, 2UL, 3UL, 7UL, 16UL}) {
+    ParallelIndexDetector detector(PaperParams(), threads);
+    CopyResult result;
+    ASSERT_TRUE(detector.DetectRound(in, 1, &result).ok());
+    std::vector<uint64_t> pairs = CopySet(result);
+    if (reference.empty()) {
+      reference = pairs;
+    } else {
+      EXPECT_EQ(pairs, reference) << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelIndexDetector, SameWorkAsSequential) {
+  testutil::World world = testutil::SmallWorld(503, 30, 200);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+  ParallelIndexDetector parallel(PaperParams(), 4);
+  IndexDetector sequential(PaperParams());
+  CopyResult r1;
+  CopyResult r2;
+  ASSERT_TRUE(parallel.DetectRound(in, 1, &r1).ok());
+  ASSERT_TRUE(sequential.DetectRound(in, 1, &r2).ok());
+  EXPECT_EQ(parallel.counters().score_evals,
+            sequential.counters().score_evals);
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -1,0 +1,61 @@
+#include "simjoin/prefix_join.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+void ExpectSameJoin(const std::vector<OverlapPair>& a,
+                    const std::vector<OverlapPair>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].a, b[i].a) << i;
+    EXPECT_EQ(a[i].b, b[i].b) << i;
+    EXPECT_EQ(a[i].overlap, b[i].overlap) << i;
+  }
+}
+
+TEST(PrefixFilterJoin, MotivatingExampleThreshold5) {
+  testutil::ExampleFixture fx;
+  // Only full-coverage pairs share all 5 items.
+  std::vector<OverlapPair> pairs = PrefixFilterJoin(fx.world.data, 5);
+  std::vector<OverlapPair> brute = BruteForceJoin(fx.world.data, 5);
+  ExpectSameJoin(pairs, brute);
+  EXPECT_FALSE(pairs.empty());
+  for (const OverlapPair& p : pairs) EXPECT_EQ(p.overlap, 5u);
+}
+
+struct JoinCase {
+  uint64_t seed;
+  uint32_t min_overlap;
+};
+
+class PrefixJoinTest : public ::testing::TestWithParam<JoinCase> {};
+
+TEST_P(PrefixJoinTest, MatchesBruteForce) {
+  JoinCase param = GetParam();
+  testutil::World world = testutil::SmallWorld(param.seed, 30, 200);
+  std::vector<OverlapPair> fast =
+      PrefixFilterJoin(world.data, param.min_overlap);
+  std::vector<OverlapPair> brute =
+      BruteForceJoin(world.data, param.min_overlap);
+  ExpectSameJoin(fast, brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Thresholds, PrefixJoinTest,
+    ::testing::Values(JoinCase{101, 1}, JoinCase{101, 2},
+                      JoinCase{101, 8}, JoinCase{102, 1},
+                      JoinCase{102, 16}, JoinCase{103, 4},
+                      JoinCase{103, 32}, JoinCase{104, 64}));
+
+TEST(PrefixFilterJoin, HighThresholdYieldsNothingOnSparseData) {
+  testutil::World world = testutil::SmallWorld(105, 20, 50);
+  std::vector<OverlapPair> pairs = PrefixFilterJoin(world.data, 51);
+  EXPECT_TRUE(pairs.empty());
+}
+
+}  // namespace
+}  // namespace copydetect

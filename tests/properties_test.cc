@@ -1,0 +1,201 @@
+// Cross-cutting property suites: invariants that must hold across the
+// whole (alpha, s, n) parameter space and across random worlds.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/bayes.h"
+#include "core/hybrid.h"
+#include "core/index_algo.h"
+#include "core/inverted_index.h"
+#include "core/pairwise.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+struct ParamCase {
+  double alpha;
+  double s;
+  double n;
+};
+
+DetectionParams Make(const ParamCase& c) {
+  DetectionParams params;
+  params.alpha = c.alpha;
+  params.s = c.s;
+  params.n = c.n;
+  return params;
+}
+
+class ParamSpaceTest : public ::testing::TestWithParam<ParamCase> {};
+
+TEST_P(ParamSpaceTest, ThresholdOrdering) {
+  DetectionParams params = Make(GetParam());
+  ASSERT_TRUE(params.Validate().ok());
+  // theta_cp = theta_ind + ln 2 > theta_ind always.
+  EXPECT_GT(params.theta_cp(), params.theta_ind());
+  EXPECT_NEAR(params.theta_cp() - params.theta_ind(), std::log(2.0),
+              1e-12);
+  EXPECT_LT(params.different_penalty(), 0.0);
+}
+
+TEST_P(ParamSpaceTest, EntryScoreDominatesPairContributions) {
+  // Prop. 3.4's third bullet relies on M̂ being an upper bound for any
+  // provider pair's contribution.
+  DetectionParams params = Make(GetParam());
+  Rng rng(0xabcd);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t k = 2 + static_cast<size_t>(rng.NextBelow(5));
+    std::vector<double> accs(k);
+    for (double& a : accs) a = rng.UniformDouble(0.02, 0.98);
+    double p = rng.UniformDouble(0.005, 0.995);
+    double m_hat = MaxEntryContribution(accs, p, params);
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        if (i == j) continue;
+        EXPECT_LE(SharedContribution(p, accs[i], accs[j], params),
+                  m_hat + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(ParamSpaceTest, IndexMatchesPairwiseDecisions) {
+  DetectionParams params = Make(GetParam());
+  testutil::World world = testutil::SmallWorld(777, 30, 150);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+  IndexDetector index_detector(params);
+  PairwiseDetector pairwise(params);
+  CopyResult r1;
+  CopyResult r2;
+  ASSERT_TRUE(index_detector.DetectRound(in, 1, &r1).ok());
+  ASSERT_TRUE(pairwise.DetectRound(in, 1, &r2).ok());
+  EXPECT_EQ(testutil::CopySet(r1), testutil::CopySet(r2));
+}
+
+TEST_P(ParamSpaceTest, PosteriorIsMonotoneInScores) {
+  DetectionParams params = Make(GetParam());
+  double prev = 1.0;
+  for (double c = -10.0; c <= 10.0; c += 0.5) {
+    double p = NoCopyPosterior(c, c, params);
+    EXPECT_LT(p, prev + 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParamSpaceTest,
+    ::testing::Values(ParamCase{0.1, 0.8, 50.0},
+                      ParamCase{0.05, 0.6, 20.0},
+                      ParamCase{0.2, 0.9, 100.0},
+                      ParamCase{0.22, 0.4, 10.0},
+                      ParamCase{0.15, 0.2, 5.0},
+                      ParamCase{0.01, 0.99, 500.0}));
+
+TEST(Invariants, CopyingNeedsSharedFalseValues) {
+  // A world with perfectly accurate sources and no copiers must show
+  // no copying at all: shared true values are weak evidence.
+  WorldConfig config;
+  config.num_sources = 20;
+  config.num_items = 200;
+  config.false_pool = 10;
+  config.coverage = {.frac_small = 0.0,
+                     .small_lo = 0.5,
+                     .small_hi = 0.5,
+                     .big_lo = 0.8,
+                     .big_hi = 1.0};
+  config.accuracy = {.frac_low = 0.0,
+                     .low_lo = 0.9,
+                     .low_hi = 0.95,
+                     .high_lo = 0.97,
+                     .high_hi = 0.99};
+  config.copying.num_groups = 0;
+  auto world_or = GenerateWorld(config, 31337);
+  ASSERT_TRUE(world_or.ok());
+  testutil::WorldInput wi(*world_or);
+  DetectionInput in = wi.Input(*world_or);
+  PairwiseDetector detector(testutil::PaperParams());
+  CopyResult result;
+  ASSERT_TRUE(detector.DetectRound(in, 1, &result).ok());
+  // Almost no pair may be flagged. (Not exactly zero: a pair of
+  // accurate sources that *happens* to agree on every one of ~130
+  // shared items is legitimately suspicious under the model — an
+  // independent pair should disagree a few percent of the time.)
+  EXPECT_LE(result.CopyingPairs().size(), 2u);
+}
+
+TEST(Invariants, PlantedCopiersAreFound) {
+  // Conversely, low-accuracy copier cliques must be detected.
+  for (uint64_t seed : {3ULL, 4ULL, 5ULL}) {
+    testutil::World world = testutil::SmallWorld(seed, 40, 300);
+    testutil::WorldInput wi(world);
+    DetectionInput in = wi.Input(world);
+    HybridDetector detector(testutil::PaperParams());
+    CopyResult result;
+    ASSERT_TRUE(detector.DetectRound(in, 1, &result).ok());
+    PrfScores prf = ComparePairsToTruth(result, world.copy_pairs);
+    EXPECT_GE(prf.recall, 0.6) << "seed " << seed;
+  }
+}
+
+TEST(Invariants, TailSkippingNeverDropsCopyingPairs) {
+  // Any pair sharing only tail values has total possible score below
+  // theta_ind — verify empirically that no copying pair is lost versus
+  // a no-tail scan (FAGININPUT-style full accumulation).
+  testutil::World world = testutil::SmallWorld(99, 40, 250);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+  DetectionParams params = testutil::PaperParams();
+
+  IndexDetector with_tail(params);
+  CopyResult tail_result;
+  ASSERT_TRUE(with_tail.DetectRound(in, 1, &tail_result).ok());
+
+  PairwiseDetector exhaustive(params);
+  CopyResult full_result;
+  ASSERT_TRUE(exhaustive.DetectRound(in, 1, &full_result).ok());
+
+  for (uint64_t key : full_result.CopyingPairs()) {
+    EXPECT_TRUE(tail_result.IsCopying(PairFirst(key), PairSecond(key)))
+        << PairFirst(key) << "," << PairSecond(key);
+  }
+}
+
+TEST(Invariants, CountersAreAdditive) {
+  Counters a;
+  a.score_evals = 10;
+  a.bound_evals = 5;
+  a.finalize_evals = 2;
+  Counters b;
+  b.score_evals = 1;
+  b.pairs_tracked = 3;
+  a += b;
+  EXPECT_EQ(a.score_evals, 11u);
+  EXPECT_EQ(a.Total(), 18u);
+  EXPECT_EQ(a.pairs_tracked, 3u);
+  a.Reset();
+  EXPECT_EQ(a.Total(), 0u);
+}
+
+TEST(Invariants, ParamsValidateRejectsBadInput) {
+  DetectionParams params;
+  params.alpha = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params.alpha = 0.5;
+  EXPECT_FALSE(params.Validate().ok());
+  params.alpha = 0.1;
+  params.s = 1.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params.s = 0.8;
+  params.n = 0.5;
+  EXPECT_FALSE(params.Validate().ok());
+  params.n = 50;
+  EXPECT_TRUE(params.Validate().ok());
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -1,0 +1,161 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace copydetect {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(9);
+  bool seen[5] = {false, false, false, false, false};
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformInt(10, 14);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 14);
+    seen[v - 10] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BetaInUnitIntervalWithRightMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Beta(2.0, 5.0);
+    ASSERT_GT(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.0 / 7.0, 0.01);
+}
+
+TEST(Rng, ZipfSkewsLow) {
+  Rng rng(23);
+  const uint64_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.Zipf(n, 1.0);
+    ASSERT_LT(v, n);
+    ++counts[v];
+  }
+  // Rank 0 should dominate rank 50 heavily under theta = 1.
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(Rng, ZipfThetaZeroIsUniformish) {
+  Rng rng(29);
+  const uint64_t n = 10;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(n, 0.0)];
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i] / 20000.0, 0.1, 0.02);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(31);
+  std::vector<uint64_t> sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) ==
+              sample.end());
+  for (uint64_t v : sample) EXPECT_LT(v, 100u);
+  // k == n returns everything.
+  std::vector<uint64_t> all = rng.SampleWithoutReplacement(10, 10);
+  EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(Rng, DiscreteFollowsWeights) {
+  Rng rng(37);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Discrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 20000.0, 0.75, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(43);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.NextU64(), fork.NextU64());
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -1,0 +1,49 @@
+#include "model/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "model/dataset.h"
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+TEST(Stats, MotivatingExampleCounts) {
+  testutil::ExampleFixture fx;
+  DatasetStats st = ComputeStats(fx.world.data);
+  EXPECT_EQ(st.num_sources, 10u);
+  EXPECT_EQ(st.num_items, 5u);
+  EXPECT_EQ(st.num_observations, 45u);
+  EXPECT_EQ(st.num_distinct_values, 16u);
+  // Index entries = values with >= 2 providers = 13 (Table III).
+  EXPECT_EQ(st.num_index_entries, 13u);
+  EXPECT_NEAR(st.avg_values_per_item, 16.0 / 5.0, 1e-9);
+  EXPECT_NEAR(st.avg_providers_per_item, 45.0 / 5.0, 1e-9);
+}
+
+TEST(Stats, CoverageFractions) {
+  DatasetBuilder builder;
+  // 2 sources covering all items, 2 covering one item out of 200.
+  for (int d = 0; d < 200; ++d) {
+    std::string item = "D" + std::to_string(d);
+    builder.Add("big1", item, "v");
+    builder.Add("big2", item, "v");
+  }
+  builder.Add("small1", "D0", "v");
+  builder.Add("small2", "D1", "w");
+  auto data = builder.Build();
+  ASSERT_TRUE(data.ok());
+  DatasetStats st = ComputeStats(*data);
+  EXPECT_NEAR(st.frac_high_coverage_sources, 0.5, 1e-9);
+  EXPECT_NEAR(st.frac_low_coverage_sources, 0.5, 1e-9);
+}
+
+TEST(Stats, ToStringMentionsKeyNumbers) {
+  testutil::ExampleFixture fx;
+  std::string s = ComputeStats(fx.world.data).ToString();
+  EXPECT_NE(s.find("sources=10"), std::string::npos);
+  EXPECT_NE(s.find("index_entries=13"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -1,0 +1,86 @@
+#include "common/stringutil.h"
+
+#include <gtest/gtest.h>
+
+namespace copydetect {
+namespace {
+
+TEST(StrFormat, Formats) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(StrFormat("%s", "hello"), "hello");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\n x \r"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+}
+
+TEST(ParseDouble, AcceptsValidRejectsJunk) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(ParseUint64, AcceptsValidRejectsJunk) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("123", &v));
+  EXPECT_EQ(v, 123u);
+  EXPECT_FALSE(ParseUint64("12a", &v));
+  EXPECT_FALSE(ParseUint64("", &v));
+}
+
+TEST(WithCommas, GroupsThousands) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(1234567), "1,234,567");
+}
+
+TEST(HumanSeconds, PicksUnits) {
+  EXPECT_EQ(HumanSeconds(0.0000005), "0us");
+  EXPECT_EQ(HumanSeconds(0.0005), "500us");
+  EXPECT_EQ(HumanSeconds(0.25), "250.0ms");
+  EXPECT_EQ(HumanSeconds(2.5), "2.50s");
+  EXPECT_EQ(HumanSeconds(42.0), "42.0s");
+}
+
+TEST(FlagParser, ParsesFlags) {
+  const char* argv[] = {"prog", "--scale=0.5", "--seed=7", "--verbose"};
+  FlagParser parser(4, const_cast<char**>(argv));
+  EXPECT_EQ(parser.GetDouble("scale", 1.0), 0.5);
+  EXPECT_EQ(parser.GetUint64("seed", 1), 7u);
+  EXPECT_TRUE(parser.GetBool("verbose", false));
+  EXPECT_EQ(parser.GetString("dataset", "all"), "all");
+  parser.Finish();
+}
+
+}  // namespace
+}  // namespace copydetect

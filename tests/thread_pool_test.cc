@@ -1,0 +1,61 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace copydetect {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelSumMatchesSequential) {
+  ThreadPool pool(6);
+  const size_t n = 100000;
+  std::vector<uint64_t> values(n);
+  std::iota(values.begin(), values.end(), 0);
+  std::vector<uint64_t> partial(pool.num_threads() * 64, 0);
+  std::atomic<uint64_t> total{0};
+  pool.ParallelFor(n, [&](size_t i) {
+    total.fetch_add(values[i], std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(50, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace copydetect

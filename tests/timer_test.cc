@@ -1,0 +1,59 @@
+#include "common/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace copydetect {
+namespace {
+
+TEST(Stopwatch, AccumulatesAcrossStartStop) {
+  Stopwatch w;
+  EXPECT_EQ(w.Seconds(), 0.0);
+  w.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  w.Stop();
+  double first = w.Seconds();
+  EXPECT_GE(first, 0.009);
+  w.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  w.Stop();
+  EXPECT_GE(w.Seconds(), first + 0.009);
+}
+
+TEST(Stopwatch, ResetZeroes) {
+  Stopwatch w;
+  w.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  w.Stop();
+  w.Reset();
+  EXPECT_EQ(w.Seconds(), 0.0);
+}
+
+TEST(Stopwatch, DoubleStartIsNoop) {
+  Stopwatch w;
+  w.Start();
+  w.Start();
+  w.Stop();
+  w.Stop();
+  EXPECT_GE(w.Seconds(), 0.0);
+}
+
+TEST(Stopwatch, TimesCallable) {
+  double secs = Stopwatch::Time([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  EXPECT_GE(secs, 0.009);
+}
+
+TEST(ScopedTimer, AddsToSink) {
+  double sink = 0.0;
+  {
+    ScopedTimer t(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(sink, 0.004);
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -11,6 +11,7 @@
 // the reproduction target. See EXPERIMENTS.md.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
+#include "json_reporter.h"
 #include "model/stats.h"
 
 namespace copydetect {
@@ -79,6 +81,33 @@ inline std::string Improvement(double before, double now) {
   if (before <= 0.0) return "-";
   double frac = 1.0 - now / before;
   return StrFormat("%.1f%%", frac * 100.0);
+}
+
+/// Declares the shared --json=<path> flag (currently wired into
+/// micro_core and scaling; harnesses opt in by declaring it).
+/// Empty (the default) means human-readable output only.
+inline std::string JsonFlag(FlagParser& flags) {
+  return flags.GetString("json", "");
+}
+
+/// Writes `reporter` to `path` when --json was given; exits non-zero
+/// on IO failure or when nothing was measured, so CI catches a
+/// missing or hollow perf artifact.
+inline void MaybeWriteJson(const JsonReporter& reporter,
+                           const std::string& path) {
+  if (path.empty()) return;
+  if (reporter.empty()) {
+    std::fprintf(stderr,
+                 "json_reporter: no records measured — refusing to "
+                 "write %s\n",
+                 path.c_str());
+    std::exit(4);
+  }
+  if (!reporter.WriteFile(path)) std::exit(3);
+  // stderr so machine-readable stdout (--benchmark_format=json on
+  // micro_core) stays parseable.
+  std::fprintf(stderr, "wrote %zu records to %s\n", reporter.size(),
+               path.c_str());
 }
 
 }  // namespace bench

@@ -1,0 +1,96 @@
+#include "json_reporter.h"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/stringutil.h"
+
+namespace copydetect {
+namespace bench {
+namespace {
+
+// JSON has no NaN/Inf literals; non-finite measurements degrade to 0.
+std::string Num(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  return StrFormat("%.9g", v);
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonReporter::JsonReporter(std::string benchmark_name)
+    : benchmark_name_(std::move(benchmark_name)) {}
+
+void JsonReporter::Add(BenchRecord record) {
+  records_.push_back(std::move(record));
+}
+
+std::string JsonReporter::ToJson() const {
+  std::string out;
+  out += "{\n";
+  out += StrFormat("  \"benchmark\": \"%s\",\n",
+                   JsonEscape(benchmark_name_).c_str());
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"records\": [";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const BenchRecord& r = records_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += StrFormat(
+        "    {\"name\": \"%s\", \"detector\": \"%s\", "
+        "\"dataset\": \"%s\", \"scale\": %s, \"real_seconds\": %s, "
+        "\"cpu_seconds\": %s, \"iterations\": %llu, "
+        "\"items_per_second\": %s}",
+        JsonEscape(r.name).c_str(), JsonEscape(r.detector).c_str(),
+        JsonEscape(r.dataset).c_str(), Num(r.scale).c_str(),
+        Num(r.real_seconds).c_str(), Num(r.cpu_seconds).c_str(),
+        static_cast<unsigned long long>(r.iterations),
+        Num(r.items_per_second).c_str());
+  }
+  out += records_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool JsonReporter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "json_reporter: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::string doc = ToJson();
+  size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  bool closed = std::fclose(f) == 0;
+  bool ok = written == doc.size() && closed;
+  if (!ok) {
+    std::fprintf(stderr, "json_reporter: short write to %s\n",
+                 path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace bench
+}  // namespace copydetect

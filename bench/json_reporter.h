@@ -1,0 +1,77 @@
+#ifndef COPYDETECT_BENCH_JSON_REPORTER_H_
+#define COPYDETECT_BENCH_JSON_REPORTER_H_
+
+// Machine-readable output for the bench harnesses.
+//
+// A harness that opts in (micro_core and scaling today) accepts
+// --json=<path>; when set, it appends one BenchRecord per measured
+// configuration to a JsonReporter and writes a single JSON document
+// at exit. The schema is deliberately flat so
+// the perf-trajectory files (BENCH_micro.json, BENCH_scaling.json, …)
+// diff and plot trivially:
+//
+//   {
+//     "benchmark": "micro_core",
+//     "schema_version": 1,
+//     "records": [
+//       {"name": "...", "detector": "pairwise", "dataset": "book-cs",
+//        "scale": 0.5, "real_seconds": 1.2e-3, "cpu_seconds": 1.1e-3,
+//        "iterations": 100, "items_per_second": 0.0},
+//       ...
+//     ]
+//   }
+//
+// `detector` is empty for primitive micro-benchmarks; `real_seconds`
+// is per iteration (seconds per operation for micro-benchmarks, total
+// detection seconds with iterations == 1 for the harness tables).
+// For micro_core aggregate records (--benchmark_repetitions), the
+// name carries the aggregate suffix ("..._mean") and `iterations` is
+// the repetition count.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace copydetect {
+namespace bench {
+
+struct BenchRecord {
+  std::string name;
+  std::string detector;
+  std::string dataset;
+  double scale = 0.0;
+  double real_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  uint64_t iterations = 1;
+  double items_per_second = 0.0;
+};
+
+/// Escapes `s` for use inside a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string benchmark_name);
+
+  void Add(BenchRecord record);
+
+  bool empty() const { return records_.empty(); }
+  size_t size() const { return records_.size(); }
+
+  /// Renders the full document (trailing newline included).
+  std::string ToJson() const;
+
+  /// Writes the document to `path`; false (with a stderr message) on
+  /// IO failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string benchmark_name_;
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace bench
+}  // namespace copydetect
+
+#endif  // COPYDETECT_BENCH_JSON_REPORTER_H_

@@ -1,14 +1,27 @@
 // Micro-benchmarks of the primitives behind the detection scan:
 // hashing, pair-map updates, Bayesian scoring, index construction,
-// overlap counting, NRA, and the PAIRWISE inner merge.
+// overlap counting, NRA, the PAIRWISE inner merge, and one full
+// detection round per detector kind.
+//
+// Beyond the standard Google Benchmark flags, --json=<path> writes
+// the measurements as a json_reporter.h document (BENCH_micro.json in
+// the perf trajectory).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "bench_util.h"
 #include "common/flat_hash.h"
 #include "common/random.h"
+#include "common/stringutil.h"
 #include "core/bayes.h"
+#include "core/detector.h"
 #include "core/inverted_index.h"
 #include "core/pairwise.h"
 #include "datagen/generator.h"
+#include "json_reporter.h"
 #include "simjoin/overlap.h"
 #include "simjoin/prefix_join.h"
 #include "topk/nra.h"
@@ -197,7 +210,208 @@ void BM_NraTopK(benchmark::State& state) {
 }
 BENCHMARK(BM_NraTopK)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Full detection rounds, one benchmark per detector kind. These are
+// the "per-detector timings" of BENCH_micro.json: a single round over
+// a fixed generated world, detector state reset every iteration.
+
+constexpr size_t kDetectorSources = 48;
+constexpr size_t kDetectorItems = 1500;
+
+const WorldInputs& DetectorWorld() {
+  static const WorldInputs* inputs =
+      new WorldInputs(kDetectorSources, kDetectorItems);
+  return *inputs;
+}
+
+void BM_DetectorRound(benchmark::State& state, DetectorKind kind) {
+  const WorldInputs& inputs = DetectorWorld();
+  auto detector = MakeDetector(kind, Params());
+  DetectionInput in = inputs.Input();
+  CopyResult result;
+  for (auto _ : state) {
+    detector->Reset();
+    Status status = detector->DetectRound(in, /*round=*/1, &result);
+    if (!status.ok()) {
+      state.SkipWithError(status.message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+/// The detector-round benchmarks are named kDetectorPrefix +
+/// DetectorKindName(kind); CollectingReporter recovers the detector
+/// by stripping the prefix.
+constexpr std::string_view kDetectorPrefix = "BM_DetectorRound/";
+
+void RegisterDetectorBenchmarks() {
+  static constexpr DetectorKind kKinds[] = {
+      DetectorKind::kPairwise,   DetectorKind::kIndex,
+      DetectorKind::kBound,      DetectorKind::kBoundPlus,
+      DetectorKind::kHybrid,     DetectorKind::kIncremental,
+      DetectorKind::kFaginInput, DetectorKind::kParallelIndex,
+  };
+  for (DetectorKind kind : kKinds) {
+    std::string bench_name =
+        std::string(kDetectorPrefix) + std::string(DetectorKindName(kind));
+    benchmark::RegisterBenchmark(bench_name.c_str(), BM_DetectorRound,
+                                 kind)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+/// True when the run produced no usable measurement. Google Benchmark
+/// renamed Run::error_occurred to the Run::skipped enum in v1.8, so
+/// probe for whichever member this library version has.
+template <typename R>
+bool RunSkipped(const R& run) {
+  if constexpr (requires { run.error_occurred; }) {
+    return run.error_occurred;
+  } else {
+    return run.skipped != decltype(run.skipped){};
+  }
+}
+
+/// Display reporter that forwards to the --benchmark_format-selected
+/// reporter while collecting every finished run into a json_reporter.h
+/// document. (Passing a reporter to RunSpecifiedBenchmarks bypasses
+/// the library's own format selection, so we replicate it.)
+class CollectingReporter : public benchmark::BenchmarkReporter {
+ public:
+  CollectingReporter(bench::JsonReporter* json,
+                     std::unique_ptr<benchmark::BenchmarkReporter> inner)
+      : json_(json), inner_(std::move(inner)) {}
+
+  bool ReportContext(const Context& context) override {
+    inner_->SetOutputStream(&GetOutputStream());
+    inner_->SetErrorStream(&GetErrorStream());
+    return inner_->ReportContext(context);
+  }
+
+  void Finalize() override { inner_->Finalize(); }
+
+  size_t skipped_runs() const { return skipped_runs_; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    inner_->ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (RunSkipped(run)) {
+        ++skipped_runs_;
+        continue;
+      }
+      // Time-valued aggregate runs (mean/median/stddev under
+      // --benchmark_repetitions) are recorded too — under
+      // --benchmark_report_aggregates_only they are the only runs
+      // reported. Their benchmark_name() carries the aggregate suffix
+      // ("..._mean"), so records stay distinguishable; the detector
+      // lookup uses the base name; their `iterations` is the
+      // repetition count. Percentage-valued aggregates (cv) are not
+      // seconds and would poison time-series consumers — skip them.
+      if (run.run_type == Run::RT_Aggregate) {
+        if constexpr (requires { run.aggregate_unit; }) {
+          if (run.aggregate_unit ==
+              benchmark::StatisticUnit::kPercentage) {
+            continue;
+          }
+        }
+      }
+      bench::BenchRecord record;
+      record.name = run.benchmark_name();
+      // Under --benchmark_repetitions each repetition reports under
+      // the same name; tag them so records stay unique per run.
+      if (run.run_type == Run::RT_Iteration && run.repetitions > 1) {
+        record.name +=
+            StrFormat("@rep%d", static_cast<int>(run.repetition_index));
+      }
+      std::string base_name = run.run_name.str();
+      if (StartsWith(base_name, kDetectorPrefix)) {
+        record.detector = base_name.substr(kDetectorPrefix.size());
+        record.dataset = StrFormat("gen-%zux%zu", kDetectorSources,
+                                   kDetectorItems);
+        record.scale = 1.0;
+      }
+      double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      record.iterations = static_cast<uint64_t>(run.iterations);
+      record.real_seconds = run.real_accumulated_time / iters;
+      record.cpu_seconds = run.cpu_accumulated_time / iters;
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        record.items_per_second = items->second.value;
+      }
+      json_->Add(std::move(record));
+    }
+  }
+
+ private:
+  bench::JsonReporter* json_;
+  std::unique_ptr<benchmark::BenchmarkReporter> inner_;
+  size_t skipped_runs_ = 0;
+};
+
+/// The display reporter --benchmark_format would have chosen. CSV is
+/// deprecated upstream and not replicated here.
+std::unique_ptr<benchmark::BenchmarkReporter> MakeFormatReporter(
+    std::string_view format) {
+  if (format == "json") {
+    return std::make_unique<benchmark::JSONReporter>();
+  }
+  if (format != "console") {
+    std::fprintf(stderr,
+                 "micro_core: unsupported --benchmark_format=%.*s, "
+                 "using console\n",
+                 static_cast<int>(format.size()), format.data());
+  }
+  return std::make_unique<benchmark::ConsoleReporter>();
+}
+
 }  // namespace
 }  // namespace copydetect
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using copydetect::CollectingReporter;
+  using copydetect::bench::JsonReporter;
+
+  // Peel our --json=<path> off before Google Benchmark (which rejects
+  // flags it does not know) sees argv, and note --benchmark_format so
+  // the display side keeps honoring it.
+  std::string json_path;
+  std::string format = "console";
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+      continue;
+    }
+    if (arg.rfind("--benchmark_format=", 0) == 0) {
+      format = std::string(arg.substr(arg.find('=') + 1));
+    }
+    argv[kept++] = argv[i];
+  }
+  argv[kept] = nullptr;
+  argc = kept;
+
+  copydetect::RegisterDetectorBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  JsonReporter json("micro_core");
+  CollectingReporter reporter(&json,
+                              copydetect::MakeFormatReporter(format));
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  copydetect::bench::MaybeWriteJson(json, json_path);
+  // A JSON artifact missing series (skipped/errored benchmarks) must
+  // not pass CI silently.
+  if (!json_path.empty() && reporter.skipped_runs() > 0) {
+    std::fprintf(stderr,
+                 "micro_core: %zu benchmark(s) skipped — %s is "
+                 "incomplete\n",
+                 reporter.skipped_runs(), json_path.c_str());
+    return 4;
+  }
+  return 0;
+}

@@ -15,7 +15,10 @@ int main(int argc, char** argv) {
   double max_factor = flags.GetDouble("max-factor", 4.0);
   uint64_t seed = flags.GetUint64("seed", 7);
   std::string dataset = flags.GetString("dataset", "book-cs");
+  std::string json_path = JsonFlag(flags);
   flags.Finish();
+
+  JsonReporter reporter("scaling");
 
   TextTable table;
   table.SetHeader({"scale", "#pairs(all)", "pairwise", "index",
@@ -39,7 +42,16 @@ int main(int argc, char** argv) {
     auto run = [&](DetectorKind kind) {
       auto outcome = RunFusion(world, kind, options);
       CD_CHECK_OK(outcome.status());
-      return outcome->fusion.detect_seconds;
+      double seconds = outcome->fusion.detect_seconds;
+      reporter.Add({.name = "detect_total",
+                    .detector = std::string(DetectorKindName(kind)),
+                    .dataset = dataset,
+                    .scale = spec.scale,
+                    .real_seconds = seconds,
+                    .cpu_seconds = 0.0,
+                    .iterations = 1,
+                    .items_per_second = 0.0});
+      return seconds;
     };
     double pairwise = run(DetectorKind::kPairwise);
     double index = run(DetectorKind::kIndex);
@@ -61,5 +73,6 @@ int main(int argc, char** argv) {
       "Paper reference: at full size the gap reaches 2-3 orders of "
       "magnitude (Book-full: 11,536s -> 7.9s; Stock-2wk: 3,408s -> "
       "127s).\n");
+  MaybeWriteJson(reporter, json_path);
   return 0;
 }

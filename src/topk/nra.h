@@ -1,6 +1,7 @@
 #ifndef COPYDETECT_TOPK_NRA_H_
 #define COPYDETECT_TOPK_NRA_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <utility>

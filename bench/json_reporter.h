@@ -12,11 +12,11 @@
 //
 //   {
 //     "benchmark": "micro_core",
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "records": [
 //       {"name": "...", "detector": "pairwise", "dataset": "book-cs",
 //        "scale": 0.5, "real_seconds": 1.2e-3, "cpu_seconds": 1.1e-3,
-//        "iterations": 100, "items_per_second": 0.0},
+//        "iterations": 100, "items_per_second": 0.0, "threads": 1},
 //       ...
 //     ]
 //   }
@@ -27,6 +27,11 @@
 // For micro_core aggregate records (--benchmark_repetitions), the
 // name carries the aggregate suffix ("..._mean") and `iterations` is
 // the repetition count.
+//
+// schema_version 2 added `threads`: the executor width the measured
+// configuration ran with (1 = the serial path). Records with equal
+// name/detector/dataset/scale but different `threads` form the
+// speedup curve of one configuration.
 
 #include <cstdint>
 #include <string>
@@ -45,6 +50,7 @@ struct BenchRecord {
   double cpu_seconds = 0.0;
   uint64_t iterations = 1;
   double items_per_second = 0.0;
+  uint64_t threads = 1;  ///< executor width (1 = serial path)
 };
 
 /// Escapes `s` for use inside a JSON string literal (no quotes added).

@@ -5,22 +5,32 @@
 //
 // Beyond the standard Google Benchmark flags, --json=<path> writes
 // the measurements as a json_reporter.h document (BENCH_micro.json in
-// the perf trajectory).
+// the perf trajectory) and --threads=<N> sets the width of the
+// multi-threaded detector-round variants (0 = hardware concurrency;
+// every detector round is additionally measured at threads=1, so one
+// run records the speedup curve).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <utility>
 
 #include "bench_util.h"
+#include "common/executor.h"
 #include "common/flat_hash.h"
 #include "common/random.h"
 #include "common/stringutil.h"
 #include "core/bayes.h"
 #include "core/detector.h"
+#include "core/index_algo.h"
 #include "core/inverted_index.h"
 #include "core/pairwise.h"
 #include "datagen/generator.h"
+#include "eval/experiment.h"
 #include "json_reporter.h"
 #include "simjoin/overlap.h"
 #include "simjoin/prefix_join.h"
@@ -59,7 +69,9 @@ struct WorldInputs {
   std::vector<double> accs;
 
   WorldInputs(size_t sources, size_t items)
-      : world(BenchWorld(sources, items)) {
+      : WorldInputs(BenchWorld(sources, items)) {}
+
+  explicit WorldInputs(World w) : world(std::move(w)) {
     const Dataset& data = world.data;
     probs.assign(data.num_slots(), 0.0);
     for (ItemId d = 0; d < data.num_items(); ++d) {
@@ -211,12 +223,19 @@ void BM_NraTopK(benchmark::State& state) {
 BENCHMARK(BM_NraTopK)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------
-// Full detection rounds, one benchmark per detector kind. These are
-// the "per-detector timings" of BENCH_micro.json: a single round over
-// a fixed generated world, detector state reset every iteration.
+// Full detection rounds, one benchmark per detector kind and executor
+// width. These are the "per-detector timings" of BENCH_micro.json: a
+// single round over a fixed generated world, detector state reset
+// every iteration. Each kind is registered at threads=1 (the serial
+// path) and at the --threads width, so one run records both ends of
+// the speedup curve.
 
 constexpr size_t kDetectorSources = 48;
 constexpr size_t kDetectorItems = 1500;
+
+/// Scale of the book-full profile used by BM_IndexRound/book-full —
+/// the bench-default scale of that data set (see bench_util.h).
+constexpr double kBookFullScale = 0.05;
 
 const WorldInputs& DetectorWorld() {
   static const WorldInputs* inputs =
@@ -224,9 +243,24 @@ const WorldInputs& DetectorWorld() {
   return *inputs;
 }
 
-void BM_DetectorRound(benchmark::State& state, DetectorKind kind) {
-  const WorldInputs& inputs = DetectorWorld();
-  auto detector = MakeDetector(kind, Params());
+const WorldInputs& BookFullWorld() {
+  static const WorldInputs* inputs = new WorldInputs([] {
+    auto world = MakeWorldByName("book-full", kBookFullScale, 42);
+    CD_CHECK_OK(world.status());
+    return std::move(world).value();
+  }());
+  return *inputs;
+}
+
+void DetectorRoundLoop(benchmark::State& state, const WorldInputs& inputs,
+                       DetectorKind kind) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  // One persistent executor per measured configuration, shared across
+  // iterations — the pool is part of the runtime, not of the round.
+  Executor executor(threads);
+  DetectionParams params = Params();
+  params.executor = &executor;
+  auto detector = MakeDetector(kind, params);
   DetectionInput in = inputs.Input();
   CopyResult result;
   for (auto _ : state) {
@@ -240,12 +274,23 @@ void BM_DetectorRound(benchmark::State& state, DetectorKind kind) {
   }
 }
 
-/// The detector-round benchmarks are named kDetectorPrefix +
-/// DetectorKindName(kind); CollectingReporter recovers the detector
-/// by stripping the prefix.
-constexpr std::string_view kDetectorPrefix = "BM_DetectorRound/";
+void BM_DetectorRound(benchmark::State& state, DetectorKind kind) {
+  DetectorRoundLoop(state, DetectorWorld(), kind);
+}
 
-void RegisterDetectorBenchmarks() {
+void BM_IndexRoundBookFull(benchmark::State& state) {
+  DetectorRoundLoop(state, BookFullWorld(), DetectorKind::kIndex);
+}
+
+/// The detector-round benchmarks are named kDetectorPrefix +
+/// DetectorKindName(kind) + "/" + threads; CollectingReporter recovers
+/// detector and threads by parsing the name. kBookFullPrefix is the
+/// INDEX round over the book-full profile (the acceptance speedup
+/// anchor).
+constexpr std::string_view kDetectorPrefix = "BM_DetectorRound/";
+constexpr std::string_view kBookFullPrefix = "BM_IndexRound/book-full";
+
+void RegisterDetectorBenchmarks(size_t multi_threads) {
   static constexpr DetectorKind kKinds[] = {
       DetectorKind::kPairwise,   DetectorKind::kIndex,
       DetectorKind::kBound,      DetectorKind::kBoundPlus,
@@ -255,9 +300,16 @@ void RegisterDetectorBenchmarks() {
   for (DetectorKind kind : kKinds) {
     std::string bench_name =
         std::string(kDetectorPrefix) + std::string(DetectorKindName(kind));
-    benchmark::RegisterBenchmark(bench_name.c_str(), BM_DetectorRound,
-                                 kind)
-        ->Unit(benchmark::kMillisecond);
+    auto* bench = benchmark::RegisterBenchmark(
+        bench_name.c_str(), BM_DetectorRound, kind);
+    bench->Unit(benchmark::kMillisecond)->Arg(1);
+    if (multi_threads > 1) bench->Arg(static_cast<int>(multi_threads));
+  }
+  auto* book_full = benchmark::RegisterBenchmark(
+      std::string(kBookFullPrefix).c_str(), BM_IndexRoundBookFull);
+  book_full->Unit(benchmark::kMillisecond)->Arg(1);
+  if (multi_threads > 1) {
+    book_full->Arg(static_cast<int>(multi_threads));
   }
 }
 
@@ -326,10 +378,25 @@ class CollectingReporter : public benchmark::BenchmarkReporter {
       }
       std::string base_name = run.run_name.str();
       if (StartsWith(base_name, kDetectorPrefix)) {
-        record.detector = base_name.substr(kDetectorPrefix.size());
+        // "BM_DetectorRound/<detector>/<threads>".
+        std::string rest = base_name.substr(kDetectorPrefix.size());
+        size_t slash = rest.rfind('/');
+        record.detector = rest.substr(0, slash);
+        if (slash != std::string::npos) {
+          record.threads = std::strtoull(rest.c_str() + slash + 1,
+                                         nullptr, 10);
+        }
         record.dataset = StrFormat("gen-%zux%zu", kDetectorSources,
                                    kDetectorItems);
         record.scale = 1.0;
+      } else if (StartsWith(base_name, kBookFullPrefix)) {
+        // "BM_IndexRound/book-full/<threads>".
+        record.detector = "index";
+        record.dataset = "book-full";
+        record.scale = kBookFullScale;
+        size_t slash = base_name.rfind('/');
+        record.threads = std::strtoull(base_name.c_str() + slash + 1,
+                                       nullptr, 10);
       }
       double iters =
           run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
@@ -373,16 +440,22 @@ int main(int argc, char** argv) {
   using copydetect::CollectingReporter;
   using copydetect::bench::JsonReporter;
 
-  // Peel our --json=<path> off before Google Benchmark (which rejects
-  // flags it does not know) sees argv, and note --benchmark_format so
-  // the display side keeps honoring it.
+  // Peel our --json=<path> / --threads=<N> off before Google Benchmark
+  // (which rejects flags it does not know) sees argv, and note
+  // --benchmark_format so the display side keeps honoring it.
   std::string json_path;
   std::string format = "console";
+  size_t threads = 0;  // 0 = hardware concurrency
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg(argv[i]);
     if (arg.rfind("--json=", 0) == 0) {
       json_path = std::string(arg.substr(7));
+      continue;
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<size_t>(
+          std::strtoull(arg.data() + arg.find('=') + 1, nullptr, 10));
       continue;
     }
     if (arg.rfind("--benchmark_format=", 0) == 0) {
@@ -392,8 +465,15 @@ int main(int argc, char** argv) {
   }
   argv[kept] = nullptr;
   argc = kept;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+    // Auto-detection on a single-core runner still records a >1 point
+    // so the speedup curve exists everywhere (the overhead is part of
+    // the curve). An explicit --threads=1 stays serial-only.
+    if (threads == 1) threads = 2;
+  }
 
-  copydetect::RegisterDetectorBenchmarks();
+  copydetect::RegisterDetectorBenchmarks(threads);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
 

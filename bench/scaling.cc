@@ -5,6 +5,7 @@
 // prints detection time per method so the divergence is visible; the
 // paper-size extrapolation is the last row's trend.
 #include "bench_util.h"
+#include "common/executor.h"
 
 using namespace copydetect;
 using namespace copydetect::bench;
@@ -15,8 +16,12 @@ int main(int argc, char** argv) {
   double max_factor = flags.GetDouble("max-factor", 4.0);
   uint64_t seed = flags.GetUint64("seed", 7);
   std::string dataset = flags.GetString("dataset", "book-cs");
+  // 1 = serial (the historical configuration), 0 = hardware width.
+  uint64_t threads = flags.GetUint64("threads", 1);
   std::string json_path = JsonFlag(flags);
   flags.Finish();
+
+  Executor executor(static_cast<size_t>(threads));
 
   JsonReporter reporter("scaling");
 
@@ -38,6 +43,7 @@ int main(int argc, char** argv) {
     BenchDataset spec{dataset, base_scale * factor};
     World world = MakeWorld(spec, seed);
     FusionOptions options = OptionsFor(world, /*max_rounds=*/6);
+    options.params.executor = &executor;
 
     auto run = [&](DetectorKind kind) {
       auto outcome = RunFusion(world, kind, options);
@@ -50,7 +56,8 @@ int main(int argc, char** argv) {
                     .real_seconds = seconds,
                     .cpu_seconds = 0.0,
                     .iterations = 1,
-                    .items_per_second = 0.0});
+                    .items_per_second = 0.0,
+                    .threads = executor.num_threads()});
       return seconds;
     };
     double pairwise = run(DetectorKind::kPairwise);

@@ -11,9 +11,13 @@
 //
 //   # on a synthetic world, evaluating against the planted truth
 //   ./copydetect_cli --generate=book-cs --scale=0.2 --seed=7
+//
+//   # multi-threaded detection + fusion (0 = all hardware threads)
+//   ./copydetect_cli --generate=book-full --threads=0
 #include <cstdio>
 
 #include "common/csv.h"
+#include "common/executor.h"
 #include "common/stringutil.h"
 #include "core/copy_graph.h"
 #include "eval/experiment.h"
@@ -73,7 +77,7 @@ Status WriteCopiesCsv(const std::string& path, const Dataset& data,
           {StrFormat("%zu", c),
            std::string(data.source_name(edge.a)),
            std::string(data.source_name(edge.b)), kind_name(edge.kind),
-           "",
+           StrFormat("%.6f", edge.pr_a_copies_b),
            std::string(data.source_name(cluster.original))});
     }
   }
@@ -93,6 +97,8 @@ int main(int argc, char** argv) {
   double s = flags.GetDouble("s", 0.8);
   double n = flags.GetDouble("n", 50.0);
   uint64_t max_rounds = flags.GetUint64("max-rounds", 12);
+  // 1 = serial (default), 0 = hardware concurrency, N = N workers.
+  uint64_t threads = flags.GetUint64("threads", 1);
   std::string out_truth = flags.GetString("out-truth", "");
   std::string out_accs = flags.GetString("out-accuracies", "");
   std::string out_copies = flags.GetString("out-copies", "");
@@ -137,6 +143,13 @@ int main(int argc, char** argv) {
   options.params.s = s;
   options.params.n = n;
   options.max_rounds = static_cast<int>(max_rounds);
+  // One persistent executor shared by every detection round and the
+  // fusion aggregation; --threads=1 never spawns a thread.
+  Executor executor(static_cast<size_t>(threads));
+  options.params.executor = &executor;
+  if (executor.num_threads() > 1) {
+    std::printf("Threads: %zu\n", executor.num_threads());
+  }
   CD_CHECK_OK(options.params.Validate());
 
   auto outcome = RunFusion(world, kind, options);

@@ -1,0 +1,31 @@
+#include "common/executor.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace copydetect {
+
+Executor::Executor(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads =
+        std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads_ = num_threads;
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
+}
+
+Executor::~Executor() = default;
+
+void Executor::ParallelFor(size_t n,
+                           const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool_ == nullptr || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool_->ParallelFor(n, fn);
+}
+
+}  // namespace copydetect

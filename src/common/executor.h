@@ -1,0 +1,62 @@
+#ifndef COPYDETECT_COMMON_EXECUTOR_H_
+#define COPYDETECT_COMMON_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "common/thread_pool.h"
+
+namespace copydetect {
+
+/// Shared execution backend for every parallel path in the engine: one
+/// persistent ThreadPool reused by all detectors and the fusion loop
+/// for the lifetime of a run, instead of the per-round pool the §VIII
+/// prototype constructed and tore down on every detection round. A
+/// handle travels through DetectionParams (and therefore
+/// FusionOptions); components that receive no handle run serially.
+///
+/// Guarantees:
+///  * num_threads == 1 (the `--threads=1` fallback) never spawns a
+///    thread — everything runs inline on the caller;
+///  * nested ParallelFor from inside a pool worker runs inline instead
+///    of deadlocking (see ThreadPool::ParallelFor);
+///  * ParallelFor calls from different threads may overlap safely
+///    (each call tracks its own completion).
+class Executor {
+ public:
+  /// `num_threads` == 0 picks std::thread::hardware_concurrency().
+  explicit Executor(size_t num_threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+  /// True when ParallelFor always runs inline on the caller.
+  bool serial() const { return pool_ == nullptr; }
+
+  /// Runs fn(i) for i in [0, n) and returns when all iterations are
+  /// done. `fn` must be safe to invoke concurrently for distinct i
+  /// unless serial().
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  size_t num_threads_;
+  std::unique_ptr<ThreadPool> pool_;  // null in serial mode
+};
+
+/// Convenience for call sites holding a nullable handle: runs on
+/// `executor` when present, inline otherwise.
+inline void ParallelFor(Executor* executor, size_t n,
+                        const std::function<void(size_t)>& fn) {
+  if (executor != nullptr) {
+    executor->ParallelFor(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_COMMON_EXECUTOR_H_

@@ -6,6 +6,15 @@
 
 namespace copydetect {
 
+namespace {
+
+/// The pool the calling thread is a worker of (null on non-workers).
+/// Lets ParallelFor / Wait detect nested submission and run inline
+/// instead of deadlocking.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
@@ -23,6 +32,10 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+bool ThreadPool::InWorkerThread() const {
+  return tls_current_pool == this;
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -33,6 +46,46 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  if (InWorkerThread()) {
+    // A worker waiting for the pool can never see in_flight_ == 0 —
+    // its own task is in flight. Help instead: drain queued tasks
+    // inline, then wait until the only in-flight tasks left belong to
+    // workers that are themselves blocked here (counting them would
+    // deadlock two waiters against each other).
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!queue_.empty()) {
+          task = std::move(queue_.front());
+          queue_.pop();
+          ++in_flight_;
+        }
+      }
+      if (task) {
+        task();
+        std::lock_guard<std::mutex> lock(mu_);
+        --in_flight_;
+        if (queue_.empty() && in_flight_ == waiting_workers_) {
+          idle_cv_.notify_all();
+        }
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!queue_.empty()) continue;  // raced with a new Submit: drain
+      ++waiting_workers_;
+      // Our joining the waiters may complete the group (e.g. every
+      // remaining in-flight task is now waiting here).
+      if (in_flight_ == waiting_workers_) idle_cv_.notify_all();
+      idle_cv_.wait(lock, [this] {
+        return !queue_.empty() || in_flight_ == waiting_workers_;
+      });
+      const bool done = queue_.empty() && in_flight_ == waiting_workers_;
+      --waiting_workers_;
+      if (done) return;
+      // New work arrived while waiting — go back to draining it.
+    }
+  }
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
 }
@@ -40,31 +93,51 @@ void ThreadPool::Wait() {
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  // Chunk to limit queue churn: at most 4 chunks per worker.
-  size_t chunks = std::min(n, workers_.size() * 4);
-  size_t per = (n + chunks - 1) / chunks;
-  std::atomic<size_t> next{0};
+  if (InWorkerThread()) {
+    // Nested submission from a pool thread: enqueueing and waiting
+    // here used to deadlock once every worker blocked on sub-tasks no
+    // idle worker could pick up. Run inline.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Chunk to limit queue churn: at most 4 chunks per worker. Each call
+  // carries its own completion latch so overlapping ParallelFor calls
+  // (e.g. two components sharing one Executor) never wait on each
+  // other's tasks.
+  const size_t chunks = std::min(n, workers_.size() * 4);
+  const size_t per = (n + chunks - 1) / chunks;
+  struct Latch {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending;
+  } latch;
+  latch.pending = chunks;
   for (size_t c = 0; c < chunks; ++c) {
-    Submit([&, per, n] {
+    Submit([&latch, &fn, per, n] {
       for (;;) {
-        size_t begin = next.fetch_add(per);
-        if (begin >= n) return;
+        size_t begin = latch.next.fetch_add(per);
+        if (begin >= n) break;
         size_t end = std::min(n, begin + per);
         for (size_t i = begin; i < end; ++i) fn(i);
       }
+      std::lock_guard<std::mutex> lock(latch.mu);
+      if (--latch.pending == 0) latch.cv.notify_one();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.cv.wait(lock, [&latch] { return latch.pending == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) {
-        if (shutdown_) return;
+        if (shutdown_) break;
         continue;
       }
       task = std::move(queue_.front());
@@ -75,9 +148,15 @@ void ThreadPool::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      // waiting_workers_ == 0 makes this the plain all-idle condition;
+      // otherwise it also releases workers blocked in Wait() once only
+      // waiters remain in flight.
+      if (queue_.empty() && in_flight_ == waiting_workers_) {
+        idle_cv_.notify_all();
+      }
     }
   }
+  tls_current_pool = nullptr;
 }
 
 }  // namespace copydetect

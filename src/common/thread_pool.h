@@ -11,9 +11,19 @@
 
 namespace copydetect {
 
-/// Fixed-size worker pool used by the parallel index-scan extension
-/// (the paper's §VIII future-work direction). Tasks are void() closures;
-/// Wait() blocks until the queue drains and all workers are idle.
+/// Fixed-size worker pool behind the Executor runtime (originally the
+/// parallel index-scan extension, the paper's §VIII future-work
+/// direction). Tasks are void() closures; Wait() blocks until the
+/// queue drains and all workers are idle.
+///
+/// Re-entrancy: calling ParallelFor from one of the pool's own worker
+/// threads runs the loop inline instead of enqueueing — a worker that
+/// blocked on its own sub-tasks would deadlock the moment all workers
+/// did so (and Wait() can never observe in_flight_ == 0 from inside a
+/// task, because the caller itself is in flight). Wait() from a worker
+/// helps drain the queue inline, then waits for tasks running on other
+/// workers — excluding tasks whose workers are themselves blocked in
+/// Wait(), which would otherwise deadlock against each other.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1).
@@ -26,12 +36,22 @@ class ThreadPool {
   /// Enqueues a task. Thread-safe.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every submitted task has completed. From a worker
+  /// thread, helps by executing queued tasks inline, then blocks until
+  /// the only tasks still in flight are those of workers themselves
+  /// blocked in Wait() — counting mutual waiters would deadlock them
+  /// against each other (see class comment).
   void Wait();
 
-  /// Runs fn(i) for i in [0, n) across the pool and waits. `fn` must be
-  /// safe to invoke concurrently for distinct i.
+  /// Runs fn(i) for i in [0, n) across the pool and returns when every
+  /// iteration is done. `fn` must be safe to invoke concurrently for
+  /// distinct i. Each call tracks its own completion, so concurrent
+  /// ParallelFor calls from different threads do not wait on each
+  /// other's work; a nested call from a worker thread runs inline.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool InWorkerThread() const;
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -44,6 +64,9 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   size_t in_flight_ = 0;
+  /// Workers currently blocked inside Wait() (each is inside a task,
+  /// so in_flight_ >= waiting_workers_ always holds).
+  size_t waiting_workers_ = 0;
   bool shutdown_ = false;
 };
 

@@ -1,6 +1,7 @@
 #ifndef COPYDETECT_CORE_BAYES_H_
 #define COPYDETECT_CORE_BAYES_H_
 
+#include <cstdint>
 #include <span>
 
 #include "core/params.h"
@@ -56,6 +57,19 @@ double MaxEntryContribution(std::span<const double> accuracies, double p,
 double BruteForceMaxEntryContribution(std::span<const double> accuracies,
                                       double p,
                                       const DetectionParams& params);
+
+/// Total different-value adjustment ln(1-s)·(l - n) of the INDEX
+/// finalization step (§III Step 3), computed in double space.
+/// `l` (shared items) and `n_shared` (shared values) are unsigned
+/// counts from different passes; the naive `l - n_shared` wraps to
+/// ~4·10^9 whenever a stale overlap cache or crafted input makes
+/// n_shared exceed l, exploding the penalty. Widen before subtracting
+/// so the mismatch degrades gracefully instead.
+inline double DifferentValuePenalty(double per_item_penalty, uint32_t l,
+                                    uint32_t n_shared) {
+  return per_item_penalty *
+         (static_cast<double>(l) - static_cast<double>(n_shared));
+}
 
 }  // namespace copydetect
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/executor.h"
 #include "core/bayes.h"
+#include "core/sharded_scan.h"
 
 namespace copydetect {
 
@@ -34,28 +36,18 @@ uint32_t CeilToU32(double v) {
   return static_cast<uint32_t>(c);
 }
 
-}  // namespace
-
-Status BoundedScan(const DetectionInput& in, const DetectionParams& params,
-                   const ScanConfig& config,
-                   const OverlapCounts& overlaps, Counters* counters,
-                   CopyResult* out, ScanBookkeeping* book,
-                   ScanOutputs* extras) {
-  CD_RETURN_IF_ERROR(in.Validate());
-  out->Clear();
-  if (book != nullptr) book->Clear();
-
-  auto index_or =
-      InvertedIndex::Build(in, params, config.ordering, config.seed);
-  if (!index_or.ok()) return index_or.status();
-  std::unique_ptr<InvertedIndex> index_holder =
-      std::make_unique<InvertedIndex>(std::move(index_or).value());
-  const InvertedIndex& index = *index_holder;
-  if (extras != nullptr) {
-    extras->index_seconds = index.build_seconds();
-    extras->num_entries = index.num_entries();
-  }
-
+/// One shard of the bounded scan over a prebuilt index. Pairs are
+/// partitioned by ownership (Mix64(PairKey) mod num_shards); pair
+/// states never interact, and the per-source observed-value counts
+/// n_src every shard recomputes identically from the shared entry
+/// stream, so each owned pair evolves exactly as in the sequential
+/// scan — the parallel result is bit-identical at any shard count.
+/// entries_scanned is charged to shard 0 only.
+void ScanShard(const InvertedIndex& index, const DetectionInput& in,
+               const DetectionParams& params, const ScanConfig& config,
+               const OverlapCounts& overlaps, size_t shard,
+               size_t num_shards, Counters* counters, CopyResult* out,
+               ScanBookkeeping* book) {
   const Dataset& data = *in.data;
   const std::vector<double>& accs = *in.accuracies;
 
@@ -67,7 +59,7 @@ Status BoundedScan(const DetectionInput& in, const DetectionParams& params,
   std::vector<uint32_t> n_src(data.num_sources(), 0);
 
   for (size_t rank = 0; rank < index.num_entries(); ++rank) {
-    ++counters->entries_scanned;
+    if (shard == 0) ++counters->entries_scanned;
     const IndexEntry& e = index.entry(rank);
     std::span<const SourceId> providers = index.providers(rank);
     const bool tail = config.respect_tail && index.in_tail(rank);
@@ -85,6 +77,7 @@ Status BoundedScan(const DetectionInput& in, const DetectionParams& params,
         SourceId lo = std::min(providers[i], providers[j]);
         SourceId hi = std::max(providers[i], providers[j]);
         uint64_t key = PairKey(lo, hi);
+        if (num_shards > 1 && Mix64(key) % num_shards != shard) continue;
 
         ScanState* st;
         if (tail) {
@@ -208,8 +201,7 @@ Status BoundedScan(const DetectionInput& in, const DetectionParams& params,
     }
     SourceId lo = PairFirst(key);
     SourceId hi = PairSecond(key);
-    double diff = penalty * (static_cast<double>(st.l) -
-                             static_cast<double>(st.n0));
+    double diff = DifferentValuePenalty(penalty, st.l, st.n0);
     double c_fwd = st.c_fwd + diff;
     double c_bwd = st.c_bwd + diff;
     counters->finalize_evals += 2;
@@ -227,6 +219,42 @@ Status BoundedScan(const DetectionInput& in, const DetectionParams& params,
       (*book)[key] = pb;
     }
   });
+}
+
+}  // namespace
+
+Status BoundedScan(const DetectionInput& in, const DetectionParams& params,
+                   const ScanConfig& config,
+                   const OverlapCounts& overlaps, Counters* counters,
+                   CopyResult* out, ScanBookkeeping* book,
+                   ScanOutputs* extras) {
+  CD_RETURN_IF_ERROR(in.Validate());
+  out->Clear();
+  if (book != nullptr) book->Clear();
+
+  auto index_or =
+      InvertedIndex::Build(in, params, config.ordering, config.seed);
+  if (!index_or.ok()) return index_or.status();
+  std::unique_ptr<InvertedIndex> index_holder =
+      std::make_unique<InvertedIndex>(std::move(index_or).value());
+  const InvertedIndex& index = *index_holder;
+  if (extras != nullptr) {
+    extras->index_seconds = index.build_seconds();
+    extras->num_entries = index.num_entries();
+  }
+
+  // Parallel sharded scan over the shared executor. The bookkeeping
+  // path (INCREMENTAL's preparation round) stays sequential: it is
+  // paid once per fusion run and merging shard books buys nothing.
+  Executor* executor = book == nullptr ? params.executor : nullptr;
+  RunShardedScan(executor, counters, out,
+                 [&](size_t shard, size_t num_shards, Counters* c,
+                     CopyResult* o) {
+                   ScanShard(index, in, params, config, overlaps, shard,
+                             num_shards, c, o,
+                             num_shards == 1 ? book : nullptr);
+                 });
+
   if (extras != nullptr && extras->keep_index) {
     extras->index = std::move(index_holder);
   }
@@ -236,6 +264,7 @@ Status BoundedScan(const DetectionInput& in, const DetectionParams& params,
 Status BoundDetector::DetectRound(const DetectionInput& in, int round,
                                   CopyResult* out) {
   (void)round;
+  CD_RETURN_IF_ERROR(in.Validate());
   ScanConfig config;
   config.lazy_bounds = lazy_;
   config.hybrid_threshold = 0;

@@ -57,6 +57,13 @@ struct ScanOutputs {
 /// per-pair records INCREMENTAL needs. The tail-set optimization is
 /// only active under kByContribution ordering; other orderings process
 /// every entry as a head entry.
+///
+/// When `params.executor` runs more than one thread and `book` is
+/// null, the scan shards by pair ownership over the shared executor:
+/// the index is built once, every worker walks it maintaining its own
+/// n_src counts, and each pair's state evolves inside its single owner
+/// exactly as it would sequentially — bit-identical results at every
+/// thread count. The bookkeeping path stays sequential.
 Status BoundedScan(const DetectionInput& in, const DetectionParams& params,
                    const ScanConfig& config,
                    const OverlapCounts& overlaps, Counters* counters,

@@ -100,6 +100,8 @@ CopyGraph AnalyzeCopyGraph(const CopyResult& result) {
     ClassifiedEdge edge;
     edge.a = a;
     edge.b = b;
+    edge.pr_a_copies_b = result.PrCopies(a, b);
+    edge.pr_b_copies_a = result.PrCopies(b, a);
     if (a == cluster.original || b == cluster.original) {
       edge.kind = EdgeKind::kDirect;
       SourceId copier = a == cluster.original ? b : a;

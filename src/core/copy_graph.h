@@ -32,6 +32,12 @@ struct ClassifiedEdge {
   SourceId a = kInvalidSource;
   SourceId b = kInvalidSource;
   EdgeKind kind = EdgeKind::kDirect;
+  /// Pr(a copies from b) from the detection posterior — carried so
+  /// downstream consumers (e.g. the CLI's copies CSV) can report the
+  /// pair strength without re-querying the CopyResult.
+  double pr_a_copies_b = 0.0;
+  /// Pr(b copies from a), the opposite direction.
+  double pr_b_copies_a = 0.0;
 };
 
 /// One connected component of the copying graph.

@@ -11,6 +11,7 @@ Status HybridDetector::DetectRound(const DetectionInput& in, int round,
 Status HybridDetector::DetectWithBookkeeping(const DetectionInput& in,
                                              CopyResult* out,
                                              ScanBookkeeping* book) {
+  CD_RETURN_IF_ERROR(in.Validate());
   ScanConfig config;
   config.lazy_bounds = true;
   config.hybrid_threshold = params_.hybrid_threshold;

@@ -1,6 +1,8 @@
 #include "core/index_algo.h"
 
+#include "common/executor.h"
 #include "core/bayes.h"
+#include "core/sharded_scan.h"
 
 namespace copydetect {
 
@@ -12,27 +14,23 @@ struct IndexPairState {
   uint32_t n_shared = 0;
 };
 
-}  // namespace
-
-Status IndexDetector::DetectRound(const DetectionInput& in, int round,
-                                  CopyResult* out) {
-  (void)round;
-  CD_RETURN_IF_ERROR(in.Validate());
-  out->Clear();
-
-  auto index_or = InvertedIndex::Build(in, params_, ordering_, seed_);
-  if (!index_or.ok()) return index_or.status();
-  const InvertedIndex& index = *index_or;
-  const OverlapCounts& overlaps = overlap_cache_.Get(*in.data);
-  last_index_seconds_ = index.build_seconds();
-
-  const std::vector<double>& accs = *in.accuracies;
+/// Scans every entry in rank order, processing only the pairs this
+/// shard owns, then finalizes them. With num_shards == 1 this is
+/// exactly the sequential INDEX algorithm; with more shards each pair
+/// still accumulates in rank order inside its single owner, which is
+/// what makes the parallel path bit-identical to the serial one.
+/// entries_scanned is charged to shard 0 only (every shard walks the
+/// same stream; the work is shared, not repeated per pair).
+void ScanShard(const InvertedIndex& index, const std::vector<double>& accs,
+               const DetectionParams& params,
+               const OverlapCounts& overlaps, size_t shard,
+               size_t num_shards, Counters* counters, CopyResult* out) {
   FlatHashMap<IndexPairState> pairs;
 
   // Steps 1-2: scan entries in order; head entries create state, tail
   // entries only update pairs already seen.
   for (size_t rank = 0; rank < index.num_entries(); ++rank) {
-    ++counters_.entries_scanned;
+    if (shard == 0) ++counters->entries_scanned;
     const IndexEntry& e = index.entry(rank);
     std::span<const SourceId> providers = index.providers(rank);
     const bool tail = index.in_tail(rank);
@@ -41,6 +39,7 @@ Status IndexDetector::DetectRound(const DetectionInput& in, int round,
         SourceId a = providers[i];
         SourceId b = providers[j];
         uint64_t key = PairKey(a, b);
+        if (num_shards > 1 && Mix64(key) % num_shards != shard) continue;
         IndexPairState* state;
         if (tail) {
           state = pairs.Find(key);
@@ -48,37 +47,69 @@ Status IndexDetector::DetectRound(const DetectionInput& in, int round,
         } else {
           bool fresh = pairs.Find(key) == nullptr;
           state = &pairs[key];
-          if (fresh) ++counters_.pairs_tracked;
+          if (fresh) ++counters->pairs_tracked;
         }
         // fwd is "smaller id copies from larger id".
         SourceId lo = a < b ? a : b;
         SourceId hi = a < b ? b : a;
         state->c_fwd +=
-            SharedContribution(e.probability, accs[lo], accs[hi], params_);
+            SharedContribution(e.probability, accs[lo], accs[hi], params);
         state->c_bwd +=
-            SharedContribution(e.probability, accs[hi], accs[lo], params_);
-        counters_.score_evals += 2;
-        ++counters_.values_examined;
+            SharedContribution(e.probability, accs[hi], accs[lo], params);
+        counters->score_evals += 2;
+        ++counters->values_examined;
         ++state->n_shared;
       }
     }
   }
 
   // Step 3: different-value penalty and posterior.
-  const double penalty = params_.different_penalty();
+  const double penalty = params.different_penalty();
   pairs.ForEach([&](uint64_t key, IndexPairState& state) {
     SourceId a = PairFirst(key);
     SourceId b = PairSecond(key);
     uint32_t l = overlaps.Get(a, b);
-    double diff =
-        penalty * static_cast<double>(l - state.n_shared);
+    double diff = DifferentValuePenalty(penalty, l, state.n_shared);
     double c_fwd = state.c_fwd + diff;
     double c_bwd = state.c_bwd + diff;
-    counters_.finalize_evals += 2;
-    Posteriors post = DirectionPosteriors(c_fwd, c_bwd, params_);
+    counters->finalize_evals += 2;
+    Posteriors post = DirectionPosteriors(c_fwd, c_bwd, params);
     out->Set(a, b, PairPosterior{post.indep, post.fwd, post.bwd});
   });
+}
+
+}  // namespace
+
+Status IndexScan(const DetectionInput& in, const DetectionParams& params,
+                 EntryOrdering ordering, uint64_t seed,
+                 Executor* executor, const OverlapCounts& overlaps,
+                 Counters* counters, CopyResult* out,
+                 double* index_seconds) {
+  CD_RETURN_IF_ERROR(in.Validate());
+  out->Clear();
+
+  auto index_or = InvertedIndex::Build(in, params, ordering, seed);
+  if (!index_or.ok()) return index_or.status();
+  const InvertedIndex& index = *index_or;
+  if (index_seconds != nullptr) *index_seconds = index.build_seconds();
+  const std::vector<double>& accs = *in.accuracies;
+
+  RunShardedScan(executor, counters, out,
+                 [&](size_t shard, size_t num_shards, Counters* c,
+                     CopyResult* o) {
+                   ScanShard(index, accs, params, overlaps, shard,
+                             num_shards, c, o);
+                 });
   return Status::OK();
+}
+
+Status IndexDetector::DetectRound(const DetectionInput& in, int round,
+                                  CopyResult* out) {
+  (void)round;
+  CD_RETURN_IF_ERROR(in.Validate());
+  const OverlapCounts& overlaps = overlap_cache_.Get(*in.data);
+  return IndexScan(in, params_, ordering_, seed_, params_.executor,
+                   overlaps, &counters_, out, &last_index_seconds_);
 }
 
 }  // namespace copydetect

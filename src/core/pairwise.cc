@@ -1,5 +1,8 @@
 #include "core/pairwise.h"
 
+#include <vector>
+
+#include "common/executor.h"
 #include "core/bayes.h"
 
 namespace copydetect {
@@ -50,21 +53,40 @@ Status PairwiseDetector::DetectRound(const DetectionInput& in, int round,
   CD_RETURN_IF_ERROR(in.Validate());
   out->Clear();
   const size_t n = in.data->num_sources();
-  for (SourceId a = 0; a + 1 < n; ++a) {
+  if (n < 2) return Status::OK();
+
+  // Rows are independent: row a covers the pairs (a, a+1 .. n-1).
+  // Each row accumulates into private state and the merge below
+  // replays rows in ascending order, so the result (and the counters)
+  // are identical to the sequential double loop at any thread count.
+  struct RowPair {
+    SourceId b;
+    PairPosterior posterior;
+  };
+  std::vector<std::vector<RowPair>> rows(n - 1);
+  std::vector<Counters> row_counters(n - 1);
+  ParallelFor(params_.executor, n - 1, [&](size_t row) {
+    SourceId a = static_cast<SourceId>(row);
+    Counters& counters = row_counters[row];
     for (SourceId b = static_cast<SourceId>(a + 1); b < n; ++b) {
-      PairScores scores =
-          ComputePairScores(in, a, b, params_, &counters_);
-      ++counters_.pairs_tracked;
-      counters_.values_examined += scores.shared_values;
-      counters_.finalize_evals += 2;
+      PairScores scores = ComputePairScores(in, a, b, params_, &counters);
+      ++counters.pairs_tracked;
+      counters.values_examined += scores.shared_values;
+      counters.finalize_evals += 2;
       // Pairs sharing nothing sit at the prior; storing them adds
       // nothing downstream (fusion only discounts concluded copiers)
       // and would make the result quadratic in |S|.
       if (scores.shared_items == 0) continue;
       Posteriors post =
           DirectionPosteriors(scores.c_fwd, scores.c_bwd, params_);
-      out->Set(a, b,
-               PairPosterior{post.indep, post.fwd, post.bwd});
+      rows[row].push_back(
+          {b, PairPosterior{post.indep, post.fwd, post.bwd}});
+    }
+  });
+  for (size_t row = 0; row + 1 < n; ++row) {
+    counters_ += row_counters[row];
+    for (const RowPair& p : rows[row]) {
+      out->Set(static_cast<SourceId>(row), p.b, p.posterior);
     }
   }
   return Status::OK();

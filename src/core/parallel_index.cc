@@ -3,22 +3,9 @@
 #include <algorithm>
 #include <thread>
 
-#include "common/thread_pool.h"
-#include "core/bayes.h"
-#include "core/inverted_index.h"
+#include "core/index_algo.h"
 
 namespace copydetect {
-
-namespace {
-
-struct ShardPairState {
-  double c_fwd = 0.0;
-  double c_bwd = 0.0;
-  uint32_t n_shared = 0;
-  bool head = false;  // seen in a non-tail entry
-};
-
-}  // namespace
 
 ParallelIndexDetector::ParallelIndexDetector(const DetectionParams& params,
                                              size_t num_threads)
@@ -32,80 +19,17 @@ Status ParallelIndexDetector::DetectRound(const DetectionInput& in,
                                           int round, CopyResult* out) {
   (void)round;
   CD_RETURN_IF_ERROR(in.Validate());
-  out->Clear();
-
-  auto index_or = InvertedIndex::Build(in, params_,
-                                       EntryOrdering::kByContribution);
-  if (!index_or.ok()) return index_or.status();
-  const InvertedIndex& index = *index_or;
-  const std::vector<double>& accs = *in.accuracies;
-
-  const size_t shards = num_threads_;
-  const size_t entries = index.num_entries();
-  std::vector<FlatHashMap<ShardPairState>> maps(shards);
-  std::vector<Counters> shard_counters(shards);
-
-  {
-    ThreadPool pool(num_threads_);
-    const size_t per = (entries + shards - 1) / std::max<size_t>(1, shards);
-    pool.ParallelFor(shards, [&](size_t w) {
-      size_t begin = w * per;
-      size_t end = std::min(entries, begin + per);
-      FlatHashMap<ShardPairState>& local = maps[w];
-      Counters& ctr = shard_counters[w];
-      for (size_t rank = begin; rank < end; ++rank) {
-        ++ctr.entries_scanned;
-        const IndexEntry& e = index.entry(rank);
-        std::span<const SourceId> providers = index.providers(rank);
-        const bool head = !index.in_tail(rank);
-        for (size_t i = 0; i + 1 < providers.size(); ++i) {
-          for (size_t j = i + 1; j < providers.size(); ++j) {
-            SourceId lo = std::min(providers[i], providers[j]);
-            SourceId hi = std::max(providers[i], providers[j]);
-            ShardPairState& st = local[PairKey(lo, hi)];
-            st.c_fwd += SharedContribution(e.probability, accs[lo],
-                                           accs[hi], params_);
-            st.c_bwd += SharedContribution(e.probability, accs[hi],
-                                           accs[lo], params_);
-            ctr.score_evals += 2;
-            ++ctr.values_examined;
-            ++st.n_shared;
-            st.head = st.head || head;
-          }
-        }
-      }
-    });
+  Executor* executor = params_.executor;
+  if (executor == nullptr) {
+    if (own_executor_ == nullptr) {
+      own_executor_ = std::make_unique<Executor>(num_threads_);
+    }
+    executor = own_executor_.get();
   }
-
-  // Merge shards (single-threaded; the map sizes are the r of
-  // Prop. 3.5, far smaller than the scan work).
-  FlatHashMap<ShardPairState> merged;
-  for (FlatHashMap<ShardPairState>& local : maps) {
-    local.ForEach([&merged](uint64_t key, ShardPairState& st) {
-      ShardPairState& m = merged[key];
-      m.c_fwd += st.c_fwd;
-      m.c_bwd += st.c_bwd;
-      m.n_shared += st.n_shared;
-      m.head = m.head || st.head;
-    });
-  }
-  for (const Counters& ctr : shard_counters) counters_ += ctr;
-
-  const double penalty = params_.different_penalty();
   const OverlapCounts& overlaps = overlap_cache_.Get(*in.data);
-  merged.ForEach([&](uint64_t key, ShardPairState& st) {
-    if (!st.head) return;  // tail-only pairs: sequential INDEX skips them
-    ++counters_.pairs_tracked;
-    SourceId lo = PairFirst(key);
-    SourceId hi = PairSecond(key);
-    uint32_t l = overlaps.Get(lo, hi);
-    double diff = penalty * static_cast<double>(l - st.n_shared);
-    counters_.finalize_evals += 2;
-    Posteriors post = DirectionPosteriors(st.c_fwd + diff,
-                                          st.c_bwd + diff, params_);
-    out->Set(lo, hi, PairPosterior{post.indep, post.fwd, post.bwd});
-  });
-  return Status::OK();
+  return IndexScan(in, params_, EntryOrdering::kByContribution,
+                   /*seed=*/1, executor, overlaps, &counters_, out,
+                   /*index_seconds=*/nullptr);
 }
 
 }  // namespace copydetect

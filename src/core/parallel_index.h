@@ -2,20 +2,26 @@
 #define COPYDETECT_CORE_PARALLEL_INDEX_H_
 
 #include <cstddef>
+#include <memory>
 
+#include "common/executor.h"
 #include "core/detector.h"
 #include "simjoin/overlap.h"
 
 namespace copydetect {
 
-/// The §VIII future-work extension: parallelize the INDEX scan by
-/// sharding entries across a thread pool. Each worker accumulates
-/// per-pair contributions in a private map over its contiguous entry
-/// shard; shards merge at the end, pairs that never co-occur in a head
-/// (non-tail) entry are discarded, and finalization runs once. This is
-/// numerically identical to sequential INDEX because head entries all
-/// precede tail entries in the contribution order, so any pair kept by
-/// the sequential algorithm accumulates exactly the same entry set.
+/// The §VIII extension grown into the engine's default execution
+/// model: the INDEX scan sharded by pair ownership over a persistent
+/// Executor (see IndexScan in core/index_algo.h). Every worker walks
+/// the full entry stream but accumulates only the pairs hashed to its
+/// shard, so each pair's contributions are summed in exact rank order
+/// and the result is bit-identical to sequential INDEX at every thread
+/// count — including the degenerate "more threads than entries" case.
+///
+/// When DetectionParams carries an executor handle, that shared
+/// runtime is used; otherwise the detector lazily creates one private
+/// Executor with `num_threads` workers and keeps it across rounds (the
+/// first prototype built and tore down a fresh ThreadPool per round).
 class ParallelIndexDetector : public CopyDetector {
  public:
   ParallelIndexDetector(const DetectionParams& params,
@@ -35,6 +41,7 @@ class ParallelIndexDetector : public CopyDetector {
 
  private:
   size_t num_threads_;
+  std::unique_ptr<Executor> own_executor_;  // lazily created fallback
   OverlapCache overlap_cache_;
 };
 

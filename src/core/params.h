@@ -8,6 +8,8 @@
 
 namespace copydetect {
 
+class Executor;
+
 /// Parameters of the Bayesian copy-detection model (§II) and of the
 /// scalability machinery (§III–V). Defaults follow the paper's running
 /// example: alpha = 0.1, s = 0.8, n = 50.
@@ -31,6 +33,13 @@ struct DetectionParams {
   /// INCREMENTAL: an entry score change above this is a "big change"
   /// (paper: 1.0, chosen from the largest gap in observed changes).
   double rho_value = 1.0;
+
+  /// Shared execution backend (common/executor.h) for the parallel
+  /// scan paths and the fusion loop's per-item aggregation. Not owned;
+  /// null (or a 1-thread executor) runs everything sequentially. The
+  /// parallel paths are bit-identical to the sequential ones at any
+  /// thread count, so this is purely a speed knob.
+  Executor* executor = nullptr;
 
   double beta() const { return 1.0 - 2.0 * alpha; }
   /// No-copying threshold theta_ind = ln(beta / (2 alpha)): both Cmax

@@ -71,7 +71,8 @@ StatusOr<FusionResult> IterativeFusion::Run(const Dataset& data,
       }
     }
     std::vector<double> old_accs = result.accuracies;
-    ComputeAccuracies(data, result.value_probs, &result.accuracies);
+    ComputeAccuracies(data, result.value_probs, &result.accuracies,
+                      options_.params.executor);
     fuse.Stop();
     trace.fusion_seconds = fuse.Seconds();
 

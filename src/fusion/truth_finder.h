@@ -14,6 +14,10 @@ namespace copydetect {
 /// computation": copy detection → value truthfulness → source
 /// accuracy, until convergence).
 struct FusionOptions {
+  /// Model parameters. `params.executor` doubles as the run's shared
+  /// execution backend: detectors and the per-item/per-source fusion
+  /// aggregation all parallelize over it (bit-identically), so setting
+  /// it here threads one persistent pool through the whole loop.
   DetectionParams params;
   int max_rounds = 12;
   /// Converged when the largest per-source accuracy change in a round

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/executor.h"
+
 namespace copydetect {
 
 std::vector<double> InitialValueProbs(const Dataset& data) {
@@ -28,8 +30,6 @@ void ComputeValueProbs(const Dataset& data,
                        const DetectionParams& params,
                        std::vector<double>* probs) {
   probs->assign(data.num_slots(), 0.0);
-  std::vector<double> votes;
-  std::vector<SourceId> order;
 
   // Pair lookups in the discount loop are O(#providers^2) per value;
   // skip them entirely for sources with no copying relation at all
@@ -39,10 +39,17 @@ void ComputeValueProbs(const Dataset& data,
     in_copying[PairFirst(key)] = 1;
     in_copying[PairSecond(key)] = 1;
   }
-  for (ItemId d = 0; d < data.num_items(); ++d) {
+
+  // Items are independent and write disjoint slot ranges, so the loop
+  // parallelizes over the shared executor with bit-identical results.
+  // Scratch is thread_local to survive across items without sharing
+  // across workers.
+  auto process_item = [&](ItemId d) {
+    thread_local std::vector<double> votes;
+    thread_local std::vector<SourceId> order;
     const SlotId begin = data.slot_begin(d);
     const SlotId end = data.slot_end(d);
-    if (begin == end) continue;
+    if (begin == end) return;
     votes.assign(end - begin, 0.0);
     size_t provided = end - begin;
 
@@ -88,21 +95,28 @@ void ComputeValueProbs(const Dataset& data,
     for (SlotId v = begin; v < end; ++v) {
       (*probs)[v] = std::exp(votes[v - begin] - mx) / z;
     }
-  }
+  };
+  ParallelFor(params.executor, data.num_items(),
+              [&process_item](size_t d) {
+                process_item(static_cast<ItemId>(d));
+              });
 }
 
 void ComputeAccuracies(const Dataset& data,
                        const std::vector<double>& probs,
-                       std::vector<double>* accuracies) {
+                       std::vector<double>* accuracies,
+                       Executor* executor) {
   accuracies->assign(data.num_sources(), 0.5);
-  for (SourceId s = 0; s < data.num_sources(); ++s) {
-    std::span<const SlotId> slots = data.slots_of(s);
-    if (slots.empty()) continue;
+  // Sources are independent; each writes only its own entry.
+  ParallelFor(executor, data.num_sources(), [&](size_t s) {
+    std::span<const SlotId> slots =
+        data.slots_of(static_cast<SourceId>(s));
+    if (slots.empty()) return;
     double sum = 0.0;
     for (SlotId v : slots) sum += probs[v];
     (*accuracies)[s] =
         ClampAccuracy(sum / static_cast<double>(slots.size()));
-  }
+  });
 }
 
 std::vector<SlotId> ChooseTruth(const Dataset& data,

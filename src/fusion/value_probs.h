@@ -9,6 +9,8 @@
 
 namespace copydetect {
 
+class Executor;
+
 /// Initial per-slot value probabilities: the vote share of each value
 /// among its item's providers (the natural prior before any accuracy
 /// estimates exist).
@@ -30,6 +32,8 @@ std::vector<double> InitialAccuracies(size_t num_sources,
 ///    skip hopeless pairs yield identical fusion results);
 ///  * P(v) = softmax over the item's provided values plus
 ///    (n + 1 - #provided) unprovided candidates with vote 0.
+/// Items are aggregated in parallel over `params.executor` when one is
+/// set; results are bit-identical to the sequential loop.
 void ComputeValueProbs(const Dataset& data,
                        const std::vector<double>& accuracies,
                        const CopyResult& copies,
@@ -38,9 +42,11 @@ void ComputeValueProbs(const Dataset& data,
 
 /// Accuracy update: A(S) = mean probability of S's provided values,
 /// clamped away from {0, 1}. Sources with no observations keep 0.5.
+/// Parallelizes over `executor` when given (bit-identical).
 void ComputeAccuracies(const Dataset& data,
                        const std::vector<double>& probs,
-                       std::vector<double>* accuracies);
+                       std::vector<double>* accuracies,
+                       Executor* executor = nullptr);
 
 /// Per-item argmax slot ("the truth"); kInvalidSlot for empty items.
 std::vector<SlotId> ChooseTruth(const Dataset& data,

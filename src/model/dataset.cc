@@ -1,12 +1,19 @@
 #include "model/dataset.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "common/csv.h"
 #include "common/stringutil.h"
 
 namespace copydetect {
+
+uint64_t Dataset::NextGeneration() {
+  // Starts at 1 so 0 stays free as an "empty cache" sentinel.
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 SlotId Dataset::slot_of(SourceId s, ItemId item) const {
   std::span<const ItemId> items = items_of(s);

@@ -35,6 +35,14 @@ class Dataset {
   size_t num_slots() const { return slot_value_.size(); }
   size_t num_observations() const { return obs_item_.size(); }
 
+  /// Process-unique id of this data set's contents, drawn from a
+  /// monotone counter at construction and carried along by copies
+  /// (copies hold identical content, so sharing the id is sound).
+  /// Caches keyed on a Dataset must key on this, not on the object's
+  /// address: a different Dataset allocated at a recycled address
+  /// would otherwise silently hit a stale entry (see OverlapCache).
+  uint64_t generation() const { return generation_; }
+
   std::string_view source_name(SourceId s) const {
     return source_names_[s];
   }
@@ -96,6 +104,10 @@ class Dataset {
 
  private:
   friend class DatasetBuilder;
+
+  static uint64_t NextGeneration();
+
+  uint64_t generation_ = NextGeneration();
 
   std::vector<std::string> source_names_;
   std::vector<std::string> item_names_;

@@ -24,15 +24,15 @@ size_t OverlapCounts::NumPositivePairs() const {
 }
 
 const OverlapCounts& OverlapCache::Get(const Dataset& data) {
-  if (data_ != &data) {
+  if (generation_ != data.generation()) {
     counts_ = ComputeOverlaps(data);
-    data_ = &data;
+    generation_ = data.generation();
   }
   return counts_;
 }
 
 void OverlapCache::Clear() {
-  data_ = nullptr;
+  generation_ = 0;
   counts_ = OverlapCounts();
 }
 

@@ -70,16 +70,20 @@ OverlapCounts ComputeOverlaps(const Dataset& data,
 /// filled, which never changes inside a fusion run, so detectors
 /// compute it once per data set and reuse it every round (§III counts
 /// it as index-build work; only the first round pays it).
+///
+/// Keyed on Dataset::generation(), not the object's address: keying on
+/// the pointer alone let a *different* data set allocated at a
+/// recycled address silently inherit the previous one's counts.
 class OverlapCache {
  public:
   /// Returns the counts for `data`, computing them on first use or
-  /// when a different data set is passed.
+  /// when a data set with a different generation is passed.
   const OverlapCounts& Get(const Dataset& data);
 
   void Clear();
 
  private:
-  const Dataset* data_ = nullptr;
+  uint64_t generation_ = 0;  // 0 = empty (generations start at 1)
   OverlapCounts counts_;
 };
 

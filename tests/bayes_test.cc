@@ -29,6 +29,32 @@ TEST(SharedContribution, Example21SharedFalseValue) {
   EXPECT_NEAR(c, 3.89, 0.01);
 }
 
+TEST(DifferentValuePenalty, MatchesHandComputation) {
+  DetectionParams params = PaperParams();
+  double per_item = params.different_penalty();  // ln(.2) ≈ -1.609
+  // 7 shared items, 3 shared values: 4 different items penalized.
+  EXPECT_DOUBLE_EQ(DifferentValuePenalty(per_item, 7, 3),
+                   per_item * 4.0);
+  EXPECT_DOUBLE_EQ(DifferentValuePenalty(per_item, 5, 5), 0.0);
+}
+
+TEST(DifferentValuePenalty, NSharedAboveLDoesNotUnderflow) {
+  // Regression for the parallel-index finalization: l - n_shared was
+  // computed in uint32_t before the cast to double, so a crafted input
+  // with n_shared > l (e.g. shared-value counts paired with stale
+  // overlap counts from another data set) wrapped to ~4.29e9 and blew
+  // the penalty up to ~ -6.9e9 — flipping every affected posterior.
+  DetectionParams params = PaperParams();
+  double per_item = params.different_penalty();
+  double d = DifferentValuePenalty(per_item, 3, 5);
+  EXPECT_DOUBLE_EQ(d, per_item * -2.0);
+  EXPECT_GT(d, 0.0);           // negative penalty times negative count
+  EXPECT_LT(std::abs(d), 10.0);  // graceful, not ~1e9
+  // The magnitude the unsigned subtraction used to produce:
+  uint32_t wrapped = 3u - 5u;
+  EXPECT_GT(static_cast<double>(wrapped), 4.0e9);
+}
+
 TEST(SharedContribution, Example21TrueValueIsWeakEvidence) {
   // S0, S1 (accuracy .99) sharing a value with P ~= .96 contributes
   // only ~.01 — sharing true values is weak evidence.

@@ -34,6 +34,22 @@ TEST(CopyGraph, SinglePairElectsTheCopiedSide) {
   EXPECT_NEAR(cluster.direct_edges[0].probability, 0.8, 1e-12);
 }
 
+TEST(CopyGraph, EdgesCarryPairPosteriors) {
+  // The copies CSV promises a pr_a_copies_b column; the graph must
+  // plumb the pair posterior through instead of dropping it.
+  CopyResult result;
+  result.Set(1, 2, Copying(/*first copies second=*/0.8,
+                           /*second copies first=*/0.1));
+  CopyGraph graph = AnalyzeCopyGraph(result);
+  ASSERT_EQ(graph.clusters.size(), 1u);
+  ASSERT_EQ(graph.clusters[0].edges.size(), 1u);
+  const ClassifiedEdge& edge = graph.clusters[0].edges[0];
+  EXPECT_EQ(edge.a, 1u);
+  EXPECT_EQ(edge.b, 2u);
+  EXPECT_NEAR(edge.pr_a_copies_b, 0.8, 1e-12);
+  EXPECT_NEAR(edge.pr_b_copies_a, 0.1, 1e-12);
+}
+
 TEST(CopyGraph, StarClusterClassifiesCoCopies) {
   // Sources 1, 2, 3 all copy source 0; detection flags every pair.
   CopyResult result;

@@ -1,0 +1,78 @@
+#include "common/executor.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace copydetect {
+namespace {
+
+TEST(Executor, SerialModeRunsInlineOnCaller) {
+  Executor executor(1);
+  EXPECT_TRUE(executor.serial());
+  EXPECT_EQ(executor.num_threads(), 1u);
+  std::thread::id caller = std::this_thread::get_id();
+  size_t runs = 0;  // non-atomic on purpose: serial mode is inline
+  executor.ParallelFor(100, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++runs;
+  });
+  EXPECT_EQ(runs, 100u);
+}
+
+TEST(Executor, ZeroThreadsPicksHardwareConcurrency) {
+  Executor executor(0);
+  EXPECT_GE(executor.num_threads(), 1u);
+}
+
+TEST(Executor, ParallelForCoversEveryIndexOnce) {
+  Executor executor(4);
+  EXPECT_FALSE(executor.serial());
+  std::vector<std::atomic<int>> hits(1000);
+  executor.ParallelFor(1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Executor, EmptyRangeIsNoop) {
+  Executor executor(3);
+  executor.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(Executor, MoreThreadsThanWork) {
+  Executor executor(16);
+  std::vector<std::atomic<int>> hits(3);
+  executor.ParallelFor(3, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Executor, NestedParallelForCompletes) {
+  // Nested submission runs inline on the worker (ThreadPool-level
+  // safety); the outer call still parallelizes.
+  Executor executor(2);
+  std::atomic<int> total{0};
+  executor.ParallelFor(8, [&](size_t) {
+    executor.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Executor, NullHandleHelperRunsInline) {
+  size_t runs = 0;
+  ParallelFor(nullptr, 10, [&](size_t) { ++runs; });
+  EXPECT_EQ(runs, 10u);
+}
+
+TEST(Executor, ReusableAcrossManyRounds) {
+  // The whole point of the shared runtime: one pool, many rounds.
+  Executor executor(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    executor.ParallelFor(64, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50 * 64);
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -1,5 +1,7 @@
 #include "simjoin/overlap.h"
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "simjoin/prefix_join.h"
@@ -58,6 +60,59 @@ TEST(OverlapCounts, ForEachVisitsPositivePairsOnce) {
   // Sum over pairs of shared items = sum over items of C(providers,2)
   // = 36+28+36+36+45 = 181 on the running example.
   EXPECT_EQ(sum, 181u);
+}
+
+TEST(Dataset, GenerationIsUniquePerBuildAndSharedByCopies) {
+  testutil::World w1 = testutil::SmallWorld(63, 10, 50);
+  testutil::World w2 = testutil::SmallWorld(64, 10, 50);
+  EXPECT_NE(w1.data.generation(), w2.data.generation());
+  EXPECT_GT(w1.data.generation(), 0u);
+  // A copy holds identical content, so it legitimately shares the id.
+  Dataset copy = w1.data;
+  EXPECT_EQ(copy.generation(), w1.data.generation());
+}
+
+TEST(OverlapCache, RecycledAddressDoesNotServeStaleCounts) {
+  // Regression: the cache used to key on the Dataset's address. A
+  // *different* data set allocated where a freed one lived silently
+  // inherited the old counts (and downstream, stale l could drop below
+  // the observed shared-value count — the finalization underflow).
+  // Keying on Dataset::generation() makes the counts follow the data
+  // whether or not the allocator recycles the address.
+  OverlapCache cache;
+  auto first =
+      std::make_unique<testutil::World>(testutil::SmallWorld(61, 20, 120));
+  const void* first_addr = &first->data;
+  (void)cache.Get(first->data);
+  first.reset();
+  auto second =
+      std::make_unique<testutil::World>(testutil::SmallWorld(62, 20, 120));
+  // Whether the address was recycled or not, the cache must serve the
+  // second data set's own counts.
+  OverlapCounts fresh = ComputeOverlaps(second->data);
+  const OverlapCounts& cached = cache.Get(second->data);
+  size_t checked = 0;
+  for (SourceId a = 0; a < second->data.num_sources(); ++a) {
+    for (SourceId b = static_cast<SourceId>(a + 1);
+         b < second->data.num_sources(); ++b) {
+      EXPECT_EQ(cached.Get(a, b), fresh.Get(a, b))
+          << "pair " << a << "," << b
+          << (first_addr == &second->data ? " (address recycled)" : "");
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_EQ(cached.NumPositivePairs(), fresh.NumPositivePairs());
+}
+
+TEST(OverlapCache, ClearForcesRecompute) {
+  testutil::World world = testutil::SmallWorld(65, 15, 80);
+  OverlapCache cache;
+  const OverlapCounts& a = cache.Get(world.data);
+  size_t pairs = a.NumPositivePairs();
+  cache.Clear();
+  const OverlapCounts& b = cache.Get(world.data);
+  EXPECT_EQ(b.NumPositivePairs(), pairs);
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+// Parallel/sequential equivalence of the executor-backed scan paths.
+//
+// The parallel paths shard by pair ownership (see IndexScan and
+// BoundedScan), which keeps every pair's floating-point accumulation
+// in exact sequential order — so the contract is *bit-identical*
+// CopyResults, not approximate agreement, at every thread count
+// including the degenerate "more threads than index entries" case.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/executor.h"
+#include "core/detector.h"
+#include "core/index_algo.h"
+#include "core/parallel_index.h"
+#include "fusion/truth_finder.h"
+#include "test_util.h"
+
+namespace copydetect {
+namespace {
+
+using testutil::PaperParams;
+
+/// Asserts `got` and `want` are the same result bit for bit: same
+/// tracked pairs, every posterior double exactly equal.
+void ExpectBitIdentical(const CopyResult& got, const CopyResult& want) {
+  EXPECT_EQ(got.NumTracked(), want.NumTracked());
+  size_t checked = 0;
+  want.ForEach([&](SourceId a, SourceId b, const PairPosterior& w) {
+    PairPosterior g = got.Get(a, b);
+    EXPECT_EQ(g.p_indep, w.p_indep) << "pair " << a << "," << b;
+    EXPECT_EQ(g.p_first_copies, w.p_first_copies)
+        << "pair " << a << "," << b;
+    EXPECT_EQ(g.p_second_copies, w.p_second_copies)
+        << "pair " << a << "," << b;
+    ++checked;
+  });
+  EXPECT_EQ(checked, want.NumTracked());
+}
+
+/// Runs `kind` serially and with an executor of `threads` workers and
+/// compares results and work counters.
+void CheckDetectorEquivalence(DetectorKind kind, const DetectionInput& in,
+                              size_t threads) {
+  auto serial = MakeDetector(kind, PaperParams());
+  CopyResult want;
+  ASSERT_TRUE(serial->DetectRound(in, 1, &want).ok());
+
+  Executor executor(threads);
+  DetectionParams params = PaperParams();
+  params.executor = &executor;
+  auto parallel = MakeDetector(kind, params);
+  CopyResult got;
+  ASSERT_TRUE(parallel->DetectRound(in, 1, &got).ok());
+
+  ExpectBitIdentical(got, want);
+  EXPECT_EQ(parallel->counters().score_evals,
+            serial->counters().score_evals);
+  EXPECT_EQ(parallel->counters().entries_scanned,
+            serial->counters().entries_scanned);
+  EXPECT_EQ(parallel->counters().pairs_tracked,
+            serial->counters().pairs_tracked);
+  EXPECT_EQ(parallel->counters().Total(), serial->counters().Total());
+}
+
+class ParallelEquivalenceTest
+    : public ::testing::TestWithParam<size_t> {};
+
+// 1 exercises the serial fallback, 2 and 7 real sharding (7 is odd on
+// purpose: uneven pair ownership).
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelEquivalenceTest,
+                         ::testing::Values(1, 2, 7));
+
+TEST_P(ParallelEquivalenceTest, IndexBitIdentical) {
+  testutil::World world = testutil::SmallWorld(601, 40, 300);
+  testutil::WorldInput wi(world);
+  CheckDetectorEquivalence(DetectorKind::kIndex, wi.Input(world),
+                           GetParam());
+}
+
+TEST_P(ParallelEquivalenceTest, PairwiseBitIdentical) {
+  testutil::World world = testutil::SmallWorld(602, 35, 250);
+  testutil::WorldInput wi(world);
+  CheckDetectorEquivalence(DetectorKind::kPairwise, wi.Input(world),
+                           GetParam());
+}
+
+TEST_P(ParallelEquivalenceTest, HybridBitIdentical) {
+  testutil::World world = testutil::SmallWorld(603, 40, 300);
+  testutil::WorldInput wi(world);
+  CheckDetectorEquivalence(DetectorKind::kHybrid, wi.Input(world),
+                           GetParam());
+}
+
+TEST_P(ParallelEquivalenceTest, BoundPlusBitIdentical) {
+  testutil::World world = testutil::SmallWorld(604, 35, 250);
+  testutil::WorldInput wi(world);
+  CheckDetectorEquivalence(DetectorKind::kBoundPlus, wi.Input(world),
+                           GetParam());
+}
+
+TEST_P(ParallelEquivalenceTest, ParallelIndexMatchesSequentialIndex) {
+  testutil::World world = testutil::SmallWorld(605, 40, 300);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+
+  IndexDetector sequential(PaperParams());
+  CopyResult want;
+  ASSERT_TRUE(sequential.DetectRound(in, 1, &want).ok());
+
+  ParallelIndexDetector parallel(PaperParams(), GetParam());
+  CopyResult got;
+  ASSERT_TRUE(parallel.DetectRound(in, 1, &got).ok());
+  ExpectBitIdentical(got, want);
+}
+
+TEST_P(ParallelEquivalenceTest, FusionLoopBitIdentical) {
+  // End-to-end: the whole iterative loop — detection rounds plus the
+  // parallel per-item / per-source aggregation — must reproduce the
+  // serial run exactly.
+  testutil::World world = testutil::SmallWorld(606, 30, 200);
+
+  FusionOptions serial_options;
+  serial_options.params = PaperParams();
+  serial_options.max_rounds = 4;
+  auto serial_detector =
+      MakeDetector(DetectorKind::kHybrid, serial_options.params);
+  auto want =
+      IterativeFusion(serial_options).Run(world.data, serial_detector.get());
+  ASSERT_TRUE(want.ok());
+
+  Executor executor(GetParam());
+  FusionOptions options = serial_options;
+  options.params.executor = &executor;
+  auto detector = MakeDetector(DetectorKind::kHybrid, options.params);
+  auto got = IterativeFusion(options).Run(world.data, detector.get());
+  ASSERT_TRUE(got.ok());
+
+  EXPECT_EQ(got->rounds, want->rounds);
+  EXPECT_EQ(got->converged, want->converged);
+  EXPECT_EQ(got->value_probs, want->value_probs);
+  EXPECT_EQ(got->accuracies, want->accuracies);
+  EXPECT_EQ(got->truth, want->truth);
+  ExpectBitIdentical(got->copies, want->copies);
+}
+
+TEST(ParallelEquivalence, MoreThreadsThanEntriesDegenerateCase) {
+  // The running example has only a handful of index entries; a 64-way
+  // executor leaves most shards empty and must still be exact.
+  testutil::ExampleFixture fx;
+  for (DetectorKind kind :
+       {DetectorKind::kPairwise, DetectorKind::kIndex,
+        DetectorKind::kHybrid}) {
+    CheckDetectorEquivalence(kind, fx.Input(), 64);
+  }
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -25,7 +25,10 @@ TEST(Stats, CoverageFractions) {
   DatasetBuilder builder;
   // 2 sources covering all items, 2 covering one item out of 200.
   for (int d = 0; d < 200; ++d) {
-    std::string item = "D" + std::to_string(d);
+    // Built without operator+ — GCC 12's -Wrestrict false positive
+    // (PR105651) flags "D" + std::to_string(d) at -O3.
+    std::string item = "D";
+    item += std::to_string(d);
     builder.Add("big1", item, "v");
     builder.Add("big2", item, "v");
   }

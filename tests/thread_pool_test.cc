@@ -1,7 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -55,6 +57,89 @@ TEST(ThreadPool, SingleThreadPoolStillWorks) {
   std::atomic<int> counter{0};
   pool.ParallelFor(50, [&counter](size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, InWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.InWorkerThread());
+  std::atomic<bool> inside{false};
+  pool.Submit([&] { inside = pool.InWorkerThread(); });
+  pool.Wait();
+  EXPECT_TRUE(inside.load());
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Regression: a nested ParallelFor used to enqueue its chunks and
+  // block in Wait(). Wait() from a worker can never observe
+  // in_flight_ == 0 — the caller's own task is in flight — so once
+  // every worker nested, the pool hung forever (this test used to
+  // trip the ctest timeout). Nested calls now run inline.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(16, [&](size_t) {
+    pool.ParallelFor(16, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 16 * 16);
+}
+
+TEST(ThreadPool, WaitFromWorkerDrainsInsteadOfBlocking) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.Submit([&] {
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    pool.Wait();  // used to deadlock; now helps run queued tasks
+  });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, WaitFromWorkerWaitsForTasksRunningElsewhere) {
+  // Regression: the first in-worker Wait() implementation returned as
+  // soon as the queue was empty, even while a task it had submitted
+  // was still *executing* on another worker — callers could observe
+  // partial results. Wait() must also wait out in-flight tasks.
+  ThreadPool pool(3);
+  std::atomic<int> started{0};
+  std::atomic<bool> slow_done{false};
+  std::atomic<bool> waiter_ran{false};
+  std::atomic<bool> observed_done{false};
+  pool.Submit([&] {
+    started.fetch_add(1);
+    while (started.load() < 2) std::this_thread::yield();
+    // Both tasks are now in flight and the queue is empty: the old
+    // Wait() in the other task returns immediately, before this sleep
+    // finishes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    slow_done.store(true);
+  });
+  pool.Submit([&] {
+    started.fetch_add(1);
+    while (started.load() < 2) std::this_thread::yield();
+    pool.Wait();
+    observed_done.store(slow_done.load());
+    waiter_ran.store(true);
+  });
+  pool.Wait();
+  EXPECT_TRUE(waiter_ran.load());
+  EXPECT_TRUE(observed_done.load());
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsComplete) {
+  // Each ParallelFor call tracks its own completion, so two callers
+  // sharing one pool cannot wait on each other's tasks.
+  ThreadPool pool(4);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  std::thread t1(
+      [&] { pool.ParallelFor(500, [&a](size_t) { a.fetch_add(1); }); });
+  std::thread t2(
+      [&] { pool.ParallelFor(500, [&b](size_t) { b.fetch_add(1); }); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(a.load(), 500);
+  EXPECT_EQ(b.load(), 500);
 }
 
 }  // namespace

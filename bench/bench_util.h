@@ -15,12 +15,8 @@
 #include <string>
 #include <vector>
 
-#include "common/stringutil.h"
-#include "eval/experiment.h"
-#include "eval/metrics.h"
-#include "eval/table.h"
+#include "copydetect/session.h"
 #include "json_reporter.h"
-#include "model/stats.h"
 
 namespace copydetect {
 namespace bench {
@@ -56,6 +52,20 @@ inline FusionOptions OptionsFor(const World& world, int max_rounds = 8) {
   options.params.alpha = 0.1;
   options.params.s = 0.8;
   options.params.n = world.suggested_n;
+  options.max_rounds = max_rounds;
+  options.epsilon = 1e-4;
+  return options;
+}
+
+/// The same standard configuration as one facade SessionOptions —
+/// the setup path for harnesses driving the pipeline through
+/// copydetect/session.h.
+inline SessionOptions SessionOptionsFor(const World& world,
+                                        int max_rounds = 8) {
+  SessionOptions options;
+  options.alpha = 0.1;
+  options.s = 0.8;
+  options.n = world.suggested_n;
   options.max_rounds = max_rounds;
   options.epsilon = 1e-4;
   return options;

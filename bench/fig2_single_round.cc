@@ -15,9 +15,9 @@ int main(int argc, char** argv) {
 
   TextTable computations;
   computations.SetHeader(
-      {"Dataset", "index", "bound", "bound+", "hybrid"});
+      {"Dataset", "index", "bound", "boundplus", "hybrid"});
   TextTable time;
-  time.SetHeader({"Dataset", "index", "bound", "bound+", "hybrid"});
+  time.SetHeader({"Dataset", "index", "bound", "boundplus", "hybrid"});
 
   const DetectorKind kinds[] = {
       DetectorKind::kIndex,

@@ -19,19 +19,17 @@
 #include <thread>
 #include <utility>
 
+// This harness is deliberately white-box (micro-benchmarks of core
+// primitives and the direct-IterativeFusion facade-overhead anchor) —
+// it is one of the named exemptions from the examples/bench include
+// boundary in docs/API.md.
 #include "bench_util.h"
-#include "common/executor.h"
 #include "common/flat_hash.h"
 #include "common/random.h"
-#include "common/stringutil.h"
 #include "core/bayes.h"
-#include "core/detector.h"
-#include "core/index_algo.h"
 #include "core/inverted_index.h"
 #include "core/pairwise.h"
-#include "datagen/generator.h"
-#include "eval/experiment.h"
-#include "json_reporter.h"
+#include "fusion/truth_finder.h"
 #include "simjoin/overlap.h"
 #include "simjoin/prefix_join.h"
 #include "topk/nra.h"
@@ -253,19 +251,24 @@ const WorldInputs& BookFullWorld() {
 }
 
 void DetectorRoundLoop(benchmark::State& state, const WorldInputs& inputs,
-                       DetectorKind kind) {
+                       const std::string& detector_name) {
   const size_t threads = static_cast<size_t>(state.range(0));
   // One persistent executor per measured configuration, shared across
   // iterations — the pool is part of the runtime, not of the round.
   Executor executor(threads);
   DetectionParams params = Params();
   params.executor = &executor;
-  auto detector = MakeDetector(kind, params);
+  auto detector =
+      DetectorRegistry::Global().Create(detector_name, params);
+  if (!detector.ok()) {
+    state.SkipWithError(detector.status().message().c_str());
+    return;
+  }
   DetectionInput in = inputs.Input();
   CopyResult result;
   for (auto _ : state) {
-    detector->Reset();
-    Status status = detector->DetectRound(in, /*round=*/1, &result);
+    (*detector)->Reset();
+    Status status = (*detector)->DetectRound(in, /*round=*/1, &result);
     if (!status.ok()) {
       state.SkipWithError(status.message().c_str());
       break;
@@ -274,34 +277,92 @@ void DetectorRoundLoop(benchmark::State& state, const WorldInputs& inputs,
   }
 }
 
-void BM_DetectorRound(benchmark::State& state, DetectorKind kind) {
-  DetectorRoundLoop(state, DetectorWorld(), kind);
+void BM_DetectorRound(benchmark::State& state,
+                      const std::string& detector_name) {
+  DetectorRoundLoop(state, DetectorWorld(), detector_name);
 }
 
 void BM_IndexRoundBookFull(benchmark::State& state) {
-  DetectorRoundLoop(state, BookFullWorld(), DetectorKind::kIndex);
+  DetectorRoundLoop(state, BookFullWorld(), "index");
+}
+
+/// Session configuration of the facade-overhead pair: the standard
+/// bench configuration, one full one-shot run over book-full with the
+/// INDEX detector, serial.
+SessionOptions BookFullSessionOptions() {
+  SessionOptions options =
+      bench::SessionOptionsFor(BookFullWorld().world, /*max_rounds=*/6);
+  options.detector = "index";
+  options.threads = 1;
+  return options;
+}
+
+/// The full pipeline through the public facade: Session::Create +
+/// Run, exactly what examples and the CLI execute per invocation.
+void BM_SessionRunBookFull(benchmark::State& state) {
+  const World& world = BookFullWorld().world;
+  SessionOptions options = BookFullSessionOptions();
+  for (auto _ : state) {
+    auto session = Session::Create(options);
+    if (!session.ok()) {
+      state.SkipWithError(session.status().message().c_str());
+      break;
+    }
+    auto report = session->Run(world.data);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(report->fusion.rounds);
+  }
+}
+
+/// The pre-facade anchor: identical configuration driven directly
+/// through IterativeFusion. BM_SessionRun minus BM_FusionRun is the
+/// facade's overhead (detector construction, registry lookup, report
+/// assembly incl. the copy-graph analysis).
+void BM_FusionRunBookFull(benchmark::State& state) {
+  const World& world = BookFullWorld().world;
+  SessionOptions options = BookFullSessionOptions();
+  for (auto _ : state) {
+    Executor executor(1);
+    FusionOptions fusion = options.ToFusionOptions();
+    fusion.params.executor = &executor;
+    auto detector =
+        DetectorRegistry::Global().Create("index", fusion.params);
+    if (!detector.ok()) {
+      state.SkipWithError(detector.status().message().c_str());
+      break;
+    }
+    auto result =
+        IterativeFusion(fusion).Run(world.data, detector->get());
+    if (!result.ok()) {
+      state.SkipWithError(result.status().message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result->rounds);
+  }
 }
 
 /// The detector-round benchmarks are named kDetectorPrefix +
-/// DetectorKindName(kind) + "/" + threads; CollectingReporter recovers
+/// <registry name> + "/" + threads; CollectingReporter recovers
 /// detector and threads by parsing the name. kBookFullPrefix is the
 /// INDEX round over the book-full profile (the acceptance speedup
-/// anchor).
+/// anchor); kSessionRunName/kFusionRunName are the facade-overhead
+/// pair (full runs, serial).
 constexpr std::string_view kDetectorPrefix = "BM_DetectorRound/";
 constexpr std::string_view kBookFullPrefix = "BM_IndexRound/book-full";
+constexpr std::string_view kSessionRunName = "BM_SessionRun/book-full";
+constexpr std::string_view kFusionRunName = "BM_FusionRun/book-full";
 
 void RegisterDetectorBenchmarks(size_t multi_threads) {
-  static constexpr DetectorKind kKinds[] = {
-      DetectorKind::kPairwise,   DetectorKind::kIndex,
-      DetectorKind::kBound,      DetectorKind::kBoundPlus,
-      DetectorKind::kHybrid,     DetectorKind::kIncremental,
-      DetectorKind::kFaginInput, DetectorKind::kParallelIndex,
-  };
-  for (DetectorKind kind : kKinds) {
-    std::string bench_name =
-        std::string(kDetectorPrefix) + std::string(DetectorKindName(kind));
+  // Every registered detector, straight from the registry — a
+  // detector added by one CD_REGISTER_DETECTOR stanza shows up here
+  // (and in --detector=<name>) with no bench change.
+  for (const std::string& name : ListDetectors()) {
+    std::string bench_name = std::string(kDetectorPrefix) + name;
     auto* bench = benchmark::RegisterBenchmark(
-        bench_name.c_str(), BM_DetectorRound, kind);
+        bench_name.c_str(), BM_DetectorRound, name);
     bench->Unit(benchmark::kMillisecond)->Arg(1);
     if (multi_threads > 1) bench->Arg(static_cast<int>(multi_threads));
   }
@@ -311,6 +372,12 @@ void RegisterDetectorBenchmarks(size_t multi_threads) {
   if (multi_threads > 1) {
     book_full->Arg(static_cast<int>(multi_threads));
   }
+  benchmark::RegisterBenchmark(std::string(kSessionRunName).c_str(),
+                               BM_SessionRunBookFull)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(std::string(kFusionRunName).c_str(),
+                               BM_FusionRunBookFull)
+      ->Unit(benchmark::kMillisecond);
 }
 
 /// True when the run produced no usable measurement. Google Benchmark
@@ -397,6 +464,13 @@ class CollectingReporter : public benchmark::BenchmarkReporter {
         size_t slash = base_name.rfind('/');
         record.threads = std::strtoull(base_name.c_str() + slash + 1,
                                        nullptr, 10);
+      } else if (StartsWith(base_name, kSessionRunName) ||
+                 StartsWith(base_name, kFusionRunName)) {
+        // Facade-overhead pair: full serial runs, same configuration.
+        record.detector = "index";
+        record.dataset = "book-full";
+        record.scale = kBookFullScale;
+        record.threads = 1;
       }
       double iters =
           run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;

@@ -3,9 +3,9 @@
 // with the gap *growing* with data size (2-3 orders of magnitude at
 // the paper's full sizes). This harness sweeps the data-set scale and
 // prints detection time per method so the divergence is visible; the
-// paper-size extrapolation is the last row's trend.
+// paper-size extrapolation is the last row's trend. Each run goes
+// through the public Session facade (--detector-style registry names).
 #include "bench_util.h"
-#include "common/executor.h"
 
 using namespace copydetect;
 using namespace copydetect::bench;
@@ -20,8 +20,6 @@ int main(int argc, char** argv) {
   uint64_t threads = flags.GetUint64("threads", 1);
   std::string json_path = JsonFlag(flags);
   flags.Finish();
-
-  Executor executor(static_cast<size_t>(threads));
 
   JsonReporter reporter("scaling");
 
@@ -42,27 +40,32 @@ int main(int argc, char** argv) {
        factor *= 2.0) {
     BenchDataset spec{dataset, base_scale * factor};
     World world = MakeWorld(spec, seed);
-    FusionOptions options = OptionsFor(world, /*max_rounds=*/6);
-    options.params.executor = &executor;
+    SessionOptions options = SessionOptionsFor(world, /*max_rounds=*/6);
+    options.threads = static_cast<size_t>(threads);
 
-    auto run = [&](DetectorKind kind) {
-      auto outcome = RunFusion(world, kind, options);
-      CD_CHECK_OK(outcome.status());
-      double seconds = outcome->fusion.detect_seconds;
+    size_t run_threads = 0;
+    auto run = [&](const std::string& detector) {
+      options.detector = detector;
+      auto session = Session::Create(options);
+      CD_CHECK_OK(session.status());
+      run_threads = session->threads();
+      auto report = session->Run(world.data);
+      CD_CHECK_OK(report.status());
+      double seconds = report->fusion.detect_seconds;
       reporter.Add({.name = "detect_total",
-                    .detector = std::string(DetectorKindName(kind)),
+                    .detector = detector,
                     .dataset = dataset,
                     .scale = spec.scale,
                     .real_seconds = seconds,
                     .cpu_seconds = 0.0,
                     .iterations = 1,
                     .items_per_second = 0.0,
-                    .threads = executor.num_threads()});
+                    .threads = run_threads});
       return seconds;
     };
-    double pairwise = run(DetectorKind::kPairwise);
-    double index = run(DetectorKind::kIndex);
-    double incremental = run(DetectorKind::kIncremental);
+    double pairwise = run("pairwise");
+    double index = run("index");
+    double incremental = run("incremental");
 
     size_t n = world.data.num_sources();
     table.AddRow({Fmt(spec.scale, "%.3f"),

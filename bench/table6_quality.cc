@@ -19,7 +19,7 @@ struct MethodResult {
   RunOutcome outcome;
 };
 
-void Report(const World& world, const std::string& dataset,
+void PrintQualityReport(const World& world, const std::string& dataset,
             const std::vector<MethodResult>& methods,
             const RunOutcome& reference) {
   TextTable table;
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     run_sampled("scalesample", DetectorKind::kIncremental,
                 SamplingMethod::kScaleSample, rate);
 
-    Report(world, spec.name + StrFormat(" (scale %.2f)", spec.scale),
+    PrintQualityReport(world, spec.name + StrFormat(" (scale %.2f)", spec.scale),
            methods, *reference);
   }
   std::printf(

@@ -1,10 +1,8 @@
 // Table VIII: per-round execution-time ratio of INCREMENTAL vs HYBRID,
-// and the percentage of pairs terminating at each incremental pass.
-#include "core/hybrid.h"
-#include "core/incremental.h"
-
+// and the percentage of pairs terminating at each incremental pass —
+// both runs through the Session facade, whose Report surfaces the
+// incremental pass statistics.
 #include "bench_util.h"
-#include "fusion/truth_finder.h"
 
 using namespace copydetect;
 using namespace copydetect::bench;
@@ -23,25 +21,29 @@ int main(int argc, char** argv) {
 
   for (const BenchDataset& spec : DefaultDatasets(scale)) {
     World world = MakeWorld(spec, seed);
-    FusionOptions options = OptionsFor(world, /*max_rounds=*/8);
+    SessionOptions options = SessionOptionsFor(world, /*max_rounds=*/8);
     options.epsilon = 1e-6;  // keep iterating so rounds 3+ exist
 
-    HybridDetector hybrid(options.params);
-    IncrementalDetector incremental(options.params);
-    IterativeFusion fusion(options);
-
-    auto hybrid_run = fusion.Run(world.data, &hybrid);
+    options.detector = "hybrid";
+    auto hybrid_session = Session::Create(options);
+    CD_CHECK_OK(hybrid_session.status());
+    auto hybrid_run = hybrid_session->Run(world.data);
     CD_CHECK_OK(hybrid_run.status());
-    auto incremental_run = fusion.Run(world.data, &incremental);
+
+    options.detector = "incremental";
+    auto incremental_session = Session::Create(options);
+    CD_CHECK_OK(incremental_session.status());
+    auto incremental_run = incremental_session->Run(world.data);
     CD_CHECK_OK(incremental_run.status());
 
-    const auto& stats = incremental.round_stats();
+    const auto& stats = incremental_run->incremental_rounds;
     uint64_t pass1 = 0;
     uint64_t pass2 = 0;
     uint64_t pass3 = 0;
-    size_t rounds = std::min(stats.size(), hybrid_run->trace.size());
+    size_t rounds =
+        std::min(stats.size(), hybrid_run->fusion.trace.size());
     for (size_t i = 2; i < rounds; ++i) {
-      double h = hybrid_run->trace[i].detect_seconds;
+      double h = hybrid_run->fusion.trace[i].detect_seconds;
       ratio.AddRow({spec.name, StrFormat("%d", stats[i].round),
                     HumanSeconds(h), HumanSeconds(stats[i].seconds),
                     h > 0 ? Fmt(100.0 * stats[i].seconds / h, "%.1f%%")

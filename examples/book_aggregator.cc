@@ -5,18 +5,16 @@
 // §VI-E motivates: run SCALESAMPLE-d incremental detection — item
 // sampling with a per-source floor — and report the copier *clusters*
 // (connected components of the detected copying graph), comparing
-// against detection on the full data.
+// against detection on the full data. Both runs are one SessionOptions
+// apart: sampling is a facade option, not bespoke detector wiring.
 //
 //   ./book_aggregator [--scale=0.5] [--seed=11] [--rate=0.1]
+#include <algorithm>
 #include <cstdio>
 #include <numeric>
 #include <vector>
 
-#include "common/stringutil.h"
-#include "eval/experiment.h"
-#include "eval/metrics.h"
-#include "eval/table.h"
-#include "model/stats.h"
+#include "copydetect/session.h"
 
 using namespace copydetect;
 
@@ -82,43 +80,47 @@ int main(int argc, char** argv) {
   std::printf("Book world (scale %.2f): %s\n\n", scale,
               ComputeStats(world.data).ToString().c_str());
 
-  FusionOptions options;
-  options.params.alpha = 0.1;
-  options.params.s = 0.8;
-  options.params.n = 50.0;
+  SessionOptions options;
+  options.detector = "incremental";
+  options.alpha = 0.1;
+  options.s = 0.8;
+  options.n = 50.0;
 
   // Full-data incremental detection (reference).
-  auto full = RunFusion(world, DetectorKind::kIncremental, options);
+  auto full_session = Session::Create(options);
+  CD_CHECK_OK(full_session.status());
+  auto full = full_session->Run(world.data);
   CD_CHECK_OK(full.status());
 
   // SCALESAMPLE-d detection: 10% of items but at least 4 per source.
-  auto sampled_detector = MakeSampledDetector(
-      options.params, DetectorKind::kIncremental,
-      SamplingMethod::kScaleSample, rate, seed);
-  auto sampled =
-      RunFusionWithDetector(world, sampled_detector.get(), options);
+  SessionOptions sampled_options = options;
+  sampled_options.sample_rate = rate;
+  sampled_options.sample_method = SamplingMethod::kScaleSample;
+  sampled_options.sample_seed = seed;
+  auto sampled_session = Session::Create(sampled_options);
+  CD_CHECK_OK(sampled_session.status());
+  auto sampled = sampled_session->Run(world.data);
   CD_CHECK_OK(sampled.status());
 
   TextTable table;
   table.SetHeader(
       {"Run", "Detect time", "Gold accuracy", "P vs full", "R vs full"});
-  PrfScores prf =
-      ComparePairs(sampled->fusion.copies, full->fusion.copies);
+  PrfScores prf = ComparePairs(sampled->copies(), full->copies());
   table.AddRow({"full data",
                 HumanSeconds(full->fusion.detect_seconds),
                 StrFormat("%.3f", world.gold.Accuracy(
-                                      world.data, full->fusion.truth)),
+                                      world.data, full->truth())),
                 "-", "-"});
   table.AddRow(
       {StrFormat("scalesample %.0f%%", rate * 100.0),
        HumanSeconds(sampled->fusion.detect_seconds),
        StrFormat("%.3f",
-                 world.gold.Accuracy(world.data, sampled->fusion.truth)),
+                 world.gold.Accuracy(world.data, sampled->truth())),
        StrFormat("%.2f", prf.precision), StrFormat("%.2f", prf.recall)});
   std::printf("%s\n", table.Render("Full vs sampled detection:").c_str());
 
-  PrintClusters(world.data, full->fusion.copies, "Full-data clusters");
+  PrintClusters(world.data, full->copies(), "Full-data clusters");
   std::printf("\n");
-  PrintClusters(world.data, sampled->fusion.copies, "Sampled clusters");
+  PrintClusters(world.data, sampled->copies(), "Sampled clusters");
   return 0;
 }

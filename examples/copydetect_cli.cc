@@ -1,9 +1,10 @@
 // copydetect_cli — run the full pipeline from the command line.
 //
 // Load a CSV data set (source,item,value rows) or generate a synthetic
-// world, run copy-aware truth finding with any detector, and write the
-// resolved truth, learned accuracies and the analyzed copy graph back
-// out as CSV. The minimal downstream-user entry point.
+// world, run copy-aware truth finding through the public Session
+// facade with any registered detector, and write the resolved truth,
+// learned accuracies and the analyzed copy graph back out as CSV. The
+// minimal downstream-user entry point.
 //
 //   # on your own data
 //   ./copydetect_cli --data=observations.csv --detector=hybrid
@@ -12,44 +13,40 @@
 //   # on a synthetic world, evaluating against the planted truth
 //   ./copydetect_cli --generate=book-cs --scale=0.2 --seed=7
 //
+//   # list the registered detectors
+//   ./copydetect_cli --detector=help
+//
 //   # multi-threaded detection + fusion (0 = all hardware threads)
 //   ./copydetect_cli --generate=book-full --threads=0
 #include <cstdio>
 
-#include "common/csv.h"
-#include "common/executor.h"
-#include "common/stringutil.h"
-#include "core/copy_graph.h"
-#include "eval/experiment.h"
-#include "eval/metrics.h"
-#include "eval/table.h"
-#include "model/stats.h"
+#include "copydetect/session.h"
 
 using namespace copydetect;
 
 namespace {
 
 Status WriteTruthCsv(const std::string& path, const Dataset& data,
-                     const FusionResult& result) {
+                     const Report& report) {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"item", "value", "probability"});
   for (ItemId d = 0; d < data.num_items(); ++d) {
-    SlotId v = result.truth[d];
+    SlotId v = report.truth()[d];
     if (v == kInvalidSlot) continue;
     rows.push_back({std::string(data.item_name(d)),
                     std::string(data.slot_value(v)),
-                    StrFormat("%.6f", result.value_probs[v])});
+                    StrFormat("%.6f", report.fusion.value_probs[v])});
   }
   return WriteCsvFile(path, rows);
 }
 
 Status WriteAccuraciesCsv(const std::string& path, const Dataset& data,
-                          const FusionResult& result) {
+                          const Report& report) {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"source", "accuracy"});
   for (SourceId s = 0; s < data.num_sources(); ++s) {
     rows.push_back({std::string(data.source_name(s)),
-                    StrFormat("%.6f", result.accuracies[s])});
+                    StrFormat("%.6f", report.accuracies()[s])});
   }
   return WriteCsvFile(path, rows);
 }
@@ -84,9 +81,7 @@ Status WriteCopiesCsv(const std::string& path, const Dataset& data,
   return WriteCsvFile(path, rows);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+Status RunCli(int argc, char** argv) {
   FlagParser flags(argc, argv);
   std::string data_path = flags.GetString("data", "");
   std::string generate = flags.GetString("generate", "");
@@ -103,14 +98,30 @@ int main(int argc, char** argv) {
   std::string out_accs = flags.GetString("out-accuracies", "");
   std::string out_copies = flags.GetString("out-copies", "");
   std::string save_data = flags.GetString("save-data", "");
-  flags.Finish();
+  // Unknown flags are an error, never a silent fall-through to
+  // defaults. The detector list rides along so the most common typo
+  // (--detector mis-spellings and friends) is self-correcting.
+  Status flag_status = flags.FinishStatus();
+  if (!flag_status.ok()) {
+    return Status::InvalidArgument(
+        flag_status.message() +
+        " (detectors, via --detector=<name>: " + ListDetectorsJoined() +
+        ")");
+  }
+
+  if (detector_name == "help" || detector_name == "list") {
+    std::printf("registered detectors:\n");
+    for (const std::string& name : ListDetectors()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    return Status::OK();
+  }
 
   if (data_path.empty() == generate.empty()) {
-    std::fprintf(stderr,
-                 "exactly one of --data=<csv> or --generate=<profile> "
-                 "is required (profiles: book-cs, book-full, "
-                 "stock-1day, stock-2wk, example)\n");
-    return 2;
+    return Status::InvalidArgument(
+        "exactly one of --data=<csv> or --generate=<profile> is "
+        "required (profiles: book-cs, book-full, stock-1day, "
+        "stock-2wk, example)");
   }
 
   // ---- Load or generate. ----
@@ -118,52 +129,48 @@ int main(int argc, char** argv) {
   bool have_gold = false;
   if (!generate.empty()) {
     auto world_or = MakeWorldByName(generate, scale, seed);
-    CD_CHECK_OK(world_or.status());
+    CD_RETURN_IF_ERROR(world_or.status());
     world = std::move(world_or).value();
     have_gold = true;
     if (n == 50.0) n = world.suggested_n;
   } else {
     auto data = Dataset::LoadCsv(data_path);
-    CD_CHECK_OK(data.status());
+    CD_RETURN_IF_ERROR(data.status());
     world.data = std::move(data).value();
   }
-  if (!save_data.empty()) CD_CHECK_OK(world.data.SaveCsv(save_data));
+  if (!save_data.empty()) {
+    CD_RETURN_IF_ERROR(world.data.SaveCsv(save_data));
+  }
 
   std::printf("Data: %s\n", ComputeStats(world.data).ToString().c_str());
 
-  // ---- Configure and run. ----
-  DetectorKind kind;
-  if (!ParseDetectorKind(detector_name, &kind)) {
-    std::fprintf(stderr, "unknown detector '%s'\n",
-                 detector_name.c_str());
-    return 2;
-  }
-  FusionOptions options;
-  options.params.alpha = alpha;
-  options.params.s = s;
-  options.params.n = n;
+  // ---- Configure and run through the facade. ----
+  SessionOptions options;
+  options.detector = detector_name;
+  options.alpha = alpha;
+  options.s = s;
+  options.n = n;
   options.max_rounds = static_cast<int>(max_rounds);
-  // One persistent executor shared by every detection round and the
-  // fusion aggregation; --threads=1 never spawns a thread.
-  Executor executor(static_cast<size_t>(threads));
-  options.params.executor = &executor;
-  if (executor.num_threads() > 1) {
-    std::printf("Threads: %zu\n", executor.num_threads());
-  }
-  CD_CHECK_OK(options.params.Validate());
+  options.threads = static_cast<size_t>(threads);
 
-  auto outcome = RunFusion(world, kind, options);
-  CD_CHECK_OK(outcome.status());
-  const FusionResult& fusion = outcome->fusion;
+  auto session = Session::Create(options);
+  CD_RETURN_IF_ERROR(session.status());
+  if (session->threads() > 1) {
+    std::printf("Threads: %zu\n", session->threads());
+  }
+
+  auto report_or = session->Run(world.data);
+  CD_RETURN_IF_ERROR(report_or.status());
+  const Report& report = *report_or;
 
   std::printf(
       "Fusion: %d rounds (%s), detection %s, %s computations\n",
-      fusion.rounds, fusion.converged ? "converged" : "round cap",
-      HumanSeconds(fusion.detect_seconds).c_str(),
-      WithCommas(outcome->counters.Total()).c_str());
+      report.rounds(), report.converged() ? "converged" : "round cap",
+      HumanSeconds(report.fusion.detect_seconds).c_str(),
+      WithCommas(report.counters.Total()).c_str());
 
-  // ---- Copy graph. ----
-  CopyGraph graph = AnalyzeCopyGraph(fusion.copies);
+  // ---- Copy graph (analyzed by the session). ----
+  const CopyGraph& graph = report.graph;
   std::printf("Copying: %zu pairs in %zu clusters over %zu sources\n",
               graph.NumPairs(), graph.clusters.size(),
               graph.NumSources());
@@ -182,29 +189,43 @@ int main(int argc, char** argv) {
 
   if (have_gold) {
     std::printf("Gold accuracy: %.3f over %zu items\n",
-                world.gold.Accuracy(world.data, fusion.truth),
+                world.gold.Accuracy(world.data, report.truth()),
                 world.gold.size());
-    PrfScores prf = ComparePairsToTruth(fusion.copies, world.copy_pairs);
+    PrfScores prf =
+        ComparePairsToTruth(report.copies(), world.copy_pairs);
     std::printf("Planted copy pairs: recall %.2f (direct), precision "
                 "%.2f (closure)\n",
                 prf.recall,
-                ComparePairsToTruth(fusion.copies,
+                ComparePairsToTruth(report.copies(),
                                     CopyClosure(world.copy_pairs))
                     .precision);
   }
 
   // ---- Outputs. ----
   if (!out_truth.empty()) {
-    CD_CHECK_OK(WriteTruthCsv(out_truth, world.data, fusion));
+    CD_RETURN_IF_ERROR(WriteTruthCsv(out_truth, world.data, report));
     std::printf("wrote %s\n", out_truth.c_str());
   }
   if (!out_accs.empty()) {
-    CD_CHECK_OK(WriteAccuraciesCsv(out_accs, world.data, fusion));
+    CD_RETURN_IF_ERROR(
+        WriteAccuraciesCsv(out_accs, world.data, report));
     std::printf("wrote %s\n", out_accs.c_str());
   }
   if (!out_copies.empty()) {
-    CD_CHECK_OK(WriteCopiesCsv(out_copies, world.data, graph));
+    CD_RETURN_IF_ERROR(WriteCopiesCsv(out_copies, world.data, graph));
     std::printf("wrote %s\n", out_copies.c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Status status = RunCli(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "copydetect_cli: %s\n",
+                 status.ToString().c_str());
+    return 2;
   }
   return 0;
 }

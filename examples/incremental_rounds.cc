@@ -1,19 +1,17 @@
-// Incremental rounds: watch §V at work.
+// Incremental rounds: watch §V at work, round by round.
 //
-// Runs the iterative fusion loop twice on the same stock-shaped world,
-// once with HYBRID (full re-detection every round) and once with
-// INCREMENTAL, printing a per-round comparison: seconds, cumulative
-// computations, and the incremental pass statistics of Table VIII.
+// Runs the pipeline twice on the same stock-shaped world, once with
+// HYBRID (full re-detection every round) and once with INCREMENTAL —
+// the latter through the Session streaming API, which surfaces the
+// fusion loop one round at a time exactly as an online deployment
+// would consume it. Prints a per-round comparison: seconds,
+// and the incremental pass statistics of Table VIII.
 //
 //   ./incremental_rounds [--scale=0.1] [--seed=9]
+#include <algorithm>
 #include <cstdio>
 
-#include "common/stringutil.h"
-#include "core/hybrid.h"
-#include "core/incremental.h"
-#include "eval/experiment.h"
-#include "eval/metrics.h"
-#include "eval/table.h"
+#include "copydetect/session.h"
 
 using namespace copydetect;
 
@@ -27,67 +25,81 @@ int main(int argc, char** argv) {
   CD_CHECK_OK(world_or.status());
   const World& world = *world_or;
 
-  FusionOptions options;
-  options.params.alpha = 0.1;
-  options.params.s = 0.8;
-  options.params.n = world.suggested_n;
+  SessionOptions options;
+  options.alpha = 0.1;
+  options.s = 0.8;
+  options.n = world.suggested_n;
   options.max_rounds = 8;
   // Iterate well past coarse convergence so the incremental rounds
   // (>= 3) are visible — the paper's data sets ran 5-9 rounds.
   options.epsilon = 1e-7;
 
-  HybridDetector hybrid(options.params);
-  IncrementalDetector incremental(options.params);
-  IterativeFusion fusion(options);
+  // Reference: HYBRID, one-shot.
+  options.detector = "hybrid";
+  auto hybrid = Session::Create(options);
+  CD_CHECK_OK(hybrid.status());
+  auto hybrid_report = hybrid->Run(world.data);
+  CD_CHECK_OK(hybrid_report.status());
 
-  auto hybrid_run = fusion.Run(world.data, &hybrid);
-  CD_CHECK_OK(hybrid_run.status());
-  auto incremental_run = fusion.Run(world.data, &incremental);
-  CD_CHECK_OK(incremental_run.status());
+  // INCREMENTAL through the streaming API: Step() executes one fusion
+  // round; report() exposes the per-round state (including the
+  // incremental pass statistics) without reaching into detector
+  // internals.
+  options.detector = "incremental";
+  auto incremental = Session::Create(options);
+  CD_CHECK_OK(incremental.status());
+  CD_CHECK_OK(incremental->Start(world.data));
 
   TextTable rounds;
   rounds.SetHeader({"Round", "hybrid time", "incremental time", "ratio",
                     "pass1", "pass2", "pass3", "exact"});
-  const auto& stats = incremental.round_stats();
-  size_t n = std::min(hybrid_run->trace.size(), stats.size());
-  for (size_t i = 0; i < n; ++i) {
-    double hybrid_secs = hybrid_run->trace[i].detect_seconds;
-    double inc_secs = stats[i].seconds;
+  while (true) {
+    auto stepped = incremental->Step();
+    CD_CHECK_OK(stepped.status());
+    if (!*stepped) break;
+    const Report& so_far = incremental->report();
+    if (so_far.incremental_rounds.empty()) continue;
+    const IncrementalRoundInfo& stats =
+        so_far.incremental_rounds.back();
+    size_t i = so_far.incremental_rounds.size() - 1;
+    if (i >= hybrid_report->fusion.trace.size()) continue;
+    double hybrid_secs = hybrid_report->fusion.trace[i].detect_seconds;
     std::string ratio =
-        stats[i].from_scratch
+        stats.from_scratch
             ? "scratch"
-            : StrFormat("%.0f%%", 100.0 * inc_secs /
+            : StrFormat("%.0f%%", 100.0 * stats.seconds /
                                       std::max(hybrid_secs, 1e-9));
-    rounds.AddRow({StrFormat("%d", stats[i].round),
-                   HumanSeconds(hybrid_secs), HumanSeconds(inc_secs),
+    rounds.AddRow({StrFormat("%d", stats.round),
+                   HumanSeconds(hybrid_secs), HumanSeconds(stats.seconds),
                    ratio,
-                   stats[i].from_scratch
+                   stats.from_scratch
                        ? "-"
                        : StrFormat("%llu",
                                    static_cast<unsigned long long>(
-                                       stats[i].pass1)),
+                                       stats.pass1)),
                    StrFormat("%llu", static_cast<unsigned long long>(
-                                         stats[i].pass2)),
+                                         stats.pass2)),
                    StrFormat("%llu", static_cast<unsigned long long>(
-                                         stats[i].pass3)),
+                                         stats.pass3)),
                    StrFormat("%llu", static_cast<unsigned long long>(
-                                         stats[i].exact))});
+                                         stats.exact))});
   }
   std::printf("%s\n",
               rounds.Render("Per-round detection cost:").c_str());
 
-  PrfScores prf = ComparePairs(incremental_run->copies,
-                               hybrid_run->copies);
+  const Report& incremental_report = incremental->report();
+  PrfScores prf = ComparePairs(incremental_report.copies(),
+                               hybrid_report->copies());
   std::printf(
       "Agreement with HYBRID: precision %.3f recall %.3f F1 %.3f\n"
       "Fusion difference: %.4f; accuracy variance: %.5f\n"
       "Total detect seconds: hybrid %s, incremental %s\n",
       prf.precision, prf.recall, prf.f1,
-      FusionDifference(world.data, incremental_run->truth,
-                       hybrid_run->truth),
-      AccuracyVariance(incremental_run->accuracies,
-                       hybrid_run->accuracies),
-      HumanSeconds(hybrid_run->detect_seconds).c_str(),
-      HumanSeconds(incremental_run->detect_seconds).c_str());
+      FusionDifference(world.data, incremental_report.truth(),
+                       hybrid_report->truth()),
+      AccuracyVariance(incremental_report.accuracies(),
+                       hybrid_report->accuracies()),
+      HumanSeconds(hybrid_report->fusion.detect_seconds).c_str(),
+      HumanSeconds(incremental_report.fusion.detect_seconds).c_str());
   return 0;
 }

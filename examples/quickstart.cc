@@ -1,46 +1,49 @@
 // Quickstart: the paper's running example end to end.
 //
 // Builds the 10-source / 5-item world of Table I, runs copy-aware
-// iterative truth finding with the HYBRID detector, and prints the
-// detected copiers, the resolved truth, and the learned accuracies.
+// iterative truth finding through the public Session facade with the
+// HYBRID detector, and prints the detected copiers, the resolved
+// truth, and the learned accuracies.
 //
 //   ./quickstart
 #include <cstdio>
 
-#include "common/stringutil.h"
-#include "core/hybrid.h"
-#include "datagen/motivating_example.h"
-#include "eval/table.h"
-#include "fusion/truth_finder.h"
+#include "copydetect/session.h"
 
 using namespace copydetect;
 
-int main() {
+int main(int argc, char** argv) {
+  // No flags — but typos must fail loudly instead of silently running
+  // with defaults.
+  FlagParser flags(argc, argv);
+  flags.Finish();
+
   World world = MotivatingExample();
   const Dataset& data = world.data;
   std::printf("Data: %zu sources, %zu items, %zu observations\n\n",
               data.num_sources(), data.num_items(),
               data.num_observations());
 
-  // 1. Configure the model exactly like the paper's example:
-  //    alpha = .1, s = .8, n = 50.
-  FusionOptions options;
-  options.params.alpha = 0.1;
-  options.params.s = 0.8;
-  options.params.n = 50.0;
+  // 1. Configure the whole pipeline exactly like the paper's example:
+  //    alpha = .1, s = .8, n = 50, HYBRID detection.
+  SessionOptions options;
+  options.detector = "hybrid";
+  options.alpha = 0.1;
+  options.s = 0.8;
+  options.n = 50.0;
 
-  // 2. Run the iterative loop with the HYBRID detector.
-  HybridDetector detector(options.params);
-  IterativeFusion fusion(options);
-  auto result = fusion.Run(data, &detector);
-  CD_CHECK_OK(result.status());
+  // 2. One-shot run through the facade.
+  auto session = Session::Create(options);
+  CD_CHECK_OK(session.status());
+  auto report = session->Run(data);
+  CD_CHECK_OK(report.status());
 
   // 3. Detected copying relationships.
   std::printf("Detected copying (Pr(independent) <= 0.5):\n");
-  for (uint64_t key : result->copies.CopyingPairs()) {
+  for (uint64_t key : report->copies().CopyingPairs()) {
     SourceId a = PairFirst(key);
     SourceId b = PairSecond(key);
-    PairPosterior post = result->copies.Get(a, b);
+    PairPosterior post = report->copies().Get(a, b);
     std::printf("  %s <-> %s   Pr(indep)=%.4f\n",
                 std::string(data.source_name(a)).c_str(),
                 std::string(data.source_name(b)).c_str(), post.p_indep);
@@ -50,10 +53,10 @@ int main() {
   TextTable table;
   table.SetHeader({"Item", "Resolved value", "Probability", "Gold"});
   for (ItemId d = 0; d < data.num_items(); ++d) {
-    SlotId v = result->truth[d];
+    SlotId v = report->truth()[d];
     table.AddRow({std::string(data.item_name(d)),
                   std::string(data.slot_value(v)),
-                  StrFormat("%.3f", result->value_probs[v]),
+                  StrFormat("%.3f", report->fusion.value_probs[v]),
                   std::string(world.gold.Lookup(d))});
   }
   std::printf("\n%s", table.Render("Resolved truth:").c_str());
@@ -63,15 +66,15 @@ int main() {
   accs.SetHeader({"Source", "Learned accuracy", "Planted"});
   for (SourceId s = 0; s < data.num_sources(); ++s) {
     accs.AddRow({std::string(data.source_name(s)),
-                 StrFormat("%.2f", result->accuracies[s]),
+                 StrFormat("%.2f", report->accuracies()[s]),
                  StrFormat("%.2f", world.true_accuracy[s])});
   }
   std::printf("\n%s", accs.Render("Source accuracies:").c_str());
 
   std::printf("\nConverged in %d rounds; gold accuracy %.0f%%; "
               "%s\n",
-              result->rounds,
-              100.0 * world.gold.Accuracy(data, result->truth),
-              detector.counters().ToString().c_str());
+              report->rounds(),
+              100.0 * world.gold.Accuracy(data, report->truth()),
+              report->counters.ToString().c_str());
   return 0;
 }

@@ -7,16 +7,13 @@
 //   * naive majority voting,
 //   * accuracy-weighted voting (no copy detection),
 //   * copy-aware fusion (HYBRID detection in the loop).
+// The last two are the same Session configuration with copy detection
+// toggled off and on.
 //
 //   ./stock_feeds [--scale=0.1] [--seed=42]
 #include <cstdio>
 
-#include "common/stringutil.h"
-#include "core/hybrid.h"
-#include "eval/experiment.h"
-#include "eval/metrics.h"
-#include "eval/table.h"
-#include "model/stats.h"
+#include "copydetect/session.h"
 
 using namespace copydetect;
 
@@ -49,28 +46,31 @@ int main(int argc, char** argv) {
   std::printf("Stock world (scale %.2f): %s\n\n", scale,
               ComputeStats(world.data).ToString().c_str());
 
-  FusionOptions options;
-  options.params.alpha = 0.1;
-  options.params.s = config.copying.selectivity;
-  options.params.n = world.suggested_n;
+  SessionOptions options;
+  options.alpha = 0.1;
+  options.s = config.copying.selectivity;
+  options.n = world.suggested_n;
 
   // --- Naive voting. ---
   std::vector<SlotId> vote_truth = VoteFusion(world.data);
   double vote_acc = world.gold.Accuracy(world.data, vote_truth);
 
   // --- Accuracy-only iterative fusion. ---
-  FusionOptions no_copy = options;
+  SessionOptions no_copy = options;
   no_copy.use_copy_detection = false;
-  IterativeFusion accuracy_only(no_copy);
-  auto acc_result = accuracy_only.Run(world.data, nullptr);
-  CD_CHECK_OK(acc_result.status());
-  double acc_acc = world.gold.Accuracy(world.data, acc_result->truth);
+  auto accuracy_only = Session::Create(no_copy);
+  CD_CHECK_OK(accuracy_only.status());
+  auto acc_report = accuracy_only->Run(world.data);
+  CD_CHECK_OK(acc_report.status());
+  double acc_acc = world.gold.Accuracy(world.data, acc_report->truth());
 
   // --- Copy-aware fusion. ---
-  auto aware = RunFusion(world, DetectorKind::kHybrid, options);
+  options.detector = "hybrid";
+  auto aware_session = Session::Create(options);
+  CD_CHECK_OK(aware_session.status());
+  auto aware = aware_session->Run(world.data);
   CD_CHECK_OK(aware.status());
-  double aware_acc =
-      world.gold.Accuracy(world.data, aware->fusion.truth);
+  double aware_acc = world.gold.Accuracy(world.data, aware->truth());
 
   TextTable table;
   table.SetHeader({"Strategy", "Gold accuracy", "Detection time"});
@@ -86,15 +86,15 @@ int main(int argc, char** argv) {
   // against the clique closure (co-copiers of one original are
   // indistinguishable from direct copiers — §II footnote 3).
   PrfScores direct =
-      ComparePairsToTruth(aware->fusion.copies, world.copy_pairs);
+      ComparePairsToTruth(aware->copies(), world.copy_pairs);
   PrfScores closure = ComparePairsToTruth(
-      aware->fusion.copies, CopyClosure(world.copy_pairs));
+      aware->copies(), CopyClosure(world.copy_pairs));
   std::printf("Copy detection: recall (direct edges) %.2f, "
               "precision (clique closure) %.2f, %zu planted pairs\n",
               direct.recall, closure.precision, world.copy_pairs.size());
 
   std::printf("Detected copying pairs:\n");
-  for (uint64_t key : aware->fusion.copies.CopyingPairs()) {
+  for (uint64_t key : aware->copies().CopyingPairs()) {
     std::printf("  %s <-> %s\n",
                 std::string(world.data.source_name(PairFirst(key)))
                     .c_str(),

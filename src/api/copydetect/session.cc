@@ -1,0 +1,226 @@
+#include "copydetect/session.h"
+
+#include <utility>
+
+#include "common/executor.h"
+#include "core/incremental.h"
+#include "fusion/value_probs.h"
+
+namespace copydetect {
+
+namespace {
+
+/// Appends "label must ..." style problems; shared formatting for the
+/// aggregated validation message.
+void Require(bool ok, std::vector<std::string>* problems,
+             std::string problem) {
+  if (!ok) problems->push_back(std::move(problem));
+}
+
+}  // namespace
+
+Status SessionOptions::Validate() const {
+  std::vector<std::string> problems;
+  // Model-parameter ranges, mirroring DetectionParams::Validate() (the
+  // unit tests in tests/session_test.cc pin the two in sync) — but
+  // collected instead of first-failure.
+  Require(alpha > 0.0 && alpha < 0.25, &problems,
+          StrFormat("alpha must be in (0, 0.25), got %g", alpha));
+  Require(s > 0.0 && s < 1.0, &problems,
+          StrFormat("s must be in (0, 1), got %g", s));
+  Require(n >= 1.0, &problems, StrFormat("n must be >= 1, got %g", n));
+  Require(rho_accuracy > 0.0, &problems,
+          "rho_accuracy must be positive");
+  Require(rho_value > 0.0, &problems, "rho_value must be positive");
+  // Loop controls.
+  Require(max_rounds >= 0, &problems,
+          StrFormat("max_rounds must be >= 0, got %d", max_rounds));
+  Require(epsilon > 0.0, &problems,
+          StrFormat("epsilon must be positive, got %g", epsilon));
+  Require(initial_accuracy > 0.0 && initial_accuracy < 1.0, &problems,
+          StrFormat("initial_accuracy must be in (0, 1), got %g",
+                    initial_accuracy));
+  Require(damping >= 0.0 && damping < 1.0, &problems,
+          StrFormat("damping must be in [0, 1), got %g", damping));
+  // Detector and sampling.
+  if (use_copy_detection &&
+      !DetectorRegistry::Global().Contains(detector)) {
+    problems.push_back("unknown detector '" + detector +
+                       "' (available: " + ListDetectorsJoined() + ")");
+  }
+  Require(sample_rate >= 0.0 && sample_rate <= 1.0, &problems,
+          StrFormat("sample_rate must be in [0, 1] (0 disables "
+                    "sampling), got %g",
+                    sample_rate));
+  if (!problems.empty()) {
+    std::string joined;
+    for (const std::string& p : problems) {
+      if (!joined.empty()) joined += "; ";
+      joined += p;
+    }
+    return Status::InvalidArgument("invalid SessionOptions: " + joined);
+  }
+  // Defensive: if the per-field rules above ever drift from
+  // DetectionParams::Validate(), surface its verdict instead of
+  // letting the mismatch hide until Run.
+  return ToDetectionParams().Validate();
+}
+
+DetectionParams SessionOptions::ToDetectionParams() const {
+  DetectionParams params;
+  params.alpha = alpha;
+  params.s = s;
+  params.n = n;
+  params.hybrid_threshold = hybrid_threshold;
+  params.rho_accuracy = rho_accuracy;
+  params.rho_value = rho_value;
+  return params;
+}
+
+FusionOptions SessionOptions::ToFusionOptions() const {
+  FusionOptions fusion;
+  fusion.params = ToDetectionParams();
+  fusion.max_rounds = max_rounds;
+  fusion.epsilon = epsilon;
+  fusion.initial_accuracy = initial_accuracy;
+  fusion.use_copy_detection = use_copy_detection;
+  fusion.damping = damping;
+  return fusion;
+}
+
+Session::Session(SessionOptions options, std::string detector_name,
+                 std::unique_ptr<Executor> executor,
+                 std::unique_ptr<CopyDetector> detector)
+    : options_(std::move(options)),
+      detector_name_(std::move(detector_name)),
+      executor_(std::move(executor)),
+      detector_(std::move(detector)) {}
+
+StatusOr<Session> Session::Create(const SessionOptions& options) {
+  CD_RETURN_IF_ERROR(options.Validate());
+  auto executor = std::make_unique<Executor>(options.threads);
+  DetectionParams params = options.ToDetectionParams();
+  params.executor = executor.get();
+  std::string name;
+  std::unique_ptr<CopyDetector> detector;
+  if (options.use_copy_detection) {
+    name = DetectorRegistry::Global().Resolve(options.detector);
+    auto made = DetectorRegistry::Global().Create(name, params);
+    if (!made.ok()) return made.status();
+    detector = std::move(made).value();
+    if (options.sample_rate > 0.0) {
+      SampleSpec spec;
+      spec.method = options.sample_method;
+      spec.rate = options.sample_rate;
+      spec.min_items_per_source = options.sample_min_items_per_source;
+      spec.seed = options.sample_seed;
+      detector = std::make_unique<SampledDetector>(
+          params, std::move(detector), spec);
+    }
+  }
+  return Session(options, std::move(name), std::move(executor),
+                 std::move(detector));
+}
+
+size_t Session::threads() const { return executor_->num_threads(); }
+
+Status Session::Start(const Dataset& data) {
+  // Fresh run: drop cross-round detector state so consecutive runs on
+  // one Session match runs on freshly created Sessions.
+  if (detector_ != nullptr) detector_->Reset();
+  FusionOptions fusion = options_.ToFusionOptions();
+  fusion.params.executor = executor_.get();
+  loop_ = std::make_unique<FusionLoop>(fusion);
+  data_ = &data;
+  report_ = Report();
+  return loop_->Start(data, detector_.get());
+}
+
+StatusOr<bool> Session::Step() {
+  if (loop_ == nullptr) {
+    return Status::FailedPrecondition("Session::Step before Start");
+  }
+  return loop_->Step();
+}
+
+bool Session::running() const {
+  return loop_ != nullptr && !loop_->done();
+}
+
+int Session::round() const {
+  return loop_ != nullptr ? loop_->round() : 0;
+}
+
+void Session::RefreshReport() {
+  report_.detector = detector_name_;
+  report_.threads = threads();
+  // Mid-run snapshots get a truth computed from the current round's
+  // value probabilities; the loop finalizes truth itself on the last
+  // round.
+  if (report_.fusion.truth.empty() && data_ != nullptr) {
+    report_.fusion.truth =
+        ChooseTruth(*data_, report_.fusion.value_probs);
+  }
+  report_.counters =
+      detector_ != nullptr ? detector_->counters() : Counters();
+  report_.graph = AnalyzeCopyGraph(report_.fusion.copies);
+  report_.incremental_rounds.clear();
+  // See through the sampling wrapper: a sampled incremental session
+  // still reports its pass statistics.
+  const CopyDetector* unwrapped = detector_.get();
+  if (const auto* sampled =
+          dynamic_cast<const SampledDetector*>(unwrapped)) {
+    unwrapped = &sampled->base();
+  }
+  if (const auto* inc =
+          dynamic_cast<const IncrementalDetector*>(unwrapped)) {
+    for (const IncrementalDetector::RoundStats& rs :
+         inc->round_stats()) {
+      IncrementalRoundInfo info;
+      info.round = rs.round;
+      info.pass1 = rs.pass1;
+      info.pass2 = rs.pass2;
+      info.pass3 = rs.pass3;
+      info.exact = rs.exact;
+      info.seconds = rs.seconds;
+      info.from_scratch = rs.from_scratch;
+      report_.incremental_rounds.push_back(info);
+    }
+  }
+}
+
+const Report& Session::report() {
+  if (loop_ != nullptr) report_.fusion = loop_->result();
+  RefreshReport();
+  return report_;
+}
+
+StatusOr<Report> Session::Run(const Dataset& data) {
+  // One-shot runs never leave streaming state behind — in particular
+  // not a dangling data_ pointer when a round fails mid-run.
+  auto finish = [this] {
+    report_ = Report();
+    loop_.reset();
+    data_ = nullptr;
+  };
+  Status started = Start(data);
+  if (!started.ok()) {
+    finish();
+    return started;
+  }
+  while (true) {
+    StatusOr<bool> stepped = loop_->Step();
+    if (!stepped.ok()) {
+      finish();
+      return stepped.status();
+    }
+    if (!*stepped) break;
+  }
+  report_.fusion = std::move(*loop_).Take();
+  RefreshReport();
+  Report out = std::move(report_);
+  finish();
+  return out;
+}
+
+}  // namespace copydetect

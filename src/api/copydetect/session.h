@@ -1,0 +1,200 @@
+#ifndef COPYDETECT_API_COPYDETECT_SESSION_H_
+#define COPYDETECT_API_COPYDETECT_SESSION_H_
+
+/// \file
+/// The public facade of the copydetect engine — the one header
+/// application code includes:
+///
+///   #include "copydetect/session.h"
+///
+/// A Session owns the whole pipeline: the shared Executor runtime, a
+/// detector resolved by name through the DetectorRegistry, and the
+/// iterative copy-aware fusion loop. Configure everything with one
+/// SessionOptions, then either
+///
+///   * one-shot:   auto report = session->Run(data);
+///   * streaming:  session->Start(data);
+///                 while (*session->Step()) inspect(session->report());
+///
+/// The streaming mode exposes the fusion loop round by round for
+/// incremental/online scenarios; both modes produce bit-identical
+/// results (Session::Run is the streaming loop driven to completion).
+///
+/// Everything an application needs downstream of the pipeline —
+/// worlds and profiles (datagen), metrics and text tables (eval),
+/// CSV/flags (common), dataset stats (model) — is re-exported here so
+/// examples and benchmark setup code never include `core/` or
+/// `fusion/` headers directly (docs/API.md states the boundary rule;
+/// CI enforces it).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/executor.h"
+#include "common/stringutil.h"
+#include "core/copy_graph.h"
+#include "core/detector_registry.h"
+#include "core/sampling.h"
+#include "datagen/generator.h"
+#include "datagen/motivating_example.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "fusion/truth_finder.h"
+#include "model/stats.h"
+
+namespace copydetect {
+
+/// One configuration for the whole pipeline: the Bayesian model
+/// parameters (DetectionParams), the iterative-loop controls
+/// (FusionOptions), the executor width, the detector by registry
+/// name, and optional detection sampling. Validate() checks the whole
+/// struct at once and reports *every* invalid field in one message.
+struct SessionOptions {
+  /// Registry name of the detection algorithm (see ListDetectors()):
+  /// "pairwise", "index", "bound", "boundplus", "hybrid",
+  /// "incremental", "fagin-input", "parallel-index". Ignored when
+  /// use_copy_detection is false.
+  std::string detector = "hybrid";
+
+  // --- Bayesian copy-detection model (§II), DetectionParams. ---
+  double alpha = 0.1;  ///< a-priori copying probability, in (0, 0.25)
+  double s = 0.8;      ///< copy selectivity, in (0, 1)
+  double n = 50.0;     ///< false values per item, >= 1
+  size_t hybrid_threshold = 16;  ///< HYBRID's INDEX→BOUND+ switch
+  double rho_accuracy = 0.2;     ///< INCREMENTAL re-detection trigger
+  double rho_value = 1.0;        ///< INCREMENTAL "big change" bound
+
+  // --- Iterative fusion loop (§II), FusionOptions. ---
+  int max_rounds = 12;
+  double epsilon = 1e-3;          ///< convergence threshold, > 0
+  double initial_accuracy = 0.8;  ///< round-0 accuracies, in (0, 1)
+  bool use_copy_detection = true; ///< false = accuracy-only baseline
+  double damping = 0.25;          ///< value-prob smoothing, in [0, 1)
+
+  // --- Runtime. ---
+  /// Executor width: 1 = serial (never spawns a thread), 0 = all
+  /// hardware threads, N = N workers. Results are bit-identical at
+  /// every width; this is purely a speed knob.
+  size_t threads = 1;
+
+  // --- Optional detection sampling (§VI-E). ---
+  /// Item/cell fraction in (0, 1]; 0 (default) disables sampling.
+  double sample_rate = 0.0;
+  SamplingMethod sample_method = SamplingMethod::kScaleSample;
+  size_t sample_min_items_per_source = 4;  ///< SCALESAMPLE's floor
+  uint64_t sample_seed = 42;
+
+  /// Validates every field, aggregating all violations into a single
+  /// InvalidArgument message ("invalid SessionOptions: <a>; <b>; ...")
+  /// instead of stopping at the first. Includes the registry's
+  /// detector list when `detector` does not resolve.
+  Status Validate() const;
+
+  /// The model-parameter view of these options (executor unset — the
+  /// Session wires its own).
+  DetectionParams ToDetectionParams() const;
+  /// The fusion-loop view of these options (params.executor unset).
+  FusionOptions ToFusionOptions() const;
+};
+
+/// Per-round pass statistics of the INCREMENTAL detector (Table
+/// VIII), surfaced through the facade so callers never downcast to
+/// core detector types. Empty unless the session runs "incremental".
+struct IncrementalRoundInfo {
+  int round = 0;
+  uint64_t pass1 = 0;  ///< pairs terminated in pass 1
+  uint64_t pass2 = 0;
+  uint64_t pass3 = 0;
+  uint64_t exact = 0;  ///< pairs handled outside the passes
+  double seconds = 0.0;
+  bool from_scratch = false;  ///< full re-detection round
+};
+
+/// Everything one run produces: the fusion outcome (truth, value
+/// probabilities, accuracies, last-round copies, per-round trace and
+/// timing), the detector's computation counters, and the analyzed
+/// copy graph.
+struct Report {
+  std::string detector;  ///< detector name ("" when accuracy-only)
+  size_t threads = 1;    ///< resolved executor width
+  FusionResult fusion;
+  Counters counters;
+  CopyGraph graph;
+  /// INCREMENTAL pass statistics; empty for other detectors.
+  std::vector<IncrementalRoundInfo> incremental_rounds;
+
+  // Shorthands for the most common lookups.
+  const std::vector<SlotId>& truth() const { return fusion.truth; }
+  const std::vector<double>& accuracies() const {
+    return fusion.accuracies;
+  }
+  const CopyResult& copies() const { return fusion.copies; }
+  int rounds() const { return fusion.rounds; }
+  bool converged() const { return fusion.converged; }
+};
+
+/// The facade over the whole pipeline. Create() validates the options
+/// as a whole, builds the shared Executor and resolves the detector
+/// through the registry; Run()/Start()+Step() then drive the fusion
+/// loop. A Session is reusable: each Run/Start resets detector state,
+/// so consecutive runs are independent. Movable, not copyable.
+class Session {
+ public:
+  /// Builds a session or returns the aggregated validation error.
+  static StatusOr<Session> Create(const SessionOptions& options);
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  const SessionOptions& options() const { return options_; }
+  /// Resolved canonical detector name ("" when accuracy-only).
+  const std::string& detector_name() const { return detector_name_; }
+  /// Resolved executor width (options().threads with 0 expanded).
+  size_t threads() const;
+
+  /// One-shot: runs the fusion loop to completion on `data` and
+  /// returns the full report. Equivalent to Start + Step-until-done +
+  /// report(), and bit-identical to driving IterativeFusion directly
+  /// with ToFusionOptions() (the equivalence is enforced by
+  /// tests/session_test.cc). Resets any streaming state.
+  StatusOr<Report> Run(const Dataset& data);
+
+  // --- Streaming-round API. ---
+  /// Begins a streaming run. `data` must outlive the run.
+  Status Start(const Dataset& data);
+  /// Executes the next fusion round. Returns true when a round was
+  /// executed, false when the run had already finished (converged or
+  /// reached max_rounds).
+  StatusOr<bool> Step();
+  /// True between Start and the finishing Step.
+  bool running() const;
+  /// Rounds executed in the current run.
+  int round() const;
+  /// Snapshot of the run so far: after the finishing Step this is the
+  /// final report; mid-run, truth and the copy graph are computed
+  /// from the current round's state. Invalidated by the next Step,
+  /// Start or Run.
+  const Report& report();
+
+ private:
+  Session(SessionOptions options, std::string detector_name,
+          std::unique_ptr<Executor> executor,
+          std::unique_ptr<CopyDetector> detector);
+
+  void RefreshReport();
+
+  SessionOptions options_;
+  std::string detector_name_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<CopyDetector> detector_;  // null when accuracy-only
+  std::unique_ptr<FusionLoop> loop_;        // null until Start
+  const Dataset* data_ = nullptr;           // current run's data set
+  Report report_;
+};
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_API_COPYDETECT_SESSION_H_

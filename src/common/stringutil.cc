@@ -181,15 +181,23 @@ bool FlagParser::GetBool(std::string_view name, bool def) {
 }
 
 void FlagParser::Finish() const {
-  bool bad = false;
-  for (const Entry& e : entries_) {
-    if (!e.consumed) {
-      std::fprintf(stderr, "%s: unknown flag --%s\n", program_.c_str(),
-                   e.key.c_str());
-      bad = true;
-    }
+  Status status = FinishStatus();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", program_.c_str(),
+                 status.message().c_str());
+    std::exit(2);
   }
-  if (bad) std::exit(2);
+}
+
+Status FlagParser::FinishStatus() const {
+  std::string unknown;
+  for (const Entry& e : entries_) {
+    if (e.consumed) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += "--" + e.key;
+  }
+  if (unknown.empty()) return Status::OK();
+  return Status::InvalidArgument("unknown flag(s): " + unknown);
 }
 
 }  // namespace copydetect

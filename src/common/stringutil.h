@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
+
 namespace copydetect {
 
 /// printf-style formatting into a std::string.
@@ -54,6 +56,10 @@ class FlagParser {
 
   /// Call after all Get* declarations: aborts on unconsumed flags.
   void Finish() const;
+
+  /// Non-fatal variant for Status-based mains: OK when every flag was
+  /// consumed, InvalidArgument naming all unknown flags otherwise.
+  Status FinishStatus() const;
 
  private:
   struct Entry {

@@ -80,7 +80,7 @@ class BoundDetector : public CopyDetector {
         seed_(seed) {}
 
   std::string_view name() const override {
-    return lazy_ ? "bound+" : "bound";
+    return lazy_ ? "boundplus" : "bound";
   }
 
   void Reset() override {

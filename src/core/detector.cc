@@ -1,12 +1,6 @@
 #include "core/detector.h"
 
-#include "core/bound.h"
-#include "core/fagin_input.h"
-#include "core/hybrid.h"
-#include "core/incremental.h"
-#include "core/index_algo.h"
-#include "core/pairwise.h"
-#include "core/parallel_index.h"
+#include "core/detector_registry.h"
 
 namespace copydetect {
 
@@ -34,7 +28,7 @@ std::string_view DetectorKindName(DetectorKind kind) {
     case DetectorKind::kBound:
       return "bound";
     case DetectorKind::kBoundPlus:
-      return "bound+";
+      return "boundplus";
     case DetectorKind::kHybrid:
       return "hybrid";
     case DetectorKind::kIncremental:
@@ -60,30 +54,24 @@ bool ParseDetectorKind(std::string_view name, DetectorKind* out) {
       return true;
     }
   }
+  // Legacy spelling kept for old scripts; the registry carries the
+  // same alias.
+  if (name == "bound+") {
+    *out = DetectorKind::kBoundPlus;
+    return true;
+  }
   return false;
 }
 
 std::unique_ptr<CopyDetector> MakeDetector(DetectorKind kind,
                                            const DetectionParams& params) {
-  switch (kind) {
-    case DetectorKind::kPairwise:
-      return std::make_unique<PairwiseDetector>(params);
-    case DetectorKind::kIndex:
-      return std::make_unique<IndexDetector>(params);
-    case DetectorKind::kBound:
-      return std::make_unique<BoundDetector>(params, /*lazy=*/false);
-    case DetectorKind::kBoundPlus:
-      return std::make_unique<BoundDetector>(params, /*lazy=*/true);
-    case DetectorKind::kHybrid:
-      return std::make_unique<HybridDetector>(params);
-    case DetectorKind::kIncremental:
-      return std::make_unique<IncrementalDetector>(params);
-    case DetectorKind::kFaginInput:
-      return std::make_unique<FaginInputDetector>(params);
-    case DetectorKind::kParallelIndex:
-      return std::make_unique<ParallelIndexDetector>(params);
-  }
-  return nullptr;
+  // The registry (populated by each detector TU's self-registration
+  // stanza) is the single source of truth; the enum is a thin
+  // compatibility layer over the canonical names.
+  auto made =
+      DetectorRegistry::Global().Create(DetectorKindName(kind), params);
+  if (!made.ok()) return nullptr;
+  return std::move(made).value();
 }
 
 }  // namespace copydetect

@@ -1,5 +1,7 @@
 #include "core/index_algo.h"
 
+#include "core/detector_registry.h"
+
 #include "common/executor.h"
 #include "core/bayes.h"
 #include "core/sharded_scan.h"
@@ -111,5 +113,9 @@ Status IndexDetector::DetectRound(const DetectionInput& in, int round,
   return IndexScan(in, params_, ordering_, seed_, params_.executor,
                    overlaps, &counters_, out, &last_index_seconds_);
 }
+
+CD_REGISTER_DETECTOR(index, "index", [](const DetectionParams& p) {
+  return std::make_unique<IndexDetector>(p);
+});
 
 }  // namespace copydetect

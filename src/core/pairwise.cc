@@ -1,5 +1,7 @@
 #include "core/pairwise.h"
 
+#include "core/detector_registry.h"
+
 #include <vector>
 
 #include "common/executor.h"
@@ -91,5 +93,9 @@ Status PairwiseDetector::DetectRound(const DetectionInput& in, int round,
   }
   return Status::OK();
 }
+
+CD_REGISTER_DETECTOR(pairwise, "pairwise", [](const DetectionParams& p) {
+  return std::make_unique<PairwiseDetector>(p);
+});
 
 }  // namespace copydetect

@@ -1,5 +1,7 @@
 #include "core/parallel_index.h"
 
+#include "core/detector_registry.h"
+
 #include <algorithm>
 #include <thread>
 
@@ -31,5 +33,10 @@ Status ParallelIndexDetector::DetectRound(const DetectionInput& in,
                    /*seed=*/1, executor, overlaps, &counters_, out,
                    /*index_seconds=*/nullptr);
 }
+
+CD_REGISTER_DETECTOR(parallel_index, "parallel-index",
+                     [](const DetectionParams& p) {
+                       return std::make_unique<ParallelIndexDetector>(p);
+                     });
 
 }  // namespace copydetect

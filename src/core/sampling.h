@@ -67,6 +67,9 @@ class SampledDetector : public CopyDetector {
   const SampledData* sample() const { return sample_.get(); }
   /// Seconds spent drawing the sample (the paper's sampling overhead).
   double sample_seconds() const { return sample_seconds_; }
+  /// The wrapped detector, so callers (e.g. the Session facade's
+  /// incremental-stats surfacing) can see through the sampling layer.
+  const CopyDetector& base() const { return *base_; }
 
  private:
   std::unique_ptr<CopyDetector> base_;

@@ -22,78 +22,106 @@ std::vector<SlotId> VoteFusion(const Dataset& data) {
   return truth;
 }
 
-StatusOr<FusionResult> IterativeFusion::Run(const Dataset& data,
-                                            CopyDetector* detector) const {
+Status FusionLoop::Start(const Dataset& data, CopyDetector* detector) {
   CD_RETURN_IF_ERROR(options_.params.Validate());
   if (options_.use_copy_detection && detector == nullptr) {
     return Status::InvalidArgument(
         "use_copy_detection requires a detector");
   }
 
-  Stopwatch total;
-  total.Start();
-
-  FusionResult result;
-  result.value_probs = InitialValueProbs(data);
-  result.accuracies =
+  Stopwatch init;
+  init.Start();
+  data_ = &data;
+  detector_ = detector;
+  result_ = FusionResult();
+  result_.value_probs = InitialValueProbs(data);
+  result_.accuracies =
       InitialAccuracies(data.num_sources(), options_.initial_accuracy);
+  done_ = options_.max_rounds < 1;
+  if (done_) result_.truth = ChooseTruth(data, result_.value_probs);
+  init.Stop();
+  result_.total_seconds = init.Seconds();
+  return Status::OK();
+}
 
-  for (int round = 1; round <= options_.max_rounds; ++round) {
-    RoundTrace trace;
-    trace.round = round;
+StatusOr<bool> FusionLoop::Step() {
+  if (data_ == nullptr) {
+    return Status::FailedPrecondition("FusionLoop::Step before Start");
+  }
+  if (done_) return false;
 
-    if (options_.use_copy_detection) {
-      DetectionInput in;
-      in.data = &data;
-      in.value_probs = &result.value_probs;
-      in.accuracies = &result.accuracies;
-      Stopwatch detect;
-      detect.Start();
-      CD_RETURN_IF_ERROR(detector->DetectRound(in, round, &result.copies));
-      detect.Stop();
-      trace.detect_seconds = detect.Seconds();
-      trace.computations = detector->counters().Total();
-      trace.copying_pairs = result.copies.CopyingPairs().size();
-      result.detect_seconds += trace.detect_seconds;
-    }
+  Stopwatch step_watch;
+  step_watch.Start();
+  const Dataset& data = *data_;
+  const int round = result_.rounds + 1;
+  RoundTrace trace;
+  trace.round = round;
 
-    Stopwatch fuse;
-    fuse.Start();
-    std::vector<double> old_probs;
-    if (options_.damping > 0.0) old_probs = result.value_probs;
-    ComputeValueProbs(data, result.accuracies, result.copies,
-                      options_.params, &result.value_probs);
-    if (options_.damping > 0.0) {
-      for (size_t v = 0; v < result.value_probs.size(); ++v) {
-        result.value_probs[v] =
-            (1.0 - options_.damping) * result.value_probs[v] +
-            options_.damping * old_probs[v];
-      }
-    }
-    std::vector<double> old_accs = result.accuracies;
-    ComputeAccuracies(data, result.value_probs, &result.accuracies,
-                      options_.params.executor);
-    fuse.Stop();
-    trace.fusion_seconds = fuse.Seconds();
-
-    double delta = 0.0;
-    for (size_t s = 0; s < old_accs.size(); ++s) {
-      delta = std::max(delta,
-                       std::abs(old_accs[s] - result.accuracies[s]));
-    }
-    trace.max_accuracy_change = delta;
-    result.trace.push_back(trace);
-    result.rounds = round;
-    if (round > 1 && delta < options_.epsilon) {
-      result.converged = true;
-      break;
-    }
+  if (options_.use_copy_detection) {
+    DetectionInput in;
+    in.data = &data;
+    in.value_probs = &result_.value_probs;
+    in.accuracies = &result_.accuracies;
+    Stopwatch detect;
+    detect.Start();
+    CD_RETURN_IF_ERROR(
+        detector_->DetectRound(in, round, &result_.copies));
+    detect.Stop();
+    trace.detect_seconds = detect.Seconds();
+    trace.computations = detector_->counters().Total();
+    trace.copying_pairs = result_.copies.CopyingPairs().size();
+    result_.detect_seconds += trace.detect_seconds;
   }
 
-  result.truth = ChooseTruth(data, result.value_probs);
-  total.Stop();
-  result.total_seconds = total.Seconds();
-  return result;
+  Stopwatch fuse;
+  fuse.Start();
+  std::vector<double> old_probs;
+  if (options_.damping > 0.0) old_probs = result_.value_probs;
+  ComputeValueProbs(data, result_.accuracies, result_.copies,
+                    options_.params, &result_.value_probs);
+  if (options_.damping > 0.0) {
+    for (size_t v = 0; v < result_.value_probs.size(); ++v) {
+      result_.value_probs[v] =
+          (1.0 - options_.damping) * result_.value_probs[v] +
+          options_.damping * old_probs[v];
+    }
+  }
+  std::vector<double> old_accs = result_.accuracies;
+  ComputeAccuracies(data, result_.value_probs, &result_.accuracies,
+                    options_.params.executor);
+  fuse.Stop();
+  trace.fusion_seconds = fuse.Seconds();
+
+  double delta = 0.0;
+  for (size_t s = 0; s < old_accs.size(); ++s) {
+    delta = std::max(delta,
+                     std::abs(old_accs[s] - result_.accuracies[s]));
+  }
+  trace.max_accuracy_change = delta;
+  result_.trace.push_back(trace);
+  result_.rounds = round;
+  if (round > 1 && delta < options_.epsilon) {
+    result_.converged = true;
+    done_ = true;
+  } else if (round >= options_.max_rounds) {
+    done_ = true;
+  }
+  if (done_) result_.truth = ChooseTruth(data, result_.value_probs);
+  step_watch.Stop();
+  result_.total_seconds += step_watch.Seconds();
+  return true;
+}
+
+StatusOr<FusionResult> IterativeFusion::Run(const Dataset& data,
+                                            CopyDetector* detector) const {
+  FusionLoop loop(options_);
+  CD_RETURN_IF_ERROR(loop.Start(data, detector));
+  while (true) {
+    StatusOr<bool> stepped = loop.Step();
+    if (!stepped.ok()) return stepped.status();
+    if (!*stepped) break;
+  }
+  return std::move(loop).Take();
 }
 
 }  // namespace copydetect

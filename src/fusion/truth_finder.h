@@ -63,6 +63,57 @@ struct FusionResult {
 /// baseline.
 std::vector<SlotId> VoteFusion(const Dataset& data);
 
+/// The iterative loop decomposed into resumable rounds — the engine
+/// behind both IterativeFusion::Run (one-shot) and the streaming
+/// Session API (copydetect/session.h). Holds the loop's cross-round
+/// state so callers can interleave work between rounds:
+///
+///   FusionLoop loop(options);
+///   CD_RETURN_IF_ERROR(loop.Start(data, detector));
+///   while (*loop.Step()) { /* inspect loop.result() per round */ }
+///   FusionResult result = std::move(loop).Take();
+///
+/// `data` and `detector` must outlive the loop; `detector` may be null
+/// only when options.use_copy_detection is false. Because Run is
+/// implemented on top of this class, driving it to completion is
+/// bit-identical to the one-shot path by construction.
+class FusionLoop {
+ public:
+  explicit FusionLoop(const FusionOptions& options)
+      : options_(options) {}
+
+  /// Validates options and initializes round-0 state (initial value
+  /// probabilities and accuracies). Resets any previous run.
+  Status Start(const Dataset& data, CopyDetector* detector);
+
+  /// Executes the next round (detection + fusion update + convergence
+  /// check). Returns true when a round was executed, false when the
+  /// loop had already finished (converged or hit max_rounds).
+  StatusOr<bool> Step();
+
+  /// True once the loop has converged or exhausted max_rounds (also
+  /// before Start). The final transition finalizes result().truth.
+  bool done() const { return done_; }
+
+  /// Rounds executed so far.
+  int round() const { return result_.rounds; }
+
+  /// The loop state so far. `truth` is finalized on the last Step;
+  /// mid-run callers wanting a truth snapshot can apply ChooseTruth
+  /// (fusion/value_probs.h) to value_probs.
+  const FusionResult& result() const { return result_; }
+
+  /// Moves the finished result out.
+  FusionResult Take() && { return std::move(result_); }
+
+ private:
+  FusionOptions options_;
+  const Dataset* data_ = nullptr;
+  CopyDetector* detector_ = nullptr;
+  FusionResult result_;
+  bool done_ = true;  // until Start
+};
+
 /// The iterative fusion loop. `detector` may be null when
 /// options.use_copy_detection is false; otherwise it is invoked once
 /// per round with the current estimates (stateful detectors like

@@ -317,6 +317,47 @@ void BM_SessionRunBookFull(benchmark::State& state) {
   }
 }
 
+/// The online-update anchor: one Session::Update of a small fixed
+/// delta (one source's first ten items re-pushed) against a live
+/// book-full session, steady state. BM_SessionRun is the cold
+/// full-run twin; the perf-gate CI compares both against the
+/// committed baseline so a regression in either the update machinery
+/// (apply, overlap patching, index rebase, pair splicing) or the
+/// plain pipeline fails the PR.
+void BM_SessionUpdateBookFull(benchmark::State& state) {
+  const World& world = BookFullWorld().world;
+  const Dataset& data = world.data;
+  SessionOptions options = BookFullSessionOptions();
+  options.online_updates = true;
+  auto session = Session::Create(options);
+  if (!session.ok()) {
+    state.SkipWithError(session.status().message().c_str());
+    return;
+  }
+  auto base = session->Run(data);
+  if (!base.ok()) {
+    state.SkipWithError(base.status().message().c_str());
+    return;
+  }
+  // A fixed feed push: after the first iteration the snapshot already
+  // holds these values, so every timed Update measures the same
+  // steady-state work.
+  DatasetDelta delta;
+  std::span<const ItemId> items = data.items_of(0);
+  for (size_t i = 0; i < items.size() && i < 10; ++i) {
+    delta.Set(data.source_name(0), data.item_name(items[i]),
+              "updated-" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    Status status = session->Update(delta);
+    if (!status.ok()) {
+      state.SkipWithError(status.message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(session->report().rounds());
+  }
+}
+
 /// The pre-facade anchor: identical configuration driven directly
 /// through IterativeFusion. BM_SessionRun minus BM_FusionRun is the
 /// facade's overhead (detector construction, registry lookup, report
@@ -354,6 +395,8 @@ constexpr std::string_view kDetectorPrefix = "BM_DetectorRound/";
 constexpr std::string_view kBookFullPrefix = "BM_IndexRound/book-full";
 constexpr std::string_view kSessionRunName = "BM_SessionRun/book-full";
 constexpr std::string_view kFusionRunName = "BM_FusionRun/book-full";
+constexpr std::string_view kSessionUpdateName =
+    "BM_SessionUpdate/book-full";
 
 void RegisterDetectorBenchmarks(size_t multi_threads) {
   // Every registered detector, straight from the registry — a
@@ -377,6 +420,9 @@ void RegisterDetectorBenchmarks(size_t multi_threads) {
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark(std::string(kFusionRunName).c_str(),
                                BM_FusionRunBookFull)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(std::string(kSessionUpdateName).c_str(),
+                               BM_SessionUpdateBookFull)
       ->Unit(benchmark::kMillisecond);
 }
 
@@ -465,8 +511,10 @@ class CollectingReporter : public benchmark::BenchmarkReporter {
         record.threads = std::strtoull(base_name.c_str() + slash + 1,
                                        nullptr, 10);
       } else if (StartsWith(base_name, kSessionRunName) ||
-                 StartsWith(base_name, kFusionRunName)) {
-        // Facade-overhead pair: full serial runs, same configuration.
+                 StartsWith(base_name, kFusionRunName) ||
+                 StartsWith(base_name, kSessionUpdateName)) {
+        // Facade-overhead pair + online-update anchor: full serial
+        // runs, same configuration.
         record.detector = "index";
         record.dataset = "book-full";
         record.scale = kBookFullScale;

@@ -52,12 +52,17 @@ int main(int argc, char** argv) {
       auto report = session->Run(world.data);
       CD_CHECK_OK(report.status());
       double seconds = report->fusion.detect_seconds;
+      // Real CPU time of the same phase (the fusion loop measures it
+      // around each detection call) — ~= real_seconds when serial,
+      // ~threads× larger when parallel. The seed harness emitted a
+      // constant 0 here, which made the schema_version 2 field
+      // untrustworthy.
       reporter.Add({.name = "detect_total",
                     .detector = detector,
                     .dataset = dataset,
                     .scale = spec.scale,
                     .real_seconds = seconds,
-                    .cpu_seconds = 0.0,
+                    .cpu_seconds = report->fusion.detect_cpu_seconds,
                     .iterations = 1,
                     .items_per_second = 0.0,
                     .threads = run_threads});

@@ -1,10 +1,15 @@
 #include "copydetect/session.h"
 
+#include <memory>
 #include <utility>
 
 #include "common/executor.h"
+#include "common/timer.h"
 #include "core/incremental.h"
+#include "core/inverted_index.h"
+#include "core/pairwise.h"
 #include "fusion/value_probs.h"
+#include "simjoin/overlap.h"
 
 namespace copydetect {
 
@@ -18,6 +23,259 @@ void Require(bool ok, std::vector<std::string>* problems,
 }
 
 }  // namespace
+
+/// The session-side machinery of Session::Update. One object lives
+/// for the session's lifetime and plays two roles through the
+/// FusionLoop observer interface:
+///
+///  * recorder — during every run it tapes each round's entering
+///    state (value probs, accuracies), the round's copy result, and
+///    the round-1 inverted index (via DetectionInput::index_sink);
+///  * replayer — during an update run it compares the current round's
+///    state against the previous run's tape and hands the detector
+///    UpdateHints naming the provably unchanged parts: clean sources
+///    for pair splicing, and the previous round-1 index for
+///    InvertedIndex::Rebase.
+///
+/// It also owns the session's maintained overlap counts and publishes
+/// them through SharedOverlaps so every detector's private
+/// OverlapCache borrows them instead of recounting.
+class SessionUpdateState : public RoundObserver {
+ public:
+  explicit SessionUpdateState(bool maintain_overlaps)
+      : maintain_overlaps_(maintain_overlaps) {}
+
+  ~SessionUpdateState() override {
+    if (overlaps_generation_ != 0) {
+      SharedOverlaps::Withdraw(overlaps_generation_);
+    }
+  }
+
+  // --- Overlap maintenance. ---
+
+  /// Publishes counts for `data`, computing them cold when the
+  /// maintained ones belong to another generation.
+  void EnsureOverlaps(const Dataset& data) {
+    if (!maintain_overlaps_) return;
+    if (overlaps_ != nullptr &&
+        overlaps_generation_ == data.generation()) {
+      return;
+    }
+    SetOverlaps(std::make_shared<const OverlapCounts>(
+                    ComputeOverlaps(data)),
+                data.generation());
+  }
+
+  /// Steps the maintained counts across a delta. Returns true when
+  /// they were patched per touched item, false when they had to be
+  /// recounted (either way the new snapshot's counts end up
+  /// published).
+  bool AdvanceOverlaps(const Dataset& old_data, const Dataset& new_data,
+                       const DeltaSummary& summary,
+                       bool allow_incremental) {
+    if (!maintain_overlaps_) return false;
+    bool incremental = false;
+    std::shared_ptr<const OverlapCounts> next;
+    if (allow_incremental && overlaps_ != nullptr &&
+        overlaps_generation_ == old_data.generation()) {
+      auto patched = std::make_shared<OverlapCounts>(*overlaps_);
+      if (UpdateOverlaps(patched.get(), old_data, new_data,
+                         summary.touched_items)) {
+        next = std::move(patched);
+        incremental = true;
+      }
+    }
+    if (next == nullptr) {
+      next = std::make_shared<const OverlapCounts>(
+          ComputeOverlaps(new_data));
+    }
+    SetOverlaps(std::move(next), new_data.generation());
+    return incremental;
+  }
+
+  // --- Run lifecycle. ---
+
+  /// Arms the next run to replay against the previous tape through
+  /// `summary` (the Dataset::Apply result that led to `new_data`).
+  void ArmReplay(DeltaSummary summary, const Dataset& new_data) {
+    summary_ = std::move(summary);
+    // Structurally clean = untouched by the delta and providing no
+    // touched item: the source's rows, and every probability its
+    // slots can see in round 1, are unchanged. Rounds >= 2 refine
+    // this with bitwise state comparison per round.
+    structurally_clean_.assign(new_data.num_sources(), 1);
+    for (SourceId s : summary_.touched_sources) {
+      structurally_clean_[s] = 0;
+    }
+    for (ItemId d : summary_.touched_items) {
+      for (SourceId s : new_data.item_providers(d)) {
+        structurally_clean_[s] = 0;
+      }
+    }
+    replay_armed_ = true;
+  }
+
+  void DisarmReplay() { replay_armed_ = false; }
+
+  void BeginRun(const Dataset& data, const CopyDetector* detector) {
+    data_ = &data;
+    pairwise_ = dynamic_cast<const PairwiseDetector*>(detector);
+    recording_.clear();
+    // Taping the per-round CopyResult costs O(tracked pairs) per
+    // round; only pair-local detectors can splice from it, so only
+    // record it for them.
+    recording_copies_ = pairwise_ != nullptr;
+    reused_pairs_ = 0;
+    replaying_ = replay_armed_;
+    replay_armed_ = false;
+    run_open_ = true;
+    EnsureOverlaps(data);
+  }
+
+  /// Closes the run: on success the recording becomes the tape the
+  /// next update replays against; on failure both are dropped (a
+  /// partial tape must never be replayed).
+  void EndRun(bool success) {
+    if (!run_open_) return;
+    run_open_ = false;
+    replaying_ = false;
+    if (success) {
+      previous_ = std::move(recording_);
+      previous_has_copies_ = recording_copies_;
+    } else {
+      previous_.clear();
+      previous_has_copies_ = false;
+    }
+    recording_.clear();
+  }
+
+  uint64_t reused_pairs() const { return reused_pairs_; }
+
+  // --- RoundObserver. ---
+
+  void BeforeDetect(int round, DetectionInput* in) override {
+    if (!run_open_) return;
+    RoundRecord rec;
+    // The taped probabilities are only ever read by the pair-splice
+    // replay (gated on previous_has_copies_), so don't pay the
+    // per-round O(slots) copy for detectors that can't splice.
+    // pre_accs is always kept: round 1's accuracies feed Rebase.
+    if (recording_copies_) rec.pre_probs = *in->value_probs;
+    rec.pre_accs = *in->accuracies;
+    recording_.push_back(std::move(rec));
+    if (round == 1) {
+      // The sink is consumed synchronously inside this round's
+      // DetectRound, before the vector can reallocate.
+      in->index_sink = &recording_.back().index;
+    }
+
+    if (!replaying_ || round > static_cast<int>(previous_.size())) {
+      return;
+    }
+    const RoundRecord& prev = previous_[static_cast<size_t>(round) - 1];
+    hints_ = UpdateHints();
+    const Dataset& data = *data_;
+    const std::vector<double>& accs = *in->accuracies;
+    const std::vector<double>& probs = *in->value_probs;
+    const std::vector<SlotId>& slot_map = summary_.old_to_new_slot;
+    if (previous_has_copies_ && prev.pre_accs.size() <= accs.size() &&
+        prev.pre_probs.size() == slot_map.size()) {
+      // A source is clean for this round when it is structurally
+      // clean AND its accuracy and all of its slots' probabilities
+      // are bitwise-equal to the previous run's same round — exactly
+      // the inputs a pair-local detector reads for the pairs the
+      // source is part of.
+      clean_sources_ = structurally_clean_;
+      for (size_t s = 0; s < prev.pre_accs.size(); ++s) {
+        if (accs[s] != prev.pre_accs[s]) clean_sources_[s] = 0;
+      }
+      slot_clean_.assign(data.num_slots(), 0);
+      for (SlotId ov = 0; ov < slot_map.size(); ++ov) {
+        SlotId nv = slot_map[ov];
+        if (nv != kInvalidSlot && probs[nv] == prev.pre_probs[ov]) {
+          slot_clean_[nv] = 1;
+        }
+      }
+      for (SourceId s = 0; s < data.num_sources(); ++s) {
+        if (clean_sources_[s] == 0) continue;
+        for (SlotId v : data.slots_of(s)) {
+          if (slot_clean_[v] == 0) {
+            clean_sources_[s] = 0;
+            break;
+          }
+        }
+      }
+      hints_.cached = &prev.copies;
+      hints_.clean_sources = &clean_sources_;
+    }
+    if (round == 1 && prev.has_index) {
+      // Round 1 runs at the initial constant accuracies, so the
+      // previous round-1 index can be rebased (Rebase re-verifies
+      // and falls back on its own).
+      hints_.prev_index = &prev.index;
+      hints_.prev_index_accuracies = &prev.pre_accs;
+      hints_.summary = &summary_;
+    }
+    if (hints_.cached != nullptr || hints_.prev_index != nullptr) {
+      in->hints = &hints_;
+    }
+  }
+
+  void AfterRound(int round, const FusionResult& state) override {
+    if (!run_open_ ||
+        recording_.size() < static_cast<size_t>(round)) {
+      return;
+    }
+    RoundRecord& rec = recording_[static_cast<size_t>(round) - 1];
+    if (recording_copies_) rec.copies = state.copies;
+    rec.has_index = rec.index.data_or_null() != nullptr;
+    if (pairwise_ != nullptr) {
+      reused_pairs_ += pairwise_->last_reused_pairs();
+    }
+  }
+
+ private:
+  /// One fusion round on tape: the state detection read, what it
+  /// produced, and (round 1, index family) the index it built.
+  struct RoundRecord {
+    std::vector<double> pre_probs;  // per slot, the round's id space
+    std::vector<double> pre_accs;   // per source
+    CopyResult copies;
+    InvertedIndex index;
+    bool has_index = false;
+  };
+
+  void SetOverlaps(std::shared_ptr<const OverlapCounts> counts,
+                   uint64_t generation) {
+    if (overlaps_generation_ != 0) {
+      SharedOverlaps::Withdraw(overlaps_generation_);
+    }
+    overlaps_ = std::move(counts);
+    overlaps_generation_ = generation;
+    SharedOverlaps::Publish(overlaps_generation_, overlaps_);
+  }
+
+  const bool maintain_overlaps_;
+  std::shared_ptr<const OverlapCounts> overlaps_;
+  uint64_t overlaps_generation_ = 0;
+
+  const Dataset* data_ = nullptr;
+  /// Non-null when the run's detector is pair-local (can splice).
+  const PairwiseDetector* pairwise_ = nullptr;
+  std::vector<RoundRecord> recording_;
+  std::vector<RoundRecord> previous_;
+  DeltaSummary summary_;
+  std::vector<uint8_t> structurally_clean_;
+  std::vector<uint8_t> clean_sources_;
+  std::vector<uint8_t> slot_clean_;
+  UpdateHints hints_;
+  uint64_t reused_pairs_ = 0;
+  bool recording_copies_ = false;
+  bool previous_has_copies_ = false;
+  bool replay_armed_ = false;
+  bool replaying_ = false;
+  bool run_open_ = false;
+};
 
 Status SessionOptions::Validate() const {
   std::vector<std::string> problems;
@@ -52,6 +310,11 @@ Status SessionOptions::Validate() const {
           StrFormat("sample_rate must be in [0, 1] (0 disables "
                     "sampling), got %g",
                     sample_rate));
+  Require(update_rebuild_fraction >= 0.0 &&
+              update_rebuild_fraction <= 1.0,
+          &problems,
+          StrFormat("update_rebuild_fraction must be in [0, 1], got %g",
+                    update_rebuild_fraction));
   if (!problems.empty()) {
     std::string joined;
     for (const std::string& p : problems) {
@@ -96,6 +359,10 @@ Session::Session(SessionOptions options, std::string detector_name,
       executor_(std::move(executor)),
       detector_(std::move(detector)) {}
 
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+Session::~Session() = default;
+
 StatusOr<Session> Session::Create(const SessionOptions& options) {
   CD_RETURN_IF_ERROR(options.Validate());
   auto executor = std::make_unique<Executor>(options.threads);
@@ -118,13 +385,39 @@ StatusOr<Session> Session::Create(const SessionOptions& options) {
           params, std::move(detector), spec);
     }
   }
-  return Session(options, std::move(name), std::move(executor),
-                 std::move(detector));
+  Session session(options, std::move(name), std::move(executor),
+                  std::move(detector));
+  // The recorder/replayer only pays off with an unsampled detector in
+  // the loop (a SampledDetector re-detects on its own sub-snapshot;
+  // accuracy-only runs have nothing to record). Update itself works
+  // without it — it just re-runs cold every time.
+  if (options.online_updates && options.use_copy_detection &&
+      options.sample_rate == 0.0) {
+    // PAIRWISE never reads overlap counts; maintaining them for it
+    // would be pure overhead.
+    session.update_ = std::make_unique<SessionUpdateState>(
+        /*maintain_overlaps=*/session.detector_name_ != "pairwise");
+  }
+  return session;
 }
 
 size_t Session::threads() const { return executor_->num_threads(); }
 
 Status Session::Start(const Dataset& data) {
+  if (options_.online_updates) {
+    // Own the snapshot: Update chains deltas off it without imposing
+    // lifetime rules on the caller's object. The copy shares the
+    // generation (identical content), so published overlap counts
+    // apply to both.
+    snapshot_ = std::make_unique<Dataset>(data);
+    prev_snapshot_.reset();
+    if (update_ != nullptr) update_->DisarmReplay();
+    return StartOn(*snapshot_);
+  }
+  return StartOn(data);
+}
+
+Status Session::StartOn(const Dataset& data) {
   // Fresh run: drop cross-round detector state so consecutive runs on
   // one Session match runs on freshly created Sessions.
   if (detector_ != nullptr) detector_->Reset();
@@ -133,6 +426,10 @@ Status Session::Start(const Dataset& data) {
   loop_ = std::make_unique<FusionLoop>(fusion);
   data_ = &data;
   report_ = Report();
+  if (update_ != nullptr) {
+    update_->BeginRun(data, detector_.get());
+    loop_->set_observer(update_.get());
+  }
   return loop_->Start(data, detector_.get());
 }
 
@@ -140,7 +437,15 @@ StatusOr<bool> Session::Step() {
   if (loop_ == nullptr) {
     return Status::FailedPrecondition("Session::Step before Start");
   }
-  return loop_->Step();
+  StatusOr<bool> stepped = loop_->Step();
+  if (update_ != nullptr) {
+    if (!stepped.ok()) {
+      update_->EndRun(/*success=*/false);
+    } else if (*stepped && loop_->done()) {
+      update_->EndRun(/*success=*/true);
+    }
+  }
+  return stepped;
 }
 
 bool Session::running() const {
@@ -195,32 +500,117 @@ const Report& Session::report() {
   return report_;
 }
 
-StatusOr<Report> Session::Run(const Dataset& data) {
-  // One-shot runs never leave streaming state behind — in particular
-  // not a dangling data_ pointer when a round fails mid-run.
-  auto finish = [this] {
-    report_ = Report();
-    loop_.reset();
-    data_ = nullptr;
-  };
-  Status started = Start(data);
-  if (!started.ok()) {
-    finish();
-    return started;
-  }
+Status Session::FinishLoop() {
   while (true) {
     StatusOr<bool> stepped = loop_->Step();
     if (!stepped.ok()) {
-      finish();
+      if (update_ != nullptr) update_->EndRun(/*success=*/false);
       return stepped.status();
     }
     if (!*stepped) break;
   }
+  if (update_ != nullptr) update_->EndRun(/*success=*/true);
   report_.fusion = std::move(*loop_).Take();
   RefreshReport();
+  loop_.reset();
+  return Status::OK();
+}
+
+StatusOr<Report> Session::Run(const Dataset& data) {
+  // One-shot runs never leave streaming state behind — in particular
+  // not a dangling data_ pointer when a round fails mid-run.
+  auto fail = [this](const Status& status) {
+    if (update_ != nullptr) update_->EndRun(/*success=*/false);
+    report_ = Report();
+    loop_.reset();
+    data_ = nullptr;
+    return status;
+  };
+  Status started = Start(data);
+  if (!started.ok()) return fail(started);
+  Status finished = FinishLoop();
+  if (!finished.ok()) return fail(finished);
+  if (options_.online_updates) {
+    // Keep the report and snapshot live: Update and report() chain
+    // off them. The caller gets a copy.
+    return report_;
+  }
   Report out = std::move(report_);
-  finish();
+  report_ = Report();
+  data_ = nullptr;
   return out;
+}
+
+Status Session::Update(const DatasetDelta& delta) {
+  if (!options_.online_updates) {
+    return Status::FailedPrecondition(
+        "Session::Update requires SessionOptions::online_updates");
+  }
+  if (running()) {
+    return Status::FailedPrecondition(
+        "Session::Update while a streaming run is active — finish it "
+        "first");
+  }
+  if (snapshot_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Session::Update before the first Run/Start");
+  }
+
+  update_stats_ = UpdateStats();
+  Stopwatch apply_watch;
+  apply_watch.Start();
+  auto applied = snapshot_->Apply(delta);
+  if (!applied.ok()) return applied.status();
+  auto next = std::make_unique<Dataset>(std::move(applied->data));
+  DeltaSummary summary = std::move(applied->summary);
+  update_stats_.touched_sources = summary.touched_sources.size();
+  update_stats_.touched_items = summary.touched_items.size();
+  update_stats_.added_observations = summary.added;
+  update_stats_.overwritten_observations = summary.overwritten;
+  update_stats_.retracted_observations = summary.retracted;
+
+  // A delta touching most of the data invalidates nearly every piece
+  // of prior state — skip the maintenance machinery and re-run cold
+  // (bit-identical either way; this is purely a cost decision).
+  const bool small = summary.TouchedItemFraction(*next) <=
+                     options_.update_rebuild_fraction;
+  update_stats_.incremental = small && update_ != nullptr;
+  if (update_ != nullptr) {
+    update_stats_.overlaps_maintained = update_->AdvanceOverlaps(
+        *snapshot_, *next, summary, /*allow_incremental=*/small);
+    if (small) {
+      update_->ArmReplay(std::move(summary), *next);
+    } else {
+      update_->DisarmReplay();
+    }
+  }
+  // The old snapshot stays alive through the run: the previous tape's
+  // round-1 index references it.
+  prev_snapshot_ = std::move(snapshot_);
+  snapshot_ = std::move(next);
+  apply_watch.Stop();
+  update_stats_.apply_seconds = apply_watch.Seconds();
+
+  Stopwatch run_watch;
+  run_watch.Start();
+  Status status = StartOn(*snapshot_);
+  if (status.ok()) status = FinishLoop();
+  run_watch.Stop();
+  update_stats_.run_seconds = run_watch.Seconds();
+  if (update_ != nullptr) {
+    update_stats_.reused_pairs = update_->reused_pairs();
+  }
+  prev_snapshot_.reset();
+  if (!status.ok()) {
+    if (update_ != nullptr) update_->EndRun(/*success=*/false);
+    // Mirror Run's failure path: clear data_ too, so a subsequent
+    // report() doesn't compute truth from an empty fusion state.
+    report_ = Report();
+    loop_.reset();
+    data_ = nullptr;
+    return status;
+  }
+  return Status::OK();
 }
 
 }  // namespace copydetect

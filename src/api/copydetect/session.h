@@ -15,10 +15,19 @@
 ///   * one-shot:   auto report = session->Run(data);
 ///   * streaming:  session->Start(data);
 ///                 while (*session->Step()) inspect(session->report());
+///   * online:     options.online_updates = true;
+///                 session->Run(data);
+///                 session->Update(delta);   // DatasetDelta
+///                 session->report();        // refreshed
 ///
 /// The streaming mode exposes the fusion loop round by round for
 /// incremental/online scenarios; both modes produce bit-identical
 /// results (Session::Run is the streaming loop driven to completion).
+/// Update applies a DatasetDelta to the session's snapshot and
+/// re-detects/re-fuses incrementally — maintained overlap counts,
+/// rebased inverted index, cached-round pair splicing — with output
+/// bit-identical to rebuilding the data set and re-running from
+/// scratch (tests/session_update_test.cc proves it per detector).
 ///
 /// Everything an application needs downstream of the pipeline —
 /// worlds and profiles (datagen), metrics and text tables (eval),
@@ -34,6 +43,7 @@
 #include "common/csv.h"
 #include "common/executor.h"
 #include "common/stringutil.h"
+#include "common/timer.h"
 #include "core/copy_graph.h"
 #include "core/detector_registry.h"
 #include "core/sampling.h"
@@ -43,9 +53,12 @@
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "fusion/truth_finder.h"
+#include "model/dataset_delta.h"
 #include "model/stats.h"
 
 namespace copydetect {
+
+class SessionUpdateState;
 
 /// One configuration for the whole pipeline: the Bayesian model
 /// parameters (DetectionParams), the iterative-loop controls
@@ -87,6 +100,19 @@ struct SessionOptions {
   size_t sample_min_items_per_source = 4;  ///< SCALESAMPLE's floor
   uint64_t sample_seed = 42;
 
+  // --- Online updates (Session::Update). ---
+  /// Enables Session::Update: the session keeps its own evolving
+  /// snapshot (Run copies the input once) and records per-round state
+  /// during every run so the next Update can reuse it. Memory cost:
+  /// one Dataset copy plus ~rounds × (slots + sources + tracked
+  /// pairs); off by default.
+  bool online_updates = false;
+  /// Update skips the reuse machinery and just re-runs in full when
+  /// the delta touches more than this fraction of items — a large
+  /// delta invalidates nearly everything, so maintaining state costs
+  /// more than it saves. Either path yields bit-identical reports.
+  double update_rebuild_fraction = 0.5;
+
   /// Validates every field, aggregating all violations into a single
   /// InvalidArgument message ("invalid SessionOptions: <a>; <b>; ...")
   /// instead of stopping at the first. Includes the registry's
@@ -111,6 +137,29 @@ struct IncrementalRoundInfo {
   uint64_t exact = 0;  ///< pairs handled outside the passes
   double seconds = 0.0;
   bool from_scratch = false;  ///< full re-detection round
+};
+
+/// What one Session::Update did — the incremental-vs-fallback
+/// decision, what the delta touched, and how much prior state was
+/// reusable. Timings separate the snapshot/index maintenance
+/// (apply_seconds) from the re-detection/re-fusion (run_seconds).
+struct UpdateStats {
+  /// True when the reuse machinery ran (small delta); false when the
+  /// update fell back to a plain full re-run.
+  bool incremental = false;
+  /// True when the overlap counts were patched per touched item
+  /// instead of recounted from scratch.
+  bool overlaps_maintained = false;
+  size_t touched_sources = 0;
+  size_t touched_items = 0;
+  size_t added_observations = 0;
+  size_t overwritten_observations = 0;
+  size_t retracted_observations = 0;
+  /// Pair posteriors spliced from the previous run instead of being
+  /// recomputed (pair-local detectors only; 0 for the others).
+  uint64_t reused_pairs = 0;
+  double apply_seconds = 0.0;  ///< Dataset::Apply + state maintenance
+  double run_seconds = 0.0;    ///< incremental re-detection + re-fusion
 };
 
 /// Everything one run produces: the fusion outcome (truth, value
@@ -146,8 +195,9 @@ class Session {
   /// Builds a session or returns the aggregated validation error.
   static StatusOr<Session> Create(const SessionOptions& options);
 
-  Session(Session&&) = default;
-  Session& operator=(Session&&) = default;
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  ~Session();
 
   const SessionOptions& options() const { return options_; }
   /// Resolved canonical detector name ("" when accuracy-only).
@@ -176,14 +226,45 @@ class Session {
   /// Snapshot of the run so far: after the finishing Step this is the
   /// final report; mid-run, truth and the copy graph are computed
   /// from the current round's state. Invalidated by the next Step,
-  /// Start or Run.
+  /// Start, Run or Update.
   const Report& report();
+
+  // --- Online updates (requires SessionOptions::online_updates). ---
+  /// Applies `delta` to the session's snapshot and re-runs detection +
+  /// fusion incrementally: the next snapshot comes from
+  /// Dataset::Apply, overlap counts are patched per touched item, the
+  /// round-1 inverted index is rebased, and pair-local detectors
+  /// splice unchanged pairs' posteriors from the recorded previous
+  /// run. The refreshed report() is bit-identical to rebuilding the
+  /// merged data set and Run()ning it from scratch — reuse only ever
+  /// skips provably unchanged work (large deltas skip the machinery
+  /// entirely, see SessionOptions::update_rebuild_fraction).
+  /// Requires a completed Run/Start on this session first.
+  Status Update(const DatasetDelta& delta);
+
+  /// What the most recent Update did; default-constructed before the
+  /// first Update.
+  const UpdateStats& last_update_stats() const { return update_stats_; }
+
+  /// The session's current snapshot: the owned, delta-evolved data
+  /// set when online_updates is on and a run has started; null before
+  /// the first run (or, without online_updates, the caller's data of
+  /// the current run).
+  const Dataset* current_data() const {
+    return snapshot_ != nullptr ? snapshot_.get() : data_;
+  }
 
  private:
   Session(SessionOptions options, std::string detector_name,
           std::unique_ptr<Executor> executor,
           std::unique_ptr<CopyDetector> detector);
 
+  /// Start on a specific data object (bypasses the online-updates
+  /// snapshot copy that the public Start performs).
+  Status StartOn(const Dataset& data);
+  /// Drives loop_ to completion, moves the result into report_ and
+  /// refreshes it. Leaves loop_ null.
+  Status FinishLoop();
   void RefreshReport();
 
   SessionOptions options_;
@@ -193,6 +274,12 @@ class Session {
   std::unique_ptr<FusionLoop> loop_;        // null until Start
   const Dataset* data_ = nullptr;           // current run's data set
   Report report_;
+
+  // Online-update state (null/empty unless options_.online_updates).
+  std::unique_ptr<Dataset> snapshot_;       // owned evolving snapshot
+  std::unique_ptr<Dataset> prev_snapshot_;  // kept alive during replay
+  std::unique_ptr<SessionUpdateState> update_;  // tape + overlaps
+  UpdateStats update_stats_;
 };
 
 }  // namespace copydetect

@@ -1,6 +1,20 @@
 #include "common/timer.h"
 
+#include <ctime>
+
 namespace copydetect {
+
+double ProcessCpuSeconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  // Fallback: coarse, but still process-wide CPU time.
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
 
 void Stopwatch::Start() {
   if (running_) return;

@@ -41,6 +41,12 @@ class Stopwatch {
   bool running_ = false;
 };
 
+/// Seconds of CPU time the whole process has consumed (all threads).
+/// On a parallel phase this grows ~threads times faster than wall
+/// time, which is exactly what makes a cpu_seconds bench field
+/// trustworthy next to real_seconds.
+double ProcessCpuSeconds();
+
 /// RAII timer that adds the scope's duration to a double (in seconds).
 class ScopedTimer {
  public:

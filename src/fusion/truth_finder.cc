@@ -62,15 +62,19 @@ StatusOr<bool> FusionLoop::Step() {
     in.data = &data;
     in.value_probs = &result_.value_probs;
     in.accuracies = &result_.accuracies;
+    if (observer_ != nullptr) observer_->BeforeDetect(round, &in);
     Stopwatch detect;
+    const double cpu_before = ProcessCpuSeconds();
     detect.Start();
     CD_RETURN_IF_ERROR(
         detector_->DetectRound(in, round, &result_.copies));
     detect.Stop();
     trace.detect_seconds = detect.Seconds();
+    trace.detect_cpu_seconds = ProcessCpuSeconds() - cpu_before;
     trace.computations = detector_->counters().Total();
     trace.copying_pairs = result_.copies.CopyingPairs().size();
     result_.detect_seconds += trace.detect_seconds;
+    result_.detect_cpu_seconds += trace.detect_cpu_seconds;
   }
 
   Stopwatch fuse;
@@ -109,6 +113,7 @@ StatusOr<bool> FusionLoop::Step() {
   if (done_) result_.truth = ChooseTruth(data, result_.value_probs);
   step_watch.Stop();
   result_.total_seconds += step_watch.Seconds();
+  if (observer_ != nullptr) observer_->AfterRound(round, result_);
   return true;
 }
 

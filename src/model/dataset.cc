@@ -102,24 +102,27 @@ void DatasetBuilder::Add(std::string_view source, std::string_view item,
 }
 
 StatusOr<Dataset> DatasetBuilder::Build() {
-  // Sort observations by (item, value, source) to lay out slots.
+  // Validation pass: sort by (source, item) so every observation of
+  // one cell is adjacent — the only ordering under which an adjacent
+  // check catches *all* conflicts (sorting by (item, value, source)
+  // first, as the layout pass does, lets another source's same-value
+  // observation separate a conflicting pair).
   std::sort(obs_.begin(), obs_.end(), [](const Obs& a, const Obs& b) {
+    if (a.source != b.source) return a.source < b.source;
     if (a.item != b.item) return a.item < b.item;
-    if (a.value_idx != b.value_idx) return a.value_idx < b.value_idx;
-    return a.source < b.source;
+    return a.value_idx < b.value_idx;
   });
-  // Detect a source providing two different values for one item.
   for (size_t i = 1; i < obs_.size(); ++i) {
     const Obs& a = obs_[i - 1];
     const Obs& b = obs_[i];
-    if (a.item == b.item && a.source == b.source) {
-      if (a.value_idx == b.value_idx) continue;  // harmless duplicate
+    if (a.item == b.item && a.source == b.source &&
+        a.value_idx != b.value_idx) {
       return Status::InvalidArgument(StrFormat(
           "source '%s' provides two values for item '%s'",
           source_names_[a.source].c_str(), item_names_[a.item].c_str()));
     }
   }
-  // Drop exact duplicates.
+  // Drop exact duplicates (adjacent after the validation sort).
   obs_.erase(std::unique(obs_.begin(), obs_.end(),
                          [](const Obs& a, const Obs& b) {
                            return a.item == b.item &&
@@ -127,6 +130,32 @@ StatusOr<Dataset> DatasetBuilder::Build() {
                                   a.value_idx == b.value_idx;
                          }),
              obs_.end());
+
+  // Layout pass: sort by (item, value *string*, source). Ordering
+  // slots by value string — not by interning order — makes the layout
+  // canonical: any feed order of the same observations (with the same
+  // name-registration order) freezes into a bit-identical Dataset,
+  // which is what lets Dataset::Apply splice updated items into an
+  // existing snapshot without a global rebuild. Value ids are ranked
+  // once so the sort itself stays integer-keyed.
+  std::vector<uint32_t> by_string(value_strings_.size());
+  for (uint32_t v = 0; v < by_string.size(); ++v) by_string[v] = v;
+  std::sort(by_string.begin(), by_string.end(),
+            [this](uint32_t a, uint32_t b) {
+              return value_strings_[a] < value_strings_[b];
+            });
+  std::vector<uint32_t> value_rank(value_strings_.size());
+  for (uint32_t r = 0; r < by_string.size(); ++r) {
+    value_rank[by_string[r]] = r;
+  }
+  std::sort(obs_.begin(), obs_.end(),
+            [&value_rank](const Obs& a, const Obs& b) {
+              if (a.item != b.item) return a.item < b.item;
+              if (a.value_idx != b.value_idx) {
+                return value_rank[a.value_idx] < value_rank[b.value_idx];
+              }
+              return a.source < b.source;
+            });
 
   Dataset d;
   d.source_names_ = std::move(source_names_);

@@ -12,6 +12,9 @@
 
 namespace copydetect {
 
+class DatasetDelta;
+struct AppliedDelta;
+
 /// Immutable structured data set: a sparse sources × items matrix of
 /// string values, stored CSR in both directions.
 ///
@@ -23,7 +26,10 @@ namespace copydetect {
 ///
 /// Layout invariants (exploited throughout the core algorithms):
 ///  * slots are numbered contiguously by item: the slots of item i are
-///    exactly [slot_begin(i), slot_end(i));
+///    exactly [slot_begin(i), slot_end(i)), ordered by value string
+///    (lexicographically) — a canonical layout independent of the
+///    order observations were added, so a Dataset::Apply result and a
+///    from-scratch rebuild of the same observations are bit-identical;
 ///  * providers_ is the slot-provider CSR, so the providers of all slots
 ///    of one item occupy one contiguous range — the item's provider list;
 ///  * per-source observation arrays are sorted by item id, enabling
@@ -101,6 +107,19 @@ class Dataset {
 
   /// Parses a CSV of source,item,value rows into a Dataset.
   static StatusOr<Dataset> LoadCsv(const std::string& path);
+
+  /// Applies a validated batch of observation changes, producing the
+  /// next snapshot (fresh generation(), this object untouched) plus a
+  /// compact summary of the touched sources/items/slots. The result is
+  /// bit-identical to rebuilding the merged observations from scratch
+  /// with a DatasetBuilder that registers the surviving source/item
+  /// names in id order — the layout is canonical (slots ordered by
+  /// value string within each item), so incremental consumers
+  /// (OverlapCounts, InvertedIndex, Session::Update) can trust ids off
+  /// the summary's mapping. Cost: O(size) array rebuilding with cheap
+  /// copies for untouched rows — no global sort, no re-interning.
+  /// Implemented in model/dataset_delta.cc.
+  StatusOr<AppliedDelta> Apply(const DatasetDelta& delta) const;
 
  private:
   friend class DatasetBuilder;

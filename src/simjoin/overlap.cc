@@ -1,6 +1,9 @@
 #include "simjoin/overlap.h"
 
 #include <algorithm>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 
 #include "model/dataset.h"
 
@@ -15,26 +18,93 @@ uint32_t OverlapCounts::Get(SourceId a, SourceId b) const {
 }
 
 size_t OverlapCounts::NumPositivePairs() const {
-  if (!dense_mode_) return sparse_.size();
+  // Delta maintenance can drive sparse entries to zero (FlatHashMap
+  // has no erase), so both modes must count, not just the dense one.
   size_t n = 0;
-  for (uint32_t c : dense_) {
-    if (c > 0) ++n;
+  if (dense_mode_) {
+    for (uint32_t c : dense_) {
+      if (c > 0) ++n;
+    }
+  } else {
+    sparse_.ForEach([&n](uint64_t, const uint32_t& c) {
+      if (c > 0) ++n;
+    });
   }
   return n;
 }
 
+namespace {
+
+/// The process-wide generation -> counts publications.
+struct SharedOverlapsRegistry {
+  std::mutex mu;
+  std::unordered_map<uint64_t, std::shared_ptr<const OverlapCounts>>
+      published;
+
+  static SharedOverlapsRegistry& Instance() {
+    static SharedOverlapsRegistry* registry = new SharedOverlapsRegistry;
+    return *registry;
+  }
+};
+
+}  // namespace
+
+void SharedOverlaps::Publish(
+    uint64_t generation, std::shared_ptr<const OverlapCounts> counts) {
+  SharedOverlapsRegistry& registry = SharedOverlapsRegistry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.published[generation] = std::move(counts);
+}
+
+std::shared_ptr<const OverlapCounts> SharedOverlaps::Lookup(
+    uint64_t generation) {
+  SharedOverlapsRegistry& registry = SharedOverlapsRegistry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.published.find(generation);
+  return it == registry.published.end() ? nullptr : it->second;
+}
+
+void SharedOverlaps::Withdraw(uint64_t generation) {
+  SharedOverlapsRegistry& registry = SharedOverlapsRegistry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.published.erase(generation);
+}
+
 const OverlapCounts& OverlapCache::Get(const Dataset& data) {
   if (generation_ != data.generation()) {
-    counts_ = ComputeOverlaps(data);
+    std::shared_ptr<const OverlapCounts> published =
+        SharedOverlaps::Lookup(data.generation());
+    counts_ = published != nullptr
+                  ? std::move(published)
+                  : std::make_shared<const OverlapCounts>(
+                        ComputeOverlaps(data));
     generation_ = data.generation();
   }
-  return counts_;
+  return *counts_;
 }
 
 void OverlapCache::Clear() {
   generation_ = 0;
-  counts_ = OverlapCounts();
+  counts_.reset();
 }
+
+namespace {
+
+/// Adds `delta` (+1/-1) to every provider pair of one item.
+template <typename Adjust>
+void ForItemPairs(const Dataset& data, ItemId item, Adjust&& adjust) {
+  std::span<const SourceId> span = data.item_providers(item);
+  if (span.size() < 2) return;
+  // The per-slot lists are sorted but the concatenation across slots
+  // is not; pair keys normalize order, so no sort is needed here.
+  for (size_t i = 0; i + 1 < span.size(); ++i) {
+    for (size_t j = i + 1; j < span.size(); ++j) {
+      adjust(span[i], span[j]);
+    }
+  }
+}
+
+}  // namespace
 
 OverlapCounts ComputeOverlaps(const Dataset& data,
                               size_t dense_threshold) {
@@ -68,6 +138,44 @@ OverlapCounts ComputeOverlaps(const Dataset& data,
     }
   }
   return out;
+}
+
+bool UpdateOverlaps(OverlapCounts* counts, const Dataset& old_data,
+                    const Dataset& new_data,
+                    std::span<const ItemId> touched_items) {
+  if (new_data.num_sources() != counts->num_sources_) {
+    // The dense triangular layout (and the sparse key space's
+    // interpretation) is per source universe; growing it is a
+    // recount, not a patch.
+    return false;
+  }
+  for (ItemId item : touched_items) {
+    if (item < old_data.num_items()) {
+      if (counts->dense_mode_) {
+        ForItemPairs(old_data, item, [&](SourceId a, SourceId b) {
+          if (a > b) std::swap(a, b);
+          --counts->dense_[counts->DenseIndex(a, b)];
+        });
+      } else {
+        ForItemPairs(old_data, item, [&](SourceId a, SourceId b) {
+          --counts->sparse_[PairKey(a, b)];
+        });
+      }
+    }
+    if (item < new_data.num_items()) {
+      if (counts->dense_mode_) {
+        ForItemPairs(new_data, item, [&](SourceId a, SourceId b) {
+          if (a > b) std::swap(a, b);
+          ++counts->dense_[counts->DenseIndex(a, b)];
+        });
+      } else {
+        ForItemPairs(new_data, item, [&](SourceId a, SourceId b) {
+          ++counts->sparse_[PairKey(a, b)];
+        });
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace copydetect

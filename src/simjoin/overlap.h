@@ -2,6 +2,8 @@
 #define COPYDETECT_SIMJOIN_OVERLAP_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/flat_hash.h"
@@ -44,6 +46,10 @@ class OverlapCounts {
  private:
   friend OverlapCounts ComputeOverlaps(const Dataset& data,
                                        size_t dense_threshold);
+  friend bool UpdateOverlaps(OverlapCounts* counts,
+                             const Dataset& old_data,
+                             const Dataset& new_data,
+                             std::span<const ItemId> touched_items);
 
   size_t DenseIndex(SourceId a, SourceId b) const {
     // Upper triangle, a < b.
@@ -66,6 +72,41 @@ class OverlapCounts {
 OverlapCounts ComputeOverlaps(const Dataset& data,
                               size_t dense_threshold = 5000);
 
+/// Delta-maintains `counts` (valid for `old_data`) into the counts of
+/// `new_data`: for every touched item the old provider-pair
+/// contributions are subtracted and the new ones added, so the cost is
+/// O(sum over touched items of providers^2) instead of a full
+/// recount. `touched_items` must be exactly the items whose provider
+/// sets may differ (DeltaSummary::touched_items); counts are integers,
+/// so the result equals ComputeOverlaps(new_data) exactly.
+///
+/// Returns false — leaving `counts` unusable — when the incremental
+/// path does not apply because the source universe changed (the dense
+/// triangular layout is keyed on the source count); the caller should
+/// recompute from scratch then.
+bool UpdateOverlaps(OverlapCounts* counts, const Dataset& old_data,
+                    const Dataset& new_data,
+                    std::span<const ItemId> touched_items);
+
+/// Cross-snapshot publication point for delta-maintained overlap
+/// counts, keyed on Dataset::generation(). An updating session that
+/// already holds the counts of a new snapshot (Session::Update
+/// maintains them through UpdateOverlaps) publishes them here;
+/// OverlapCache::Get consults the registry before recounting, so every
+/// detector's private cache picks the maintained counts up with no
+/// plumbing through the detector interface. Generations are
+/// process-unique and a generation's counts are immutable, so a lookup
+/// can never return stale data. Thread-safe.
+class SharedOverlaps {
+ public:
+  static void Publish(uint64_t generation,
+                      std::shared_ptr<const OverlapCounts> counts);
+  /// Counts published for `generation`, or null.
+  static std::shared_ptr<const OverlapCounts> Lookup(uint64_t generation);
+  /// Drops the publication (borrowed references stay valid).
+  static void Withdraw(uint64_t generation);
+};
+
 /// Round-to-round cache: l(S1,S2) depends only on which cells are
 /// filled, which never changes inside a fusion run, so detectors
 /// compute it once per data set and reuse it every round (§III counts
@@ -76,15 +117,16 @@ OverlapCounts ComputeOverlaps(const Dataset& data,
 /// recycled address silently inherit the previous one's counts.
 class OverlapCache {
  public:
-  /// Returns the counts for `data`, computing them on first use or
-  /// when a data set with a different generation is passed.
+  /// Returns the counts for `data`: the cached ones when the
+  /// generation matches, else SharedOverlaps-published ones when
+  /// available (the Session::Update fast path), else a fresh count.
   const OverlapCounts& Get(const Dataset& data);
 
   void Clear();
 
  private:
   uint64_t generation_ = 0;  // 0 = empty (generations start at 1)
-  OverlapCounts counts_;
+  std::shared_ptr<const OverlapCounts> counts_;
 };
 
 }  // namespace copydetect

@@ -125,6 +125,82 @@ TEST(Dataset, CsvRoundTrip) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------
+// LoadCsv error paths (the happy path is covered by CsvRoundTrip).
+
+/// Writes `content` to a temp CSV and returns the path.
+std::string WriteTempCsv(const std::string& name,
+                         const std::string& content) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(DatasetLoadCsv, RejectsMalformedRow) {
+  std::string path = WriteTempCsv("cd_loadcsv_malformed.csv",
+                                  "S1,NJ,Trenton\nS2,NJ\n");
+  auto loaded = Dataset::LoadCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("expected 3 fields"),
+            std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(DatasetLoadCsv, RejectsConflictingDuplicateObservation) {
+  // The same (source, item) cell with two different values — including
+  // the case where another source's row separates the conflicting
+  // pair in every sort order the builder uses.
+  std::string path = WriteTempCsv(
+      "cd_loadcsv_conflict.csv",
+      "S1,NJ,Trenton\nS2,NJ,Trenton\nS1,NJ,Atlantic\n");
+  auto loaded = Dataset::LoadCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("two values"),
+            std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(DatasetLoadCsv, ToleratesExactDuplicateRows) {
+  std::string path = WriteTempCsv(
+      "cd_loadcsv_dup.csv", "S1,NJ,Trenton\nS1,NJ,Trenton\n");
+  auto loaded = Dataset::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_observations(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetLoadCsv, EmptyFileYieldsEmptyDataset) {
+  std::string path = WriteTempCsv("cd_loadcsv_empty.csv", "");
+  auto loaded = Dataset::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_sources(), 0u);
+  EXPECT_EQ(loaded->num_items(), 0u);
+  EXPECT_EQ(loaded->num_observations(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetLoadCsv, HeaderOnlyFileYieldsEmptyDataset) {
+  std::string path =
+      WriteTempCsv("cd_loadcsv_header.csv", "source,item,value\n");
+  auto loaded = Dataset::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_observations(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetLoadCsv, MissingFileFails) {
+  auto loaded = Dataset::LoadCsv("/no/such/dir/cd_loadcsv_missing.csv");
+  EXPECT_FALSE(loaded.ok());
+}
+
 TEST(Dataset, EmptyBuilderProducesEmptyDataset) {
   DatasetBuilder builder;
   auto data = builder.Build();

@@ -1,9 +1,12 @@
 #include "simjoin/overlap.h"
 
 #include <memory>
+#include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
+#include "model/dataset_delta.h"
 #include "simjoin/prefix_join.h"
 #include "test_util.h"
 
@@ -113,6 +116,132 @@ TEST(OverlapCache, ClearForcesRecompute) {
   cache.Clear();
   const OverlapCounts& b = cache.Get(world.data);
   EXPECT_EQ(b.NumPositivePairs(), pairs);
+}
+
+// ---------------------------------------------------------------------
+// Delta maintenance (UpdateOverlaps) and cross-snapshot publication.
+
+/// A delta over SmallWorld that retracts, overwrites and adds cells.
+AppliedDelta ApplyTestDelta(const Dataset& base) {
+  DatasetDelta delta;
+  // Retract source 0's first two items, flip source 1's first item to
+  // a fresh value, give source 2 a brand-new item, and add a new
+  // source on an existing item.
+  std::span<const ItemId> items0 = base.items_of(0);
+  delta.Retract(base.source_name(0), base.item_name(items0[0]));
+  delta.Retract(base.source_name(0), base.item_name(items0[1]));
+  std::span<const ItemId> items1 = base.items_of(1);
+  delta.Set(base.source_name(1), base.item_name(items1[0]), "flipped");
+  delta.Set(base.source_name(2), "delta-item", "new-value");
+  delta.Set("delta-source", base.item_name(0), "another");
+  auto applied = base.Apply(delta);
+  CD_CHECK_OK(applied.status());
+  return std::move(applied).value();
+}
+
+void ExpectSameCounts(const OverlapCounts& got, const OverlapCounts& want,
+                      size_t num_sources) {
+  for (SourceId a = 0; a < num_sources; ++a) {
+    for (SourceId b = static_cast<SourceId>(a + 1); b < num_sources;
+         ++b) {
+      ASSERT_EQ(got.Get(a, b), want.Get(a, b))
+          << "pair " << a << "," << b;
+    }
+  }
+  EXPECT_EQ(got.NumPositivePairs(), want.NumPositivePairs());
+}
+
+TEST(UpdateOverlaps, RefusesWhenSourceUniverseChanges) {
+  testutil::World world = testutil::SmallWorld(70, 20, 100);
+  AppliedDelta applied = ApplyTestDelta(world.data);  // adds a source
+  OverlapCounts counts = ComputeOverlaps(world.data);
+  EXPECT_FALSE(UpdateOverlaps(&counts, world.data, applied.data,
+                              applied.summary.touched_items));
+}
+
+TEST(UpdateOverlaps, MatchesFullRecountDense) {
+  testutil::World world = testutil::SmallWorld(71, 20, 100);
+  // Same-universe delta (no new sources).
+  DatasetDelta delta;
+  const Dataset& base = world.data;
+  std::span<const ItemId> items0 = base.items_of(0);
+  delta.Retract(base.source_name(0), base.item_name(items0[0]));
+  std::span<const ItemId> items3 = base.items_of(3);
+  delta.Set(base.source_name(3), base.item_name(items3[0]), "flip");
+  delta.Set(base.source_name(4), "fresh-item", "v");
+  auto applied = base.Apply(delta);
+  CD_CHECK_OK(applied.status());
+
+  OverlapCounts counts = ComputeOverlaps(base);
+  ASSERT_TRUE(UpdateOverlaps(&counts, base, applied->data,
+                             applied->summary.touched_items));
+  ExpectSameCounts(counts, ComputeOverlaps(applied->data),
+                   applied->data.num_sources());
+}
+
+TEST(UpdateOverlaps, MatchesFullRecountSparseWithZeroedPairs) {
+  // Sparse mode (threshold 1) and a retraction-heavy delta so some
+  // pair counts drop — a few all the way to zero.
+  testutil::World world = testutil::SmallWorld(72, 25, 60);
+  const Dataset& base = world.data;
+  DatasetDelta delta;
+  for (SourceId s = 0; s < 6; ++s) {
+    std::span<const ItemId> items = base.items_of(s);
+    for (size_t i = 0; i < items.size() && i < 4; ++i) {
+      delta.Retract(base.source_name(s), base.item_name(items[i]));
+    }
+  }
+  auto applied = base.Apply(delta);
+  CD_CHECK_OK(applied.status());
+
+  OverlapCounts counts = ComputeOverlaps(base, /*dense_threshold=*/1);
+  ASSERT_TRUE(UpdateOverlaps(&counts, base, applied->data,
+                             applied->summary.touched_items));
+  OverlapCounts fresh = ComputeOverlaps(applied->data,
+                                        /*dense_threshold=*/1);
+  ExpectSameCounts(counts, fresh, applied->data.num_sources());
+}
+
+TEST(UpdateOverlaps, ChainedDeltasStayExact) {
+  testutil::World world = testutil::SmallWorld(73, 18, 90);
+  const Dataset& base = world.data;
+  OverlapCounts counts = ComputeOverlaps(base);
+  Dataset current = base;
+  for (int step = 0; step < 3; ++step) {
+    DatasetDelta delta;
+    SourceId s = static_cast<SourceId>(2 * step);
+    std::span<const ItemId> items = current.items_of(s);
+    ASSERT_FALSE(items.empty());
+    delta.Set(current.source_name(s), current.item_name(items[0]),
+              "chain-" + std::to_string(step));
+    delta.Retract(current.source_name(s + 1),
+                  current.item_name(current.items_of(s + 1)[0]));
+    auto applied = current.Apply(delta);
+    CD_CHECK_OK(applied.status());
+    ASSERT_TRUE(UpdateOverlaps(&counts, current, applied->data,
+                               applied->summary.touched_items));
+    current = std::move(applied->data);
+    ExpectSameCounts(counts, ComputeOverlaps(current),
+                     current.num_sources());
+  }
+}
+
+TEST(SharedOverlaps, CachePicksUpPublishedCounts) {
+  testutil::World world = testutil::SmallWorld(74, 15, 80);
+  auto counts = std::make_shared<const OverlapCounts>(
+      ComputeOverlaps(world.data));
+  SharedOverlaps::Publish(world.data.generation(), counts);
+  OverlapCache cache;
+  // Borrowed, not recomputed: the cache must hand back the very
+  // object that was published.
+  EXPECT_EQ(&cache.Get(world.data), counts.get());
+  SharedOverlaps::Withdraw(world.data.generation());
+  // Borrow survives withdrawal; a fresh cache recomputes.
+  EXPECT_EQ(&cache.Get(world.data), counts.get());
+  OverlapCache fresh;
+  EXPECT_NE(&fresh.Get(world.data), counts.get());
+  ExpectSameCounts(fresh.Get(world.data), *counts,
+                   world.data.num_sources());
 }
 
 }  // namespace

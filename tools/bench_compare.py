@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON files (bench/json_reporter.h schema) on a set
+of anchor benchmarks — the perf-gate CI's comparator.
+
+    bench_compare.py BASELINE.json CURRENT.json \
+        --anchor 'BM_IndexRound/book-full' \
+        --anchor 'BM_SessionRun/book-full' \
+        [--warn-ratio 1.25] [--fail-ratio 2.0]
+
+Records are matched by (name, detector, dataset, threads); an anchor
+selects every record whose `name` starts with it (so threads variants
+like ".../1" are all covered). The comparison is current/baseline on
+`real_seconds`:
+
+  * ratio >  fail-ratio  -> ::error  annotation, exit 1
+  * ratio >  warn-ratio  -> ::warning annotation (exit stays 0)
+
+An anchor present in the current run but absent from the baseline is
+reported and skipped (that's how new anchors land: the baseline file
+catches up when it is regenerated). An anchor with no current records
+fails — the gate must never silently measure nothing. CI timing noise
+is why the default thresholds are generous; they catch order-of-
+magnitude regressions, not percent-level drift.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    records = doc.get("records", [])
+    if not isinstance(records, list):
+        raise ValueError(f"{path}: 'records' is not a list")
+    return records
+
+
+def key_of(record):
+    return (
+        record.get("name", ""),
+        record.get("detector", ""),
+        record.get("dataset", ""),
+        int(record.get("threads", 1)),
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--anchor",
+        action="append",
+        required=True,
+        help="benchmark name prefix to gate on (repeatable)",
+    )
+    parser.add_argument("--warn-ratio", type=float, default=1.25)
+    parser.add_argument("--fail-ratio", type=float, default=2.0)
+    args = parser.parse_args()
+
+    baseline = {key_of(r): r for r in load_records(args.baseline)}
+    current = {key_of(r): r for r in load_records(args.current)}
+
+    failed = False
+    for anchor in args.anchor:
+        cur_keys = [k for k in current if k[0].startswith(anchor)]
+        if not cur_keys:
+            print(f"::error::perf gate: no current records for anchor "
+                  f"'{anchor}' — the benchmark did not run")
+            failed = True
+            continue
+        for key in sorted(cur_keys):
+            cur = current[key]
+            base = baseline.get(key)
+            label = "/".join(str(p) for p in key if p != "")
+            if base is None:
+                print(f"NOTE  {label}: new anchor, no baseline record "
+                      f"(regenerate BENCH_micro.json to start gating it)")
+                continue
+            base_s = float(base.get("real_seconds", 0.0))
+            cur_s = float(cur.get("real_seconds", 0.0))
+            if base_s <= 0.0 or cur_s <= 0.0:
+                print(f"NOTE  {label}: non-positive timing "
+                      f"(base={base_s:g}, cur={cur_s:g}) — skipped")
+                continue
+            ratio = cur_s / base_s
+            line = (f"{label}: baseline {base_s:.6f}s, "
+                    f"current {cur_s:.6f}s, ratio {ratio:.2f}x")
+            if ratio > args.fail_ratio:
+                print(f"::error::perf gate FAIL {line}")
+                failed = True
+            elif ratio > args.warn_ratio:
+                print(f"::warning::perf gate warn {line}")
+            else:
+                print(f"OK    {line}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -358,6 +359,44 @@ void BM_SessionUpdateBookFull(benchmark::State& state) {
   }
 }
 
+/// The warm-start anchor: Session::Load of the snapshot a finished
+/// book-full session Save()d — everything a restarted serving process
+/// pays instead of the cold BM_SessionRun (CSV/world setup excluded
+/// from both). The acceptance bar is Load landing well under the cold
+/// run; both anchors feed the perf-gate comparison.
+void BM_SessionLoadBookFull(benchmark::State& state) {
+  const World& world = BookFullWorld().world;
+  SessionOptions options = BookFullSessionOptions();
+  options.online_updates = true;  // keep state past Run for Save
+  const std::string path = "bm_session_load.cdsnap";
+  {
+    auto session = Session::Create(options);
+    if (!session.ok()) {
+      state.SkipWithError(session.status().message().c_str());
+      return;
+    }
+    auto report = session->Run(world.data);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().message().c_str());
+      return;
+    }
+    Status saved = session->Save(path);
+    if (!saved.ok()) {
+      state.SkipWithError(saved.message().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto loaded = Session::Load(path);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(loaded->report().rounds());
+  }
+  std::remove(path.c_str());
+}
+
 /// The pre-facade anchor: identical configuration driven directly
 /// through IterativeFusion. BM_SessionRun minus BM_FusionRun is the
 /// facade's overhead (detector construction, registry lookup, report
@@ -397,6 +436,8 @@ constexpr std::string_view kSessionRunName = "BM_SessionRun/book-full";
 constexpr std::string_view kFusionRunName = "BM_FusionRun/book-full";
 constexpr std::string_view kSessionUpdateName =
     "BM_SessionUpdate/book-full";
+constexpr std::string_view kSessionLoadName =
+    "BM_SessionLoad/book-full";
 
 void RegisterDetectorBenchmarks(size_t multi_threads) {
   // Every registered detector, straight from the registry — a
@@ -423,6 +464,9 @@ void RegisterDetectorBenchmarks(size_t multi_threads) {
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark(std::string(kSessionUpdateName).c_str(),
                                BM_SessionUpdateBookFull)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(std::string(kSessionLoadName).c_str(),
+                               BM_SessionLoadBookFull)
       ->Unit(benchmark::kMillisecond);
 }
 
@@ -512,9 +556,10 @@ class CollectingReporter : public benchmark::BenchmarkReporter {
                                        nullptr, 10);
       } else if (StartsWith(base_name, kSessionRunName) ||
                  StartsWith(base_name, kFusionRunName) ||
-                 StartsWith(base_name, kSessionUpdateName)) {
-        // Facade-overhead pair + online-update anchor: full serial
-        // runs, same configuration.
+                 StartsWith(base_name, kSessionUpdateName) ||
+                 StartsWith(base_name, kSessionLoadName)) {
+        // Facade-overhead pair + online-update + warm-start anchors:
+        // full serial runs, same configuration.
         record.detector = "index";
         record.dataset = "book-full";
         record.scale = kBookFullScale;

@@ -1,0 +1,30 @@
+# ctest driver for the CLI snapshot round trip: run + save, then
+# warm-start from the file, and require byte-identical truth output.
+#   cmake -DCLI=<copydetect_cli> -DWORK_DIR=<dir> -P this_file
+set(snap "${WORK_DIR}/cli_roundtrip.cdsnap")
+set(cold_truth "${WORK_DIR}/cli_roundtrip_cold.csv")
+set(warm_truth "${WORK_DIR}/cli_roundtrip_warm.csv")
+
+execute_process(
+  COMMAND ${CLI} --generate=example --detector=hybrid
+          --save-snapshot=${snap} --out-truth=${cold_truth}
+  RESULT_VARIABLE cold_result)
+if(NOT cold_result EQUAL 0)
+  message(FATAL_ERROR "cold run + --save-snapshot failed (${cold_result})")
+endif()
+
+execute_process(
+  COMMAND ${CLI} --load-snapshot=${snap} --out-truth=${warm_truth}
+  RESULT_VARIABLE warm_result)
+if(NOT warm_result EQUAL 0)
+  message(FATAL_ERROR "--load-snapshot failed (${warm_result})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${cold_truth} ${warm_truth}
+  RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+  message(FATAL_ERROR "warm-start truth CSV differs from the cold run's")
+endif()
+
+file(REMOVE ${snap} ${cold_truth} ${warm_truth})

@@ -18,7 +18,14 @@
 //
 //   # multi-threaded detection + fusion (0 = all hardware threads)
 //   ./copydetect_cli --generate=book-full --threads=0
+//
+//   # persist the finished session; a later invocation warm-starts
+//   # from the file instead of re-running from cold
+//   ./copydetect_cli --generate=book-full --save-snapshot=run.cdsnap
+//   ./copydetect_cli --load-snapshot=run.cdsnap --out-truth=truth.csv
 #include <cstdio>
+#include <optional>
+#include <utility>
 
 #include "copydetect/session.h"
 
@@ -98,6 +105,11 @@ Status RunCli(int argc, char** argv) {
   std::string out_accs = flags.GetString("out-accuracies", "");
   std::string out_copies = flags.GetString("out-copies", "");
   std::string save_data = flags.GetString("save-data", "");
+  // Snapshot persistence (docs/FORMATS.md): --save-snapshot persists
+  // the finished session; --load-snapshot warm-starts from such a
+  // file instead of re-parsing + re-running.
+  std::string save_snapshot = flags.GetString("save-snapshot", "");
+  std::string load_snapshot = flags.GetString("load-snapshot", "");
   // Unknown flags are an error, never a silent fall-through to
   // defaults. The detector list rides along so the most common typo
   // (--detector mis-spellings and friends) is self-correcting.
@@ -117,51 +129,89 @@ Status RunCli(int argc, char** argv) {
     return Status::OK();
   }
 
-  if (data_path.empty() == generate.empty()) {
+  if (load_snapshot.empty() && data_path.empty() == generate.empty()) {
     return Status::InvalidArgument(
-        "exactly one of --data=<csv> or --generate=<profile> is "
-        "required (profiles: book-cs, book-full, stock-1day, "
-        "stock-2wk, example)");
+        "exactly one of --data=<csv>, --generate=<profile> or "
+        "--load-snapshot=<file> is required (profiles: book-cs, "
+        "book-full, stock-1day, stock-2wk, example)");
+  }
+  if (!load_snapshot.empty() &&
+      (!data_path.empty() || !generate.empty())) {
+    return Status::InvalidArgument(
+        "--load-snapshot replaces --data/--generate — the data set "
+        "lives inside the snapshot file");
+  }
+  if (!load_snapshot.empty()) {
+    // The snapshot fixes the whole session configuration; silently
+    // ignoring an explicit override would run with settings the user
+    // did not ask for (the same no-fall-through policy as unknown
+    // flags).
+    for (const char* fixed : {"detector", "alpha", "s", "n",
+                              "max-rounds", "threads", "scale",
+                              "seed"}) {
+      if (flags.Provided(fixed)) {
+        return Status::InvalidArgument(
+            std::string("--load-snapshot restores the saved session "
+                        "configuration; --") +
+            fixed + " cannot be overridden on a warm start");
+      }
+    }
   }
 
-  // ---- Load or generate. ----
+  // ---- Load, generate, or warm-start from a snapshot. ----
   World world;
   bool have_gold = false;
-  if (!generate.empty()) {
-    auto world_or = MakeWorldByName(generate, scale, seed);
-    CD_RETURN_IF_ERROR(world_or.status());
-    world = std::move(world_or).value();
-    have_gold = true;
-    if (n == 50.0) n = world.suggested_n;
+  std::optional<Session> session;
+  Report report;
+  if (!load_snapshot.empty()) {
+    auto loaded = Session::Load(load_snapshot);
+    CD_RETURN_IF_ERROR(loaded.status());
+    session.emplace(std::move(*loaded));
+    world.data = *session->current_data();
+    report = session->report();
+    std::printf("Warm start: %s (detector %s, %d fused rounds "
+                "restored)\n",
+                load_snapshot.c_str(), report.detector.c_str(),
+                report.rounds());
   } else {
-    auto data = Dataset::LoadCsv(data_path);
-    CD_RETURN_IF_ERROR(data.status());
-    world.data = std::move(data).value();
+    if (!generate.empty()) {
+      auto world_or = MakeWorldByName(generate, scale, seed);
+      CD_RETURN_IF_ERROR(world_or.status());
+      world = std::move(world_or).value();
+      have_gold = true;
+      if (n == 50.0) n = world.suggested_n;
+    } else {
+      auto data = Dataset::LoadCsv(data_path);
+      CD_RETURN_IF_ERROR(data.status());
+      world.data = std::move(data).value();
+    }
+
+    // ---- Configure and run through the facade. ----
+    SessionOptions options;
+    options.detector = detector_name;
+    options.alpha = alpha;
+    options.s = s;
+    options.n = n;
+    options.max_rounds = static_cast<int>(max_rounds);
+    options.threads = static_cast<size_t>(threads);
+    // Save needs the session to keep its state past Run.
+    options.online_updates = !save_snapshot.empty();
+
+    auto created = Session::Create(options);
+    CD_RETURN_IF_ERROR(created.status());
+    session.emplace(std::move(*created));
+    if (session->threads() > 1) {
+      std::printf("Threads: %zu\n", session->threads());
+    }
+    auto report_or = session->Run(world.data);
+    CD_RETURN_IF_ERROR(report_or.status());
+    report = std::move(report_or).value();
   }
   if (!save_data.empty()) {
     CD_RETURN_IF_ERROR(world.data.SaveCsv(save_data));
   }
 
   std::printf("Data: %s\n", ComputeStats(world.data).ToString().c_str());
-
-  // ---- Configure and run through the facade. ----
-  SessionOptions options;
-  options.detector = detector_name;
-  options.alpha = alpha;
-  options.s = s;
-  options.n = n;
-  options.max_rounds = static_cast<int>(max_rounds);
-  options.threads = static_cast<size_t>(threads);
-
-  auto session = Session::Create(options);
-  CD_RETURN_IF_ERROR(session.status());
-  if (session->threads() > 1) {
-    std::printf("Threads: %zu\n", session->threads());
-  }
-
-  auto report_or = session->Run(world.data);
-  CD_RETURN_IF_ERROR(report_or.status());
-  const Report& report = *report_or;
 
   std::printf(
       "Fusion: %d rounds (%s), detection %s, %s computations\n",
@@ -214,6 +264,10 @@ Status RunCli(int argc, char** argv) {
   if (!out_copies.empty()) {
     CD_RETURN_IF_ERROR(WriteCopiesCsv(out_copies, world.data, graph));
     std::printf("wrote %s\n", out_copies.c_str());
+  }
+  if (!save_snapshot.empty()) {
+    CD_RETURN_IF_ERROR(session->Save(save_snapshot));
+    std::printf("wrote snapshot %s\n", save_snapshot.c_str());
   }
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 #include "core/pairwise.h"
 #include "fusion/value_probs.h"
 #include "simjoin/overlap.h"
+#include "snapshot/snapshot_io.h"
 
 namespace copydetect {
 
@@ -150,6 +151,73 @@ class SessionUpdateState : public RoundObserver {
   }
 
   uint64_t reused_pairs() const { return reused_pairs_; }
+
+  // --- Snapshot persistence (Session::Save/Load). ---
+
+  /// True when the maintained counts are live for `generation`.
+  bool HasOverlapsFor(uint64_t generation) const {
+    return overlaps_ != nullptr && overlaps_generation_ == generation;
+  }
+  const OverlapCounts& overlaps() const { return *overlaps_; }
+
+  /// Adopts loaded counts as the maintained+published ones.
+  void InstallOverlaps(std::shared_ptr<const OverlapCounts> counts,
+                       uint64_t generation) {
+    SetOverlaps(std::move(counts), generation);
+  }
+
+  bool HasTape() const { return !previous_.empty(); }
+
+  /// Copies the previous run's tape into persistable form (the
+  /// generation fields stay with the caller, which knows the
+  /// snapshot's).
+  void ExportTape(snapshot::SessionState* out) const {
+    out->has_tape = true;
+    out->tape_has_copies = previous_has_copies_;
+    out->tape.reserve(previous_.size());
+    for (const RoundRecord& rec : previous_) {
+      snapshot::TapeRound round;
+      round.pre_probs = rec.pre_probs;
+      round.pre_accs = rec.pre_accs;
+      round.copies = rec.copies;
+      round.has_index = rec.has_index;
+      if (rec.has_index) {
+        round.index_entries.reserve(rec.index.num_entries());
+        for (size_t i = 0; i < rec.index.num_entries(); ++i) {
+          round.index_entries.push_back(rec.index.entry(i));
+        }
+        round.index_tail_begin = rec.index.tail_begin();
+        round.index_ordering = rec.index.ordering();
+      }
+      out->tape.push_back(std::move(round));
+    }
+  }
+
+  /// Adopts a loaded tape as the previous run's, rebinding each taped
+  /// round-1 index to `data` (the loaded snapshot).
+  Status InstallTape(std::vector<snapshot::TapeRound> tape,
+                     bool has_copies, const Dataset& data) {
+    std::vector<RoundRecord> rounds;
+    rounds.reserve(tape.size());
+    for (snapshot::TapeRound& t : tape) {
+      RoundRecord rec;
+      rec.pre_probs = std::move(t.pre_probs);
+      rec.pre_accs = std::move(t.pre_accs);
+      rec.copies = std::move(t.copies);
+      rec.has_index = t.has_index;
+      if (t.has_index) {
+        auto index = InvertedIndex::FromParts(
+            data, std::move(t.index_entries),
+            static_cast<size_t>(t.index_tail_begin), t.index_ordering);
+        if (!index.ok()) return index.status();
+        rec.index = std::move(*index);
+      }
+      rounds.push_back(std::move(rec));
+    }
+    previous_ = std::move(rounds);
+    previous_has_copies_ = has_copies;
+    return Status::OK();
+  }
 
   // --- RoundObserver. ---
 
@@ -414,6 +482,14 @@ Status Session::Start(const Dataset& data) {
     if (update_ != nullptr) update_->DisarmReplay();
     return StartOn(*snapshot_);
   }
+  // A Load()ed session owns its snapshot even without online_updates;
+  // a fresh run on other data supersedes it — keeping it would make
+  // current_data() (and a later Save) serve the stale loaded data
+  // set next to the new run's results. Unless the caller is running
+  // on that very snapshot, which must stay alive.
+  if (snapshot_ != nullptr && &data != snapshot_.get()) {
+    snapshot_.reset();
+  }
   return StartOn(data);
 }
 
@@ -539,6 +615,197 @@ StatusOr<Report> Session::Run(const Dataset& data) {
   report_ = Report();
   data_ = nullptr;
   return out;
+}
+
+namespace {
+
+/// Real-valued SessionOptions fields by their stable OPTIONS-section
+/// names (docs/FORMATS.md lists the full set).
+constexpr std::pair<std::string_view, double SessionOptions::*>
+    kRealOptionFields[] = {
+        {"alpha", &SessionOptions::alpha},
+        {"s", &SessionOptions::s},
+        {"n", &SessionOptions::n},
+        {"rho_accuracy", &SessionOptions::rho_accuracy},
+        {"rho_value", &SessionOptions::rho_value},
+        {"epsilon", &SessionOptions::epsilon},
+        {"initial_accuracy", &SessionOptions::initial_accuracy},
+        {"damping", &SessionOptions::damping},
+        {"sample_rate", &SessionOptions::sample_rate},
+        {"update_rebuild_fraction",
+         &SessionOptions::update_rebuild_fraction},
+};
+
+/// The OPTIONS section of a saved session: every SessionOptions field
+/// under its stable name. Load() refuses names it does not know, so a
+/// field added by a future version cannot be dropped silently —
+/// adding one goes hand in hand with a format version bump.
+std::vector<snapshot::OptionField> OptionFieldsOf(
+    const SessionOptions& o) {
+  using F = snapshot::OptionField;
+  std::vector<F> fields;
+  fields.push_back(F::Text("detector", o.detector));
+  for (const auto& [name, member] : kRealOptionFields) {
+    fields.push_back(F::Real(std::string(name), o.*member));
+  }
+  fields.push_back(F::Uint("hybrid_threshold", o.hybrid_threshold));
+  fields.push_back(
+      F::Uint("max_rounds", static_cast<uint64_t>(o.max_rounds)));
+  fields.push_back(F::Bool("use_copy_detection", o.use_copy_detection));
+  fields.push_back(F::Uint("threads", o.threads));
+  fields.push_back(F::Uint("sample_method",
+                           static_cast<uint64_t>(o.sample_method)));
+  fields.push_back(F::Uint("sample_min_items_per_source",
+                           o.sample_min_items_per_source));
+  fields.push_back(F::Uint("sample_seed", o.sample_seed));
+  fields.push_back(F::Bool("online_updates", o.online_updates));
+  return fields;
+}
+
+Status OptionsFromFields(const std::vector<snapshot::OptionField>& fields,
+                         SessionOptions* out) {
+  using F = snapshot::OptionField;
+  for (const F& f : fields) {
+    auto typed = [&f](F::Type want) -> Status {
+      if (f.type == want) return Status::OK();
+      return Status::InvalidArgument(
+          "snapshot: OPTIONS field '" + f.name +
+          "' has an unexpected type — file written by an incompatible "
+          "library");
+    };
+    bool real_field = false;
+    for (const auto& [name, member] : kRealOptionFields) {
+      if (f.name == name) {
+        CD_RETURN_IF_ERROR(typed(F::Type::kReal));
+        out->*member = f.real_value;
+        real_field = true;
+        break;
+      }
+    }
+    if (real_field) continue;
+    if (f.name == "detector") {
+      CD_RETURN_IF_ERROR(typed(F::Type::kText));
+      out->detector = f.text_value;
+    } else if (f.name == "hybrid_threshold") {
+      CD_RETURN_IF_ERROR(typed(F::Type::kUint));
+      out->hybrid_threshold = static_cast<size_t>(f.uint_value);
+    } else if (f.name == "max_rounds") {
+      CD_RETURN_IF_ERROR(typed(F::Type::kUint));
+      out->max_rounds = static_cast<int>(f.uint_value);
+    } else if (f.name == "use_copy_detection") {
+      CD_RETURN_IF_ERROR(typed(F::Type::kBool));
+      out->use_copy_detection = f.uint_value != 0;
+    } else if (f.name == "threads") {
+      CD_RETURN_IF_ERROR(typed(F::Type::kUint));
+      out->threads = static_cast<size_t>(f.uint_value);
+    } else if (f.name == "sample_method") {
+      CD_RETURN_IF_ERROR(typed(F::Type::kUint));
+      if (f.uint_value >
+          static_cast<uint64_t>(SamplingMethod::kScaleSample)) {
+        return Status::InvalidArgument(StrFormat(
+            "snapshot: unknown sampling method %llu in OPTIONS",
+            static_cast<unsigned long long>(f.uint_value)));
+      }
+      out->sample_method = static_cast<SamplingMethod>(f.uint_value);
+    } else if (f.name == "sample_min_items_per_source") {
+      CD_RETURN_IF_ERROR(typed(F::Type::kUint));
+      out->sample_min_items_per_source =
+          static_cast<size_t>(f.uint_value);
+    } else if (f.name == "sample_seed") {
+      CD_RETURN_IF_ERROR(typed(F::Type::kUint));
+      out->sample_seed = f.uint_value;
+    } else if (f.name == "online_updates") {
+      CD_RETURN_IF_ERROR(typed(F::Type::kBool));
+      out->online_updates = f.uint_value != 0;
+    } else {
+      return Status::InvalidArgument(
+          "snapshot: unknown OPTIONS field '" + f.name +
+          "' — the file was written by a newer library (new fields "
+          "ship with a format version bump); refusing to drop "
+          "configuration silently");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Session::Save(const std::string& path) {
+  if (running()) {
+    return Status::FailedPrecondition(
+        "Session::Save mid-run — drive the streaming run to its final "
+        "Step first");
+  }
+  const Dataset* data = current_data();
+  if (data == nullptr) {
+    return Status::FailedPrecondition(
+        "Session::Save: no state to save — complete a run first "
+        "(without online_updates, Run() hands its state to the caller "
+        "and keeps nothing; use online_updates or the streaming API)");
+  }
+  // A finished streaming run keeps its result in the loop; sync it
+  // into the report before persisting.
+  if (loop_ != nullptr) report_.fusion = loop_->result();
+  // Fail here, not at some later Load: a fusion result that does not
+  // match the current data (e.g. a run's report was handed to the
+  // caller and the session kept only a loaded snapshot) must never
+  // reach disk.
+  if (report_.fusion.accuracies.size() != data->num_sources() ||
+      report_.fusion.value_probs.size() != data->num_slots()) {
+    return Status::FailedPrecondition(
+        "Session::Save: the session holds no fusion state for its "
+        "current data set — complete a run on it first");
+  }
+  snapshot::SessionState state;
+  state.generation = data->generation();
+  state.options = OptionFieldsOf(options_);
+  state.data = *data;
+  state.fusion = report_.fusion;
+  if (update_ != nullptr && update_->HasOverlapsFor(state.generation)) {
+    state.has_overlaps = true;
+    state.overlaps_generation = state.generation;
+    state.overlaps = update_->overlaps();
+  }
+  if (update_ != nullptr && update_->HasTape()) {
+    update_->ExportTape(&state);
+    state.tape_generation = state.generation;
+  }
+  return snapshot::Write(path, state);
+}
+
+StatusOr<Session> Session::Load(const std::string& path) {
+  auto state = snapshot::Read(path);
+  if (!state.ok()) return state.status();
+  SessionOptions options;
+  Status parsed = OptionsFromFields(state->options, &options);
+  if (!parsed.ok()) return parsed;
+  auto session = Session::Create(options);
+  if (!session.ok()) return session.status();
+  Status installed = session->InstallLoaded(std::move(*state));
+  if (!installed.ok()) return installed;
+  return session;
+}
+
+Status Session::InstallLoaded(snapshot::SessionState state) {
+  // The loaded snapshot draws a fresh process-local generation; every
+  // piece of derived state below is rebound to it.
+  snapshot_ = std::make_unique<Dataset>(std::move(state.data));
+  data_ = snapshot_.get();
+  report_ = Report();
+  report_.fusion = std::move(state.fusion);
+  if (update_ != nullptr) {
+    if (state.has_overlaps) {
+      update_->InstallOverlaps(std::make_shared<const OverlapCounts>(
+                                   std::move(state.overlaps)),
+                               snapshot_->generation());
+    }
+    if (state.has_tape) {
+      CD_RETURN_IF_ERROR(update_->InstallTape(
+          std::move(state.tape), state.tape_has_copies, *snapshot_));
+    }
+  }
+  RefreshReport();
+  return Status::OK();
 }
 
 Status Session::Update(const DatasetDelta& delta) {

@@ -60,6 +60,10 @@ namespace copydetect {
 
 class SessionUpdateState;
 
+namespace snapshot {
+struct SessionState;
+}  // namespace snapshot
+
 /// One configuration for the whole pipeline: the Bayesian model
 /// parameters (DetectionParams), the iterative-loop controls
 /// (FusionOptions), the executor width, the detector by registry
@@ -246,6 +250,34 @@ class Session {
   /// first Update.
   const UpdateStats& last_update_stats() const { return update_stats_; }
 
+  // --- Snapshot persistence (snapshot/snapshot_io.h; format spec in
+  // docs/FORMATS.md). ---
+  /// Serializes the session's current state — options, the data
+  /// snapshot, the maintained overlap counts, the fusion result and
+  /// the online-update round tape — to a versioned, checksummed
+  /// binary file, so a later process can Load() it and resume exactly
+  /// where this one stopped. Written atomically (temp + rename).
+  ///
+  /// Requires a finished run whose state is still live: a Run with
+  /// online_updates on, or a streaming run driven to its final Step
+  /// (without online_updates, Run hands its report to the caller and
+  /// keeps nothing to save). Refused mid-run.
+  Status Save(const std::string& path);
+
+  /// Reconstructs a session from a Save()d file: options are restored
+  /// and re-validated through Create, the data snapshot and fusion
+  /// result are installed (report() works immediately, without
+  /// re-running), and with online_updates the maintained overlaps and
+  /// the previous run's round tape are rebound to the loaded snapshot
+  /// — a subsequent Update/Start/Step behaves bit-identically to the
+  /// session that never left memory (tests/session_snapshot_test.cc).
+  /// Detector counters are per-run and start at zero.
+  ///
+  /// Fails closed with a descriptive Status on truncation, foreign
+  /// magic, unknown future format versions, checksum mismatches, or
+  /// structurally inconsistent payloads — never undefined behavior.
+  static StatusOr<Session> Load(const std::string& path);
+
   /// The session's current snapshot: the owned, delta-evolved data
   /// set when online_updates is on and a run has started; null before
   /// the first run (or, without online_updates, the caller's data of
@@ -266,6 +298,9 @@ class Session {
   /// refreshes it. Leaves loop_ null.
   Status FinishLoop();
   void RefreshReport();
+  /// Installs a snapshot::Read result into this freshly Created
+  /// session — the back half of Load().
+  Status InstallLoaded(snapshot::SessionState state);
 
   SessionOptions options_;
   std::string detector_name_;

@@ -82,6 +82,55 @@ class FlatHashMap {
     size_ = 0;
   }
 
+  // --- Raw table access (snapshot serialization only). ---
+  // ForEach walks the table in storage order, so persisting the raw
+  // arrays — empty markers included — and restoring them verbatim
+  // reproduces iteration order (and therefore any downstream
+  // floating-point accumulation order) bit for bit, which re-inserting
+  // the live entries in some canonical order would not.
+
+  /// The key array, capacity-sized, kEmptyKey marking free slots.
+  const std::vector<uint64_t>& raw_keys() const { return keys_; }
+  /// The value array, aligned with raw_keys() (default V() in free
+  /// slots).
+  const std::vector<V>& raw_values() const { return values_; }
+
+  /// Restores a table from raw_keys()/raw_values() output. Returns
+  /// false — leaving the map empty — when the arrays are not a valid
+  /// open-addressing table: size mismatch, capacity not a power of two
+  /// (or under the minimum), a reserved empty-marker key in use, a
+  /// duplicate key, or an entry unreachable from its probe sequence
+  /// (Find would miss it). Validation keeps a hand-crafted snapshot
+  /// file from planting a map that lookups silently disagree with.
+  bool AssignRaw(std::vector<uint64_t> keys, std::vector<V> values) {
+    Rehash(16);
+    if (keys.size() != values.size() || keys.size() < 16 ||
+        (keys.size() & (keys.size() - 1)) != 0) {
+      return false;
+    }
+    const size_t mask = keys.size() - 1;
+    size_t entries = 0;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == kEmptyKey) continue;
+      // The probe path from the key's home slot must reach slot i
+      // through occupied slots only, without meeting the key earlier
+      // (an earlier copy would shadow this one).
+      size_t j = static_cast<size_t>(Mix64(keys[i])) & mask;
+      while (j != i) {
+        if (keys[j] == kEmptyKey || keys[j] == keys[i]) return false;
+        j = (j + 1) & mask;
+      }
+      ++entries;
+    }
+    // The live load factor must stay below the growth threshold, or
+    // the next insert loops forever on a full table.
+    if (entries * 4 >= keys.size() * 3) return false;
+    keys_ = std::move(keys);
+    values_ = std::move(values);
+    size_ = entries;
+    return true;
+  }
+
   /// Visits every (key, value&) pair; `fn(uint64_t, V&)`.
   template <typename Fn>
   void ForEach(Fn&& fn) {

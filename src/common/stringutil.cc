@@ -180,6 +180,13 @@ bool FlagParser::GetBool(std::string_view name, bool def) {
   return def;
 }
 
+bool FlagParser::Provided(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.key == name) return true;
+  }
+  return false;
+}
+
 void FlagParser::Finish() const {
   Status status = FinishStatus();
   if (!status.ok()) {

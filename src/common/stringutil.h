@@ -54,6 +54,12 @@ class FlagParser {
   /// Declares a boolean flag ("--x" or "--x=true/false").
   bool GetBool(std::string_view name, bool def);
 
+  /// True when the flag appeared on the command line (regardless of
+  /// Get* declarations) — for rejecting explicitly-passed flags that
+  /// conflict with another mode, where "equal to the default" and
+  /// "absent" must not be conflated. Does not consume the flag.
+  bool Provided(std::string_view name) const;
+
   /// Call after all Get* declarations: aborts on unconsumed flags.
   void Finish() const;
 

@@ -62,6 +62,16 @@ class CopyResult {
 
   void Clear() { map_.Clear(); }
 
+  // --- Snapshot serialization (internal; see snapshot/snapshot_io.h).
+  /// The underlying pair map, exact table layout included.
+  const FlatHashMap<PairPosterior>& raw_map() const { return map_; }
+  /// Restores from a map reassembled out of raw_map() arrays.
+  static CopyResult FromRawMap(FlatHashMap<PairPosterior> map) {
+    CopyResult result;
+    result.map_ = std::move(map);
+    return result;
+  }
+
  private:
   FlatHashMap<PairPosterior> map_;
 };

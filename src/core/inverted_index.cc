@@ -5,6 +5,7 @@
 #include <iterator>
 
 #include "common/random.h"
+#include "common/stringutil.h"
 #include "common/timer.h"
 #include "core/bayes.h"
 
@@ -199,6 +200,43 @@ StatusOr<InvertedIndex> InvertedIndex::Rebase(
 
   watch.Stop();
   index.build_seconds_ = watch.Seconds();
+  return index;
+}
+
+StatusOr<InvertedIndex> InvertedIndex::FromParts(
+    const Dataset& data, std::vector<IndexEntry> entries,
+    size_t tail_begin, EntryOrdering ordering) {
+  if (tail_begin > entries.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "InvertedIndex::FromParts: tail_begin %zu past the %zu entries",
+        tail_begin, entries.size()));
+  }
+  std::vector<uint8_t> seen(data.num_slots(), 0);
+  for (const IndexEntry& e : entries) {
+    if (e.slot >= data.num_slots()) {
+      return Status::InvalidArgument(
+          StrFormat("InvertedIndex::FromParts: entry slot %u out of "
+                    "range (num_slots %zu)",
+                    e.slot, data.num_slots()));
+    }
+    if (seen[e.slot] != 0) {
+      return Status::InvalidArgument(StrFormat(
+          "InvertedIndex::FromParts: duplicate entry for slot %u",
+          e.slot));
+    }
+    seen[e.slot] = 1;
+    if (data.providers(e.slot).size() < 2) {
+      return Status::InvalidArgument(
+          StrFormat("InvertedIndex::FromParts: slot %u has fewer than "
+                    "2 providers",
+                    e.slot));
+    }
+  }
+  InvertedIndex index;
+  index.data_ = &data;
+  index.entries_ = std::move(entries);
+  index.tail_begin_ = tail_begin;
+  index.ordering_ = ordering;
   return index;
 }
 

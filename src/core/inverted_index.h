@@ -96,6 +96,20 @@ class InvertedIndex {
       const DetectionInput& in, const DetectionParams& params,
       const DeltaSummary& summary);
 
+  /// Reassembles an index from previously built parts — the snapshot
+  /// warm-start path (snapshot/snapshot_io.h persists an index as its
+  /// entry array + tail boundary + ordering and rebinds it to the
+  /// loaded Dataset through this). Validates structure (slots in
+  /// range with >= 2 providers, tail boundary in range, entries
+  /// unique) but trusts scores/probabilities — they are covered by
+  /// the snapshot checksum, and Rebase re-verifies its own
+  /// preconditions before consuming them. Internal surface: not
+  /// part of the stable API (docs/API.md).
+  static StatusOr<InvertedIndex> FromParts(const Dataset& data,
+                                           std::vector<IndexEntry> entries,
+                                           size_t tail_begin,
+                                           EntryOrdering ordering);
+
   /// Wall-clock seconds spent building (indexing cost, reported
   /// separately by the paper's Table VIII discussion).
   double build_seconds() const { return build_seconds_; }

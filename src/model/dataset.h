@@ -15,6 +15,10 @@ namespace copydetect {
 class DatasetDelta;
 struct AppliedDelta;
 
+namespace snapshot_internal {
+struct DatasetSerde;
+}  // namespace snapshot_internal
+
 /// Immutable structured data set: a sparse sources × items matrix of
 /// string values, stored CSR in both directions.
 ///
@@ -123,6 +127,10 @@ class Dataset {
 
  private:
   friend class DatasetBuilder;
+  // SnapshotIO persists/restores the arrays verbatim (the layout is
+  // canonical, so a byte round-trip is both exact and cheaper than a
+  // rebuild through DatasetBuilder); see snapshot/snapshot_io.cc.
+  friend struct snapshot_internal::DatasetSerde;
 
   static uint64_t NextGeneration();
 

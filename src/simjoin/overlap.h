@@ -13,6 +13,10 @@ namespace copydetect {
 
 class Dataset;
 
+namespace snapshot_internal {
+struct OverlapSerde;
+}  // namespace snapshot_internal
+
 /// All-pairs shared-item counts l(S1, S2) — the quantity the INDEX
 /// family needs at index-build time (§III: "the number of shared items
 /// ... counted at index building time"). Chooses a dense triangular
@@ -50,6 +54,9 @@ class OverlapCounts {
                              const Dataset& old_data,
                              const Dataset& new_data,
                              std::span<const ItemId> touched_items);
+  // SnapshotIO persists/restores mode + arrays verbatim, sparse table
+  // layout included; see snapshot/snapshot_io.cc.
+  friend struct snapshot_internal::OverlapSerde;
 
   size_t DenseIndex(SourceId a, SourceId b) const {
     // Upper triangle, a < b.

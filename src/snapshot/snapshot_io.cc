@@ -1,0 +1,1074 @@
+#include "snapshot/snapshot_io.h"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "common/stringutil.h"
+
+namespace copydetect {
+
+namespace snapshot_internal {
+
+/// Friend-access shims: move the private arrays of the two structures
+/// whose layout the format persists verbatim. Kept to dumb
+/// field-shuttling so the wire logic below stays in one place.
+struct DatasetSerde {
+  struct Arrays {
+    std::vector<std::string> source_names;
+    std::vector<std::string> item_names;
+    std::vector<std::string> slot_value;
+    std::vector<ItemId> slot_item;
+    std::vector<SlotId> item_slot_begin;
+    std::vector<uint32_t> provider_begin;
+    std::vector<SourceId> providers;
+    std::vector<uint32_t> src_begin;
+    std::vector<ItemId> obs_item;
+    std::vector<SlotId> obs_slot;
+  };
+
+  // Write-path accessors: serialization reads the arrays in place
+  // (copying a large Dataset just to write it would double the Save
+  // peak next to the byte buffer).
+  static const std::vector<std::string>& source_names(const Dataset& d) {
+    return d.source_names_;
+  }
+  static const std::vector<std::string>& item_names(const Dataset& d) {
+    return d.item_names_;
+  }
+  static const std::vector<std::string>& slot_value(const Dataset& d) {
+    return d.slot_value_;
+  }
+  static const std::vector<ItemId>& slot_item(const Dataset& d) {
+    return d.slot_item_;
+  }
+  static const std::vector<SlotId>& item_slot_begin(const Dataset& d) {
+    return d.item_slot_begin_;
+  }
+  static const std::vector<uint32_t>& provider_begin(const Dataset& d) {
+    return d.provider_begin_;
+  }
+  static const std::vector<SourceId>& providers(const Dataset& d) {
+    return d.providers_;
+  }
+  static const std::vector<uint32_t>& src_begin(const Dataset& d) {
+    return d.src_begin_;
+  }
+  static const std::vector<ItemId>& obs_item(const Dataset& d) {
+    return d.obs_item_;
+  }
+  static const std::vector<SlotId>& obs_slot(const Dataset& d) {
+    return d.obs_slot_;
+  }
+
+  /// Installs the arrays into `d` (which keeps the fresh generation
+  /// it drew at construction — generations are process-local).
+  static void Install(Arrays a, Dataset* d) {
+    d->source_names_ = std::move(a.source_names);
+    d->item_names_ = std::move(a.item_names);
+    d->slot_value_ = std::move(a.slot_value);
+    d->slot_item_ = std::move(a.slot_item);
+    d->item_slot_begin_ = std::move(a.item_slot_begin);
+    d->provider_begin_ = std::move(a.provider_begin);
+    d->providers_ = std::move(a.providers);
+    d->src_begin_ = std::move(a.src_begin);
+    d->obs_item_ = std::move(a.obs_item);
+    d->obs_slot_ = std::move(a.obs_slot);
+  }
+};
+
+struct OverlapSerde {
+  static bool dense_mode(const OverlapCounts& c) { return c.dense_mode_; }
+  static SourceId num_sources(const OverlapCounts& c) {
+    return c.num_sources_;
+  }
+  static const std::vector<uint32_t>& dense(const OverlapCounts& c) {
+    return c.dense_;
+  }
+  static const FlatHashMap<uint32_t>& sparse(const OverlapCounts& c) {
+    return c.sparse_;
+  }
+
+  static void Install(bool dense_mode, SourceId num_sources,
+                      std::vector<uint32_t> dense,
+                      FlatHashMap<uint32_t> sparse, OverlapCounts* out) {
+    out->dense_mode_ = dense_mode;
+    out->num_sources_ = num_sources;
+    out->dense_ = std::move(dense);
+    out->sparse_ = std::move(sparse);
+  }
+};
+
+}  // namespace snapshot_internal
+
+namespace snapshot {
+
+namespace {
+
+using snapshot_internal::DatasetSerde;
+using snapshot_internal::OverlapSerde;
+
+// ---------------------------------------------------------------------
+// Checksum: 8-byte little-endian words folded through Mix64, the final
+// partial word zero-padded, seeded with an FNV-style length mix. Not
+// cryptographic — it detects corruption, not tampering. Specified in
+// docs/FORMATS.md so independent readers can verify files.
+
+/// std::byteswap is C++23; the repo builds as C++20.
+inline uint64_t ByteSwap64(uint64_t v) {
+  v = ((v & 0x00ff00ff00ff00ffULL) << 8) |
+      ((v >> 8) & 0x00ff00ff00ff00ffULL);
+  v = ((v & 0x0000ffff0000ffffULL) << 16) |
+      ((v >> 16) & 0x0000ffff0000ffffULL);
+  return (v << 32) | (v >> 32);
+}
+
+uint64_t Hash64(const uint8_t* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ (static_cast<uint64_t>(size) *
+                                        0x100000001b3ULL);
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, data + i, 8);
+    if constexpr (std::endian::native == std::endian::big) {
+      word = ByteSwap64(word);
+    }
+    h = Mix64(h ^ word);
+  }
+  if (i < size) {
+    uint64_t word = 0;
+    for (size_t j = 0; i + j < size; ++j) {
+      word |= static_cast<uint64_t>(data[i + j]) << (8 * j);
+    }
+    h = Mix64(h ^ word);
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------
+// Little-endian wire primitives. Scalars are encoded byte-wise (so the
+// code is endian-correct by construction); bulk POD arrays take the
+// memcpy fast path on little-endian hosts.
+
+class Writer {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+  void Str(const std::string& s) {
+    U64(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8);
+    U64(v.size());
+    if (v.empty()) return;  // data() may be null on an empty vector
+    if constexpr (std::endian::native == std::endian::little) {
+      const uint8_t* raw = reinterpret_cast<const uint8_t*>(v.data());
+      bytes_.insert(bytes_.end(), raw, raw + v.size() * sizeof(T));
+    } else {
+      for (const T& e : v) {
+        if constexpr (sizeof(T) == 4) {
+          U32(std::bit_cast<uint32_t>(e));
+        } else {
+          U64(std::bit_cast<uint64_t>(e));
+        }
+      }
+    }
+  }
+
+  void StrVec(const std::vector<std::string>& v) {
+    U64(v.size());
+    for (const std::string& s : v) Str(s);
+  }
+
+  size_t size() const { return bytes_.size(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t>& bytes() { return bytes_; }
+
+  /// Patches a previously written u64 at `offset` (section table
+  /// back-fill).
+  void PatchU64(size_t offset, uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_[offset + i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+  void PatchU32(size_t offset, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_[offset + i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over one section payload (or the header).
+/// Every accessor reports failure through ok(); the caller turns the
+/// sticky error into one descriptive Status per section.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return data_[pos_++];
+  }
+
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double F64() { return std::bit_cast<double>(U64()); }
+
+  std::string Str() {
+    uint64_t n = U64();
+    if (!ok_ || !Need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> Vec() {
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8);
+    uint64_t n = U64();
+    // Guard the multiply and the allocation against a hostile count:
+    // each element needs sizeof(T) payload bytes, so a count beyond
+    // remaining()/sizeof(T) cannot be satisfied.
+    if (!ok_ || n > remaining() / sizeof(T)) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<T> v(static_cast<size_t>(n));
+    if (v.empty()) return v;  // data() may be null on an empty vector
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(v.data(), data_ + pos_, v.size() * sizeof(T));
+      pos_ += v.size() * sizeof(T);
+    } else {
+      for (T& e : v) {
+        if constexpr (sizeof(T) == 4) {
+          e = std::bit_cast<T>(U32());
+        } else {
+          e = std::bit_cast<T>(U64());
+        }
+      }
+    }
+    return v;
+  }
+
+  std::vector<std::string> StrVec() {
+    uint64_t n = U64();
+    // Each string needs at least its 8-byte length prefix.
+    if (!ok_ || n > remaining() / 8) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::string> v;
+    v.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n && ok_; ++i) v.push_back(Str());
+    return v;
+  }
+
+ private:
+  bool Need(uint64_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------
+// Section payloads.
+
+void WriteOptions(const std::vector<OptionField>& options, Writer* w) {
+  w->U64(options.size());
+  for (const OptionField& f : options) {
+    w->Str(f.name);
+    w->U8(static_cast<uint8_t>(f.type));
+    switch (f.type) {
+      case OptionField::Type::kBool:
+      case OptionField::Type::kUint:
+        w->U64(f.uint_value);
+        break;
+      case OptionField::Type::kReal:
+        w->F64(f.real_value);
+        break;
+      case OptionField::Type::kText:
+        w->Str(f.text_value);
+        break;
+    }
+  }
+}
+
+Status ReadOptions(Reader* r, std::vector<OptionField>* out) {
+  uint64_t n = r->U64();
+  for (uint64_t i = 0; i < n && r->ok(); ++i) {
+    OptionField f;
+    f.name = r->Str();
+    uint8_t type = r->U8();
+    if (type > static_cast<uint8_t>(OptionField::Type::kText)) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot: option '%s' has unknown type tag %u",
+          f.name.c_str(), type));
+    }
+    f.type = static_cast<OptionField::Type>(type);
+    switch (f.type) {
+      case OptionField::Type::kBool:
+      case OptionField::Type::kUint:
+        f.uint_value = r->U64();
+        break;
+      case OptionField::Type::kReal:
+        f.real_value = r->F64();
+        break;
+      case OptionField::Type::kText:
+        f.text_value = r->Str();
+        break;
+    }
+    out->push_back(std::move(f));
+  }
+  if (!r->ok()) {
+    return Status::InvalidArgument(
+        "snapshot: OPTIONS section truncated");
+  }
+  return Status::OK();
+}
+
+void WriteDataset(const Dataset& data, Writer* w) {
+  w->U64(DatasetSerde::source_names(data).size());
+  w->U64(DatasetSerde::item_names(data).size());
+  w->U64(DatasetSerde::slot_value(data).size());
+  w->U64(DatasetSerde::obs_item(data).size());
+  w->StrVec(DatasetSerde::source_names(data));
+  w->StrVec(DatasetSerde::item_names(data));
+  w->StrVec(DatasetSerde::slot_value(data));
+  w->Vec(DatasetSerde::slot_item(data));
+  w->Vec(DatasetSerde::item_slot_begin(data));
+  w->Vec(DatasetSerde::provider_begin(data));
+  w->Vec(DatasetSerde::providers(data));
+  w->Vec(DatasetSerde::src_begin(data));
+  w->Vec(DatasetSerde::obs_item(data));
+  w->Vec(DatasetSerde::obs_slot(data));
+}
+
+/// One CSR boundary array: starts at 0, non-decreasing, `rows + 1`
+/// entries, ends exactly at `total`.
+bool ValidCsr(const std::vector<uint32_t>& begin, size_t rows,
+              size_t total) {
+  if (begin.size() != rows + 1) return false;
+  if (begin.front() != 0 || begin.back() != total) return false;
+  for (size_t i = 1; i < begin.size(); ++i) {
+    if (begin[i] < begin[i - 1]) return false;
+  }
+  return true;
+}
+
+bool AllBelow(const std::vector<uint32_t>& ids, size_t bound) {
+  for (uint32_t id : ids) {
+    if (id >= bound) return false;
+  }
+  return true;
+}
+
+Status ReadDataset(Reader* r, Dataset* out) {
+  auto corrupt = [](const char* what) {
+    return Status::InvalidArgument(
+        std::string("snapshot: DATASET section inconsistent: ") + what);
+  };
+  const uint64_t num_sources = r->U64();
+  const uint64_t num_items = r->U64();
+  const uint64_t num_slots = r->U64();
+  const uint64_t num_obs = r->U64();
+  DatasetSerde::Arrays a;
+  a.source_names = r->StrVec();
+  a.item_names = r->StrVec();
+  a.slot_value = r->StrVec();
+  a.slot_item = r->Vec<ItemId>();
+  a.item_slot_begin = r->Vec<SlotId>();
+  a.provider_begin = r->Vec<uint32_t>();
+  a.providers = r->Vec<SourceId>();
+  a.src_begin = r->Vec<uint32_t>();
+  a.obs_item = r->Vec<ItemId>();
+  a.obs_slot = r->Vec<SlotId>();
+  if (!r->ok()) {
+    return Status::InvalidArgument(
+        "snapshot: DATASET section truncated");
+  }
+  // Structural validation: everything the detection algorithms index
+  // with must be in range, every CSR monotone — a Dataset accepted
+  // here cannot take the engine out of bounds.
+  if (a.source_names.size() != num_sources ||
+      a.item_names.size() != num_items ||
+      a.slot_value.size() != num_slots ||
+      a.obs_item.size() != num_obs) {
+    return corrupt("array sizes disagree with the declared counts");
+  }
+  if (a.slot_item.size() != num_slots ||
+      !AllBelow(a.slot_item, num_items)) {
+    return corrupt("slot->item mapping out of range");
+  }
+  if (!ValidCsr(a.item_slot_begin, num_items, num_slots)) {
+    return corrupt("item->slot boundaries not a valid CSR");
+  }
+  for (uint64_t d = 0; d < num_items; ++d) {
+    for (uint32_t v = a.item_slot_begin[d]; v < a.item_slot_begin[d + 1];
+         ++v) {
+      if (a.slot_item[v] != d) {
+        return corrupt("slot->item mapping disagrees with the "
+                       "item->slot boundaries");
+      }
+    }
+  }
+  if (!ValidCsr(a.provider_begin, num_slots, a.providers.size()) ||
+      !AllBelow(a.providers, num_sources)) {
+    return corrupt("provider lists not a valid CSR over sources");
+  }
+  if (!ValidCsr(a.src_begin, num_sources, num_obs) ||
+      a.obs_slot.size() != num_obs ||
+      !AllBelow(a.obs_item, num_items) ||
+      !AllBelow(a.obs_slot, num_slots)) {
+    return corrupt("per-source observation arrays out of range");
+  }
+  DatasetSerde::Install(std::move(a), out);
+  return Status::OK();
+}
+
+void WriteRawMapU32(const FlatHashMap<uint32_t>& map, Writer* w) {
+  w->Vec(map.raw_keys());
+  w->Vec(map.raw_values());
+}
+
+void WriteOverlaps(const SessionState& state, Writer* w) {
+  w->U64(state.overlaps_generation);
+  const OverlapCounts& c = state.overlaps;
+  w->U8(OverlapSerde::dense_mode(c) ? 1 : 0);
+  w->U32(OverlapSerde::num_sources(c));
+  w->Vec(OverlapSerde::dense(c));
+  WriteRawMapU32(OverlapSerde::sparse(c), w);
+}
+
+Status ReadOverlaps(Reader* r, size_t num_sources, SessionState* out) {
+  out->overlaps_generation = r->U64();
+  const bool dense_mode = r->U8() != 0;
+  const uint32_t n = r->U32();
+  std::vector<uint32_t> dense = r->Vec<uint32_t>();
+  std::vector<uint64_t> keys = r->Vec<uint64_t>();
+  std::vector<uint32_t> values = r->Vec<uint32_t>();
+  if (!r->ok()) {
+    return Status::InvalidArgument(
+        "snapshot: OVERLAPS section truncated");
+  }
+  if (n != num_sources) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot: OVERLAPS counts cover %u sources but the "
+                  "data set has %zu",
+                  n, num_sources));
+  }
+  const size_t expected_dense =
+      dense_mode ? static_cast<size_t>(n) * (n - 1) / 2 : 0;
+  if (dense.size() != expected_dense) {
+    return Status::InvalidArgument(
+        "snapshot: OVERLAPS dense triangle has the wrong size");
+  }
+  FlatHashMap<uint32_t> sparse;
+  if (!sparse.AssignRaw(std::move(keys), std::move(values))) {
+    return Status::InvalidArgument(
+        "snapshot: OVERLAPS sparse table is not a valid hash table");
+  }
+  bool pairs_ok = true;
+  sparse.ForEach([&pairs_ok, num_sources](uint64_t key, uint32_t&) {
+    if (PairFirst(key) >= num_sources || PairSecond(key) >= num_sources) {
+      pairs_ok = false;
+    }
+  });
+  if (!pairs_ok) {
+    return Status::InvalidArgument(
+        "snapshot: OVERLAPS pair key out of source range");
+  }
+  OverlapSerde::Install(dense_mode, n, std::move(dense),
+                        std::move(sparse), &out->overlaps);
+  out->has_overlaps = true;
+  return Status::OK();
+}
+
+void WriteCopies(const CopyResult& copies, Writer* w) {
+  const FlatHashMap<PairPosterior>& map = copies.raw_map();
+  w->Vec(map.raw_keys());
+  w->U64(map.raw_values().size());
+  for (const PairPosterior& p : map.raw_values()) {
+    w->F64(p.p_indep);
+    w->F64(p.p_first_copies);
+    w->F64(p.p_second_copies);
+  }
+}
+
+Status ReadCopies(Reader* r, size_t num_sources, const char* section,
+                  CopyResult* out) {
+  std::vector<uint64_t> keys = r->Vec<uint64_t>();
+  const uint64_t n = r->U64();
+  if (!r->ok() || n > r->remaining() / 24) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot: %s section truncated", section));
+  }
+  std::vector<PairPosterior> values(static_cast<size_t>(n));
+  for (PairPosterior& p : values) {
+    p.p_indep = r->F64();
+    p.p_first_copies = r->F64();
+    p.p_second_copies = r->F64();
+  }
+  if (!r->ok()) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot: %s section truncated", section));
+  }
+  for (uint64_t key : keys) {
+    if (key == FlatHashMap<PairPosterior>::kEmptyKey) continue;
+    if (PairFirst(key) >= num_sources ||
+        PairSecond(key) >= num_sources) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot: %s pair key out of source range",
+                    section));
+    }
+  }
+  FlatHashMap<PairPosterior> map;
+  if (!map.AssignRaw(std::move(keys), std::move(values))) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s pair map is not a valid hash table", section));
+  }
+  *out = CopyResult::FromRawMap(std::move(map));
+  return Status::OK();
+}
+
+void WriteFusion(const FusionResult& f, Writer* w) {
+  w->Vec(f.value_probs);
+  w->Vec(f.accuracies);
+  w->Vec(f.truth);
+  WriteCopies(f.copies, w);
+  w->U32(static_cast<uint32_t>(f.rounds));
+  w->U8(f.converged ? 1 : 0);
+  w->U64(f.trace.size());
+  for (const RoundTrace& t : f.trace) {
+    w->U32(static_cast<uint32_t>(t.round));
+    w->F64(t.detect_seconds);
+    w->F64(t.detect_cpu_seconds);
+    w->F64(t.fusion_seconds);
+    w->U64(t.computations);
+    w->U64(t.copying_pairs);
+    w->F64(t.max_accuracy_change);
+  }
+  w->F64(f.total_seconds);
+  w->F64(f.detect_seconds);
+  w->F64(f.detect_cpu_seconds);
+}
+
+Status ReadFusion(Reader* r, const Dataset& data, FusionResult* out) {
+  out->value_probs = r->Vec<double>();
+  out->accuracies = r->Vec<double>();
+  out->truth = r->Vec<SlotId>();
+  CD_RETURN_IF_ERROR(
+      ReadCopies(r, data.num_sources(), "FUSION", &out->copies));
+  out->rounds = static_cast<int>(r->U32());
+  out->converged = r->U8() != 0;
+  const uint64_t traces = r->U64();
+  if (!r->ok() || traces > r->remaining() / 52) {
+    return Status::InvalidArgument(
+        "snapshot: FUSION section truncated");
+  }
+  out->trace.resize(static_cast<size_t>(traces));
+  for (RoundTrace& t : out->trace) {
+    t.round = static_cast<int>(r->U32());
+    t.detect_seconds = r->F64();
+    t.detect_cpu_seconds = r->F64();
+    t.fusion_seconds = r->F64();
+    t.computations = r->U64();
+    t.copying_pairs = static_cast<size_t>(r->U64());
+    t.max_accuracy_change = r->F64();
+  }
+  out->total_seconds = r->F64();
+  out->detect_seconds = r->F64();
+  out->detect_cpu_seconds = r->F64();
+  if (!r->ok()) {
+    return Status::InvalidArgument(
+        "snapshot: FUSION section truncated");
+  }
+  if (out->value_probs.size() != data.num_slots() ||
+      out->accuracies.size() != data.num_sources() ||
+      out->truth.size() != data.num_items()) {
+    return Status::InvalidArgument(
+        "snapshot: FUSION arrays disagree with the data set's "
+        "dimensions");
+  }
+  for (SlotId v : out->truth) {
+    if (v != kInvalidSlot && v >= data.num_slots()) {
+      return Status::InvalidArgument(
+          "snapshot: FUSION truth slot out of range");
+    }
+  }
+  return Status::OK();
+}
+
+void WriteTape(const SessionState& state, Writer* w) {
+  w->U64(state.tape_generation);
+  w->U8(state.tape_has_copies ? 1 : 0);
+  w->U64(state.tape.size());
+  for (const TapeRound& round : state.tape) {
+    w->Vec(round.pre_probs);
+    w->Vec(round.pre_accs);
+    WriteCopies(round.copies, w);
+    w->U8(round.has_index ? 1 : 0);
+    if (round.has_index) {
+      w->U64(round.index_entries.size());
+      for (const IndexEntry& e : round.index_entries) {
+        w->U32(e.slot);
+        w->F64(e.probability);
+        w->F64(e.score);
+      }
+      w->U64(round.index_tail_begin);
+      w->U8(static_cast<uint8_t>(round.index_ordering));
+    }
+  }
+}
+
+Status ReadTape(Reader* r, const Dataset& data, SessionState* out) {
+  auto truncated = [] {
+    return Status::InvalidArgument("snapshot: TAPE section truncated");
+  };
+  out->tape_generation = r->U64();
+  out->tape_has_copies = r->U8() != 0;
+  const uint64_t rounds = r->U64();
+  // Hostile-count guard sized to a round's minimum wire footprint
+  // (two empty vectors + an empty copy map + the index flag, > 33
+  // bytes), so the reserve below cannot amplify a small crafted file
+  // into a huge allocation.
+  if (!r->ok() || rounds > r->remaining() / 33) return truncated();
+  out->tape.reserve(static_cast<size_t>(rounds));
+  for (uint64_t i = 0; i < rounds; ++i) {
+    TapeRound round;
+    round.pre_probs = r->Vec<double>();
+    round.pre_accs = r->Vec<double>();
+    CD_RETURN_IF_ERROR(
+        ReadCopies(r, data.num_sources(), "TAPE", &round.copies));
+    round.has_index = r->U8() != 0;
+    if (round.has_index) {
+      const uint64_t entries = r->U64();
+      if (!r->ok() || entries > r->remaining() / 20) return truncated();
+      round.index_entries.resize(static_cast<size_t>(entries));
+      for (IndexEntry& e : round.index_entries) {
+        e.slot = r->U32();
+        e.probability = r->F64();
+        e.score = r->F64();
+      }
+      round.index_tail_begin = r->U64();
+      const uint8_t ordering = r->U8();
+      if (ordering > static_cast<uint8_t>(EntryOrdering::kRandom)) {
+        return Status::InvalidArgument(StrFormat(
+            "snapshot: TAPE round %llu has unknown index ordering %u",
+            static_cast<unsigned long long>(i), ordering));
+      }
+      round.index_ordering = static_cast<EntryOrdering>(ordering);
+    }
+    if (!r->ok()) return truncated();
+    // Dimensional validation; per-entry slot checks (range, >= 2
+    // providers, uniqueness) happen in InvertedIndex::FromParts when
+    // the index is reassembled against the loaded Dataset.
+    if (!round.pre_probs.empty() &&
+        round.pre_probs.size() != data.num_slots()) {
+      return Status::InvalidArgument(
+          "snapshot: TAPE round value probabilities disagree with the "
+          "data set's slot count");
+    }
+    if (round.pre_accs.size() != data.num_sources()) {
+      return Status::InvalidArgument(
+          "snapshot: TAPE round accuracies disagree with the data "
+          "set's source count");
+    }
+    out->tape.push_back(std::move(round));
+  }
+  out->has_tape = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// File framing. Layout (all integers little-endian; see
+// docs/FORMATS.md for the byte-level spec):
+//
+//   [0,  8)  magic "CDSNAP\r\n"
+//   [8, 12)  u32 format version
+//   [12,16)  u32 flags (0 in version 1)
+//   [16,24)  u64 generation (save-time Dataset::generation())
+//   [24,28)  u32 section count
+//   [28,32)  u32 reserved (0)
+//   then     section table: count x 32-byte entries
+//            { u32 id, u32 reserved, u64 offset, u64 size, u64 checksum }
+//   then     u64 meta checksum over bytes [0, table end)
+//   then     section payloads at their recorded offsets
+
+constexpr size_t kHeaderSize = 32;
+constexpr size_t kTableEntrySize = 32;
+constexpr uint32_t kMaxSections = 64;
+
+struct TableEntry {
+  uint32_t id = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint64_t checksum = 0;
+};
+
+}  // namespace
+
+OptionField OptionField::Bool(std::string name, bool v) {
+  OptionField f;
+  f.name = std::move(name);
+  f.type = Type::kBool;
+  f.uint_value = v ? 1 : 0;
+  return f;
+}
+
+OptionField OptionField::Uint(std::string name, uint64_t v) {
+  OptionField f;
+  f.name = std::move(name);
+  f.type = Type::kUint;
+  f.uint_value = v;
+  return f;
+}
+
+OptionField OptionField::Real(std::string name, double v) {
+  OptionField f;
+  f.name = std::move(name);
+  f.type = Type::kReal;
+  f.real_value = v;
+  return f;
+}
+
+OptionField OptionField::Text(std::string name, std::string v) {
+  OptionField f;
+  f.name = std::move(name);
+  f.type = Type::kText;
+  f.text_value = std::move(v);
+  return f;
+}
+
+Status Write(const std::string& path, const SessionState& state) {
+  // Serialize every present section payload first; the table is
+  // back-filled once offsets are known.
+  std::vector<std::pair<SectionId, Writer>> sections;
+  {
+    Writer w;
+    WriteOptions(state.options, &w);
+    sections.emplace_back(SectionId::kOptions, std::move(w));
+  }
+  {
+    Writer w;
+    WriteDataset(state.data, &w);
+    sections.emplace_back(SectionId::kDataset, std::move(w));
+  }
+  if (state.has_overlaps) {
+    Writer w;
+    WriteOverlaps(state, &w);
+    sections.emplace_back(SectionId::kOverlaps, std::move(w));
+  }
+  {
+    Writer w;
+    WriteFusion(state.fusion, &w);
+    sections.emplace_back(SectionId::kFusion, std::move(w));
+  }
+  if (state.has_tape) {
+    Writer w;
+    WriteTape(state, &w);
+    sections.emplace_back(SectionId::kTape, std::move(w));
+  }
+
+  Writer file;
+  for (unsigned char c : kMagic) file.U8(c);
+  file.U32(kFormatVersion);
+  file.U32(0);  // flags
+  file.U64(state.generation);
+  file.U32(static_cast<uint32_t>(sections.size()));
+  file.U32(0);  // reserved
+
+  const size_t table_begin = file.size();
+  uint64_t payload_offset = table_begin +
+                            sections.size() * kTableEntrySize +
+                            8;  // + meta checksum
+  for (const auto& [id, payload] : sections) {
+    file.U32(static_cast<uint32_t>(id));
+    file.U32(0);  // per-section reserved/version
+    file.U64(payload_offset);
+    file.U64(payload.size());
+    file.U64(Hash64(payload.bytes().data(), payload.size()));
+    payload_offset += payload.size();
+  }
+  file.U64(Hash64(file.bytes().data(), file.size()));
+  for (const auto& [id, payload] : sections) {
+    file.bytes().insert(file.bytes().end(), payload.bytes().begin(),
+                        payload.bytes().end());
+  }
+
+  // Temp-and-rename in the target directory so a crash mid-write
+  // cannot leave a torn file under the final name (rename within one
+  // directory is atomic on POSIX).
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + tmp_path + " for writing");
+  }
+  const size_t written =
+      std::fwrite(file.bytes().data(), 1, file.size(), f);
+  // fflush moves the bytes to the kernel; fsync moves them to the
+  // device. Without the latter, the rename below can commit the new
+  // name while the data is still only in the page cache — a power
+  // loss would then replace a good snapshot with a torn one.
+  const bool flushed =
+      std::fflush(f) == 0 && fsync(fileno(f)) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != file.size() || !flushed || !closed) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("short write to " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<SessionState> Read(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("snapshot file not found: " + path);
+  }
+  std::vector<uint8_t> bytes;
+  {
+    uint8_t buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error) {
+      return Status::IOError("cannot read snapshot file: " + path);
+    }
+  }
+
+  // --- Header. ---
+  if (bytes.size() < kHeaderSize) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: file truncated (%zu bytes, header needs %zu)",
+        path.c_str(), bytes.size(), kHeaderSize));
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": bad magic — not a copydetect snapshot "
+        "file (or mangled in transit)");
+  }
+  Reader header(bytes.data() + sizeof(kMagic),
+                kHeaderSize - sizeof(kMagic));
+  const uint32_t version = header.U32();
+  header.U32();  // flags, ignored in version 1
+  const uint64_t generation = header.U64();
+  const uint32_t section_count = header.U32();
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: format version %u not supported (this build "
+        "reads version %u) — refusing rather than guessing at the "
+        "layout",
+        path.c_str(), version, kFormatVersion));
+  }
+  if (section_count == 0 || section_count > kMaxSections) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: implausible section count %u", path.c_str(),
+        section_count));
+  }
+  const size_t table_end =
+      kHeaderSize + static_cast<size_t>(section_count) * kTableEntrySize;
+  if (bytes.size() < table_end + 8) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": file truncated inside the section "
+        "table");
+  }
+  Reader meta(bytes.data() + table_end, 8);
+  if (meta.U64() != Hash64(bytes.data(), table_end)) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": header/section-table checksum "
+        "mismatch — file corrupt");
+  }
+
+  // --- Section table. ---
+  Reader table(bytes.data() + kHeaderSize, table_end - kHeaderSize);
+  std::vector<TableEntry> entries(section_count);
+  for (TableEntry& e : entries) {
+    e.id = table.U32();
+    table.U32();  // reserved
+    e.offset = table.U64();
+    e.size = table.U64();
+    e.checksum = table.U64();
+    if (e.offset > bytes.size() || e.size > bytes.size() - e.offset) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot: %s: section %u extends past the end of the file "
+          "(offset %llu, size %llu, file %zu bytes) — file truncated "
+          "or table corrupt",
+          path.c_str(), e.id,
+          static_cast<unsigned long long>(e.offset),
+          static_cast<unsigned long long>(e.size), bytes.size()));
+    }
+    if (Hash64(bytes.data() + e.offset, static_cast<size_t>(e.size)) !=
+        e.checksum) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot: %s: section %u checksum mismatch — file corrupt",
+          path.c_str(), e.id));
+    }
+  }
+
+  // --- Payloads, in table order. The DATASET section must precede
+  // the sections validated against it; Write emits them in id order,
+  // which satisfies this. ---
+  SessionState state;
+  state.generation = generation;
+  bool saw_options = false;
+  bool saw_dataset = false;
+  bool saw_fusion = false;
+  for (const TableEntry& e : entries) {
+    // A repeated id is never legitimate: a second DATASET would
+    // replace the data set earlier sections were validated against,
+    // a second TAPE would concatenate rounds — fail closed instead.
+    const bool duplicate =
+        (e.id == static_cast<uint32_t>(SectionId::kOptions) &&
+         saw_options) ||
+        (e.id == static_cast<uint32_t>(SectionId::kDataset) &&
+         saw_dataset) ||
+        (e.id == static_cast<uint32_t>(SectionId::kOverlaps) &&
+         state.has_overlaps) ||
+        (e.id == static_cast<uint32_t>(SectionId::kFusion) &&
+         saw_fusion) ||
+        (e.id == static_cast<uint32_t>(SectionId::kTape) &&
+         state.has_tape);
+    if (duplicate) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot: %s: duplicate section id %u", path.c_str(),
+          e.id));
+    }
+    Reader r(bytes.data() + e.offset, static_cast<size_t>(e.size));
+    switch (static_cast<SectionId>(e.id)) {
+      case SectionId::kOptions:
+        CD_RETURN_IF_ERROR(ReadOptions(&r, &state.options));
+        saw_options = true;
+        break;
+      case SectionId::kDataset:
+        CD_RETURN_IF_ERROR(ReadDataset(&r, &state.data));
+        saw_dataset = true;
+        break;
+      case SectionId::kOverlaps:
+        if (!saw_dataset) {
+          return Status::InvalidArgument(
+              "snapshot: " + path + ": OVERLAPS section before "
+              "DATASET");
+        }
+        CD_RETURN_IF_ERROR(
+            ReadOverlaps(&r, state.data.num_sources(), &state));
+        break;
+      case SectionId::kFusion:
+        if (!saw_dataset) {
+          return Status::InvalidArgument(
+              "snapshot: " + path + ": FUSION section before DATASET");
+        }
+        CD_RETURN_IF_ERROR(ReadFusion(&r, state.data, &state.fusion));
+        saw_fusion = true;
+        break;
+      case SectionId::kTape:
+        if (!saw_dataset) {
+          return Status::InvalidArgument(
+              "snapshot: " + path + ": TAPE section before DATASET");
+        }
+        CD_RETURN_IF_ERROR(ReadTape(&r, state.data, &state));
+        break;
+      default:
+        // Version 1 defines exactly the sections above; an unknown id
+        // within a known version means the file does not match its
+        // declared version (new state ships with a version bump).
+        return Status::InvalidArgument(StrFormat(
+            "snapshot: %s: unknown section id %u in a version-%u file",
+            path.c_str(), e.id, version));
+    }
+  }
+  if (!saw_options || !saw_dataset || !saw_fusion) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": missing a required section (OPTIONS, "
+        "DATASET and FUSION are mandatory)");
+  }
+
+  // --- Cross-section generation consistency: derived state must have
+  // been computed for the very snapshot in this file. ---
+  if (state.has_overlaps && state.overlaps_generation != generation) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: generation mismatch — OVERLAPS were computed "
+        "for generation %llu but the file's snapshot is generation "
+        "%llu; refusing to warm-start derived state against a "
+        "different data set",
+        path.c_str(),
+        static_cast<unsigned long long>(state.overlaps_generation),
+        static_cast<unsigned long long>(generation)));
+  }
+  if (state.has_tape && state.tape_generation != generation) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: generation mismatch — the update TAPE was "
+        "recorded for generation %llu but the file's snapshot is "
+        "generation %llu; refusing to warm-start derived state "
+        "against a different data set",
+        path.c_str(),
+        static_cast<unsigned long long>(state.tape_generation),
+        static_cast<unsigned long long>(generation)));
+  }
+  return state;
+}
+
+}  // namespace snapshot
+}  // namespace copydetect

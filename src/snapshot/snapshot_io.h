@@ -1,0 +1,155 @@
+#ifndef COPYDETECT_SNAPSHOT_SNAPSHOT_IO_H_
+#define COPYDETECT_SNAPSHOT_SNAPSHOT_IO_H_
+
+/// \file
+/// SnapshotIO — the durability layer: a versioned, checksummed,
+/// little-endian binary format that persists a Dataset snapshot
+/// together with its derived state (overlap counts, the previous
+/// run's round tape including the round-1 inverted-index postings and
+/// cached pair posteriors, and the last fusion result), so a process
+/// can resume exactly where the previous one stopped instead of
+/// re-parsing, recounting and re-fusing from cold.
+///
+/// The on-disk format is specified byte by byte in docs/FORMATS.md;
+/// this header is the programmatic surface. Applications normally go
+/// through Session::Save / Session::Load (copydetect/session.h) —
+/// the free Write/Read functions here are the lower-level primitive
+/// the facade is built on (and what tests use to construct corrupt
+/// or inconsistent files).
+///
+/// Guarantees:
+///  * Round-trip fidelity: Read(Write(state)) reproduces every array
+///    bit for bit — doubles are stored as raw IEEE-754 bit patterns
+///    and hash-table payloads keep their exact table layout, so a
+///    resumed session's subsequent Update/Step output is bit-identical
+///    to a session that never left memory.
+///  * Fail-closed loading: a truncated file, foreign magic, unknown
+///    future format version, checksum mismatch, cross-section
+///    generation mismatch, or structurally inconsistent payload all
+///    yield a descriptive error Status — never undefined behavior.
+///  * Compatibility policy: files written by format version N are
+///    refused (with a Status naming both versions) by readers that
+///    only know M < N; readers accept versions they know. Version 1
+///    readers refuse anything but 1.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/copy_result.h"
+#include "core/inverted_index.h"
+#include "fusion/truth_finder.h"
+#include "model/dataset.h"
+#include "simjoin/overlap.h"
+
+namespace copydetect {
+namespace snapshot {
+
+/// Current (and only) on-disk format version. Bump on any layout
+/// change; readers refuse versions they do not know.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// First 8 bytes of every snapshot file. Like the PNG magic, the
+/// CR/LF pair makes text-mode line-ending mangling fail loudly at
+/// byte 6 instead of corrupting a payload much later.
+inline constexpr unsigned char kMagic[8] = {'C', 'D', 'S', 'N',
+                                            'A', 'P', '\r', '\n'};
+
+/// Section ids of format version 1. The section table is the unit of
+/// integrity checking (one checksum per section) and of forward
+/// evolution (new optional state = new section id + version bump).
+enum class SectionId : uint32_t {
+  kOptions = 1,   ///< session configuration, self-describing fields
+  kDataset = 2,   ///< the Dataset snapshot, all arrays verbatim
+  kOverlaps = 3,  ///< maintained OverlapCounts (optional)
+  kFusion = 4,    ///< the last completed run's FusionResult
+  kTape = 5,      ///< per-round update tape (optional)
+};
+
+/// One self-describing configuration field of the OPTIONS section:
+/// name + type tag + value. Self-description keeps the section
+/// reviewable with a hex dump and makes "written by a newer library"
+/// failures precise (the unknown field is named in the Status).
+struct OptionField {
+  enum class Type : uint8_t {
+    kBool = 0,
+    kUint = 1,
+    kReal = 2,
+    kText = 3,
+  };
+
+  std::string name;
+  Type type = Type::kUint;
+  uint64_t uint_value = 0;  ///< kBool (0/1) and kUint
+  double real_value = 0.0;  ///< kReal
+  std::string text_value;   ///< kText
+
+  static OptionField Bool(std::string name, bool v);
+  static OptionField Uint(std::string name, uint64_t v);
+  static OptionField Real(std::string name, double v);
+  static OptionField Text(std::string name, std::string v);
+};
+
+/// One recorded fusion round of the update tape — the persisted twin
+/// of the session recorder's round record (see SessionUpdateState in
+/// api/copydetect/session.cc). The inverted index is stored as its
+/// entry array + tail boundary + ordering; the reader reassembles it
+/// against the loaded Dataset with InvertedIndex::FromParts.
+struct TapeRound {
+  std::vector<double> pre_probs;  ///< per slot; empty when not taped
+  std::vector<double> pre_accs;   ///< per source
+  CopyResult copies;              ///< exact table layout preserved
+  bool has_index = false;
+  std::vector<IndexEntry> index_entries;
+  uint64_t index_tail_begin = 0;
+  EntryOrdering index_ordering = EntryOrdering::kByContribution;
+};
+
+/// Everything one file holds. Write() serializes it as given —
+/// including inconsistent generations, which Read() then refuses —
+/// so tests can construct every corruption scenario through the
+/// public API.
+struct SessionState {
+  /// Dataset::generation() at save time. Generations are process-
+  /// local (a loaded Dataset draws a fresh one); on disk this value
+  /// is a consistency token: every derived-state section records the
+  /// generation it was computed for, and Read() refuses a file whose
+  /// sections disagree (state derived from a different snapshot must
+  /// never be warm-started against this one).
+  uint64_t generation = 0;
+
+  std::vector<OptionField> options;
+  Dataset data;
+
+  bool has_overlaps = false;
+  uint64_t overlaps_generation = 0;
+  OverlapCounts overlaps;
+
+  FusionResult fusion;
+
+  bool has_tape = false;
+  uint64_t tape_generation = 0;
+  /// Whether the tape's rounds carry value probabilities + copy
+  /// results usable for pair splicing (recorded for pair-local
+  /// detectors only).
+  bool tape_has_copies = false;
+  std::vector<TapeRound> tape;
+};
+
+/// Serializes `state` to `path` (overwriting). The file is written
+/// via a same-directory temporary + rename, so a crash mid-write
+/// never leaves a half-written file at `path`.
+Status Write(const std::string& path, const SessionState& state);
+
+/// Reads and fully validates a snapshot file: magic, format version,
+/// section table, per-section checksums, cross-section generation
+/// consistency, and structural payload validation (every id in
+/// range, every CSR monotone) — a file that Read() accepts is safe
+/// to hand to the detection algorithms.
+StatusOr<SessionState> Read(const std::string& path);
+
+}  // namespace snapshot
+}  // namespace copydetect
+
+#endif  // COPYDETECT_SNAPSHOT_SNAPSHOT_IO_H_

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Checks that intra-repo markdown links resolve.
+
+Scans every tracked .md file for inline links/images
+(``[text](target)``) and verifies that relative targets exist on
+disk. External links (http/https/mailto), pure #fragment anchors,
+and links that resolve outside the repository root (e.g. the CI
+badge's ``../../actions/...`` github.com path) are skipped — only
+what can rot silently inside the repo is checked.
+
+Usage: tools/check_md_links.py [repo_root]
+Exits 1 listing every dangling link.
+"""
+
+import os
+import re
+import sys
+
+# Inline links and images: [text](target) / ![alt](target). Nested
+# image-in-link ("[![CI](badge)](url)") yields both targets because
+# the regex matches each "](...)" pair.
+LINK_RE = re.compile(r"\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {"build", ".git", ".github"}
+# Ingested reference corpus, not maintained documentation: extraction
+# artifacts in these files (e.g. figure references of the retrieved
+# paper texts) are expected and not ours to fix.
+SKIP_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md") and name not in SKIP_FILES:
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    dangling = []
+    checked = 0
+    for md in sorted(markdown_files(root)):
+        text = open(md, encoding="utf-8").read()
+        # Links inside fenced code blocks are code, not links.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for target in LINK_RE.findall(text):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = os.path.normpath(
+                os.path.join(os.path.dirname(md),
+                             target.split("#", 1)[0]))
+            if not path.startswith(root + os.sep):
+                continue  # escapes the repo (site-relative URL)
+            checked += 1
+            if not os.path.exists(path):
+                dangling.append(
+                    f"{os.path.relpath(md, root)}: ({target}) -> "
+                    f"{os.path.relpath(path, root)} does not exist")
+    if dangling:
+        print("dangling intra-repo markdown links:")
+        for line in dangling:
+            print(f"  {line}")
+        return 1
+    print(f"check_md_links: {checked} intra-repo links OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@
 #include "core/inverted_index.h"
 #include "core/pairwise.h"
 #include "fusion/truth_finder.h"
+#include "simjoin/intersect.h"
 #include "simjoin/overlap.h"
 #include "simjoin/prefix_join.h"
 #include "topk/nra.h"
@@ -172,8 +173,49 @@ void BM_OverlapCounting(benchmark::State& state) {
     benchmark::DoNotOptimize(counts);
   }
 }
-BENCHMARK(BM_OverlapCounting)->Arg(1000)->Arg(8000)->Unit(
-    benchmark::kMillisecond);
+// The 32000-item point keeps the bitmap-vs-per-item crossover of
+// ChooseOverlapPath honest at a universe 4x past the perf anchors.
+BENCHMARK(BM_OverlapCounting)
+    ->Arg(1000)
+    ->Arg(8000)
+    ->Arg(32000)
+    ->Unit(benchmark::kMillisecond);
+
+// The sorted-slot intersection kernel across list sizes and skews.
+// range(0) is the longer list's length, range(1) the length ratio:
+// skew 1 exercises the block-compare SIMD merge, skew >= 32 the
+// galloping path (see ChooseKernel in simjoin/intersect.cc). Lists are
+// sorted unique u32 draws from a universe sized for ~30% match
+// density — the regime the overlap and pairwise layers feed it.
+void BM_SortedIntersect(benchmark::State& state) {
+  const size_t large = static_cast<size_t>(state.range(0));
+  const size_t skew = static_cast<size_t>(state.range(1));
+  const size_t small = std::max<size_t>(1, large / skew);
+  Rng rng(17);
+  const uint32_t universe =
+      static_cast<uint32_t>(large * 10 / 3 + small);
+  auto draw = [&](size_t n) {
+    FlatHashSet seen;
+    std::vector<ItemId> out;
+    out.reserve(n);
+    while (out.size() < n) {
+      uint32_t v = static_cast<uint32_t>(rng.NextBelow(universe));
+      if (seen.Insert(v)) out.push_back(v);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  std::vector<ItemId> a = draw(small);
+  std::vector<ItemId> b = draw(large);
+  for (auto _ : state) {
+    uint32_t size = IntersectSize(a, b);
+    benchmark::DoNotOptimize(size);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(small + large));
+}
+BENCHMARK(BM_SortedIntersect)
+    ->ArgsProduct({{1 << 6, 1 << 10, 1 << 14}, {1, 8, 256}});
 
 void BM_PrefixJoin(benchmark::State& state) {
   WorldInputs inputs(128, 2000);

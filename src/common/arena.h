@@ -1,0 +1,226 @@
+#ifndef COPYDETECT_COMMON_ARENA_H_
+#define COPYDETECT_COMMON_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/flat_hash.h"
+
+namespace copydetect {
+
+/// Bump allocator for per-round scan scratch (pair-state tables,
+/// per-source counters). Allocation is a pointer increment; nothing is
+/// freed individually. Reset() recycles everything at once and — after
+/// a round that spilled into multiple chunks — consolidates the
+/// reservation into a single chunk sized to the observed high-water
+/// mark, so a steady-state round allocates from one warm chunk and
+/// never touches the system allocator.
+///
+/// Only trivially-destructible payloads belong here: Reset() reclaims
+/// memory without running destructors. Instances are not thread-safe;
+/// each scan shard works from its own arena (see Executor::AcquireArena).
+class Arena {
+ public:
+  explicit Arena(size_t initial_bytes = 0) {
+    if (initial_bytes > 0) AddChunk(initial_bytes);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two no
+  /// larger than alignof(std::max_align_t)).
+  void* AllocateBytes(size_t bytes, size_t align) {
+    assert(align > 0 && (align & (align - 1)) == 0);
+    assert(align <= alignof(std::max_align_t));
+    if (bytes == 0) bytes = 1;
+    if (!chunks_.empty()) {
+      Chunk& c = chunks_.back();
+      size_t aligned = (c.used + align - 1) & ~(align - 1);
+      if (aligned + bytes <= c.capacity) {
+        c.used = aligned + bytes;
+        return c.data.get() + aligned;
+      }
+    }
+    // Chunk start is max_align_t-aligned, so no padding needed here.
+    AddChunk(bytes);
+    Chunk& c = chunks_.back();
+    c.used = bytes;
+    return c.data.get();
+  }
+
+  /// Returns an uninitialized array of `count` T. T must be trivially
+  /// destructible (Reset never runs destructors).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is reclaimed without destructors");
+    return static_cast<T*>(AllocateBytes(count * sizeof(T), alignof(T)));
+  }
+
+  /// Recycles all allocations. Keeps a single chunk covering the
+  /// high-water mark of every round so far; a steady-state caller
+  /// therefore reaches malloc only while its working set still grows.
+  void Reset() {
+    size_t used = 0;
+    for (const Chunk& c : chunks_) used += c.used;
+    if (used > high_water_) high_water_ = used;
+    if (chunks_.size() == 1 && chunks_.front().capacity >= high_water_) {
+      chunks_.front().used = 0;
+      return;
+    }
+    chunks_.clear();
+    if (high_water_ > 0) AddChunk(high_water_);
+  }
+
+  /// Bytes handed out since the last Reset (padding included).
+  size_t bytes_used() const {
+    size_t used = 0;
+    for (const Chunk& c : chunks_) used += c.used;
+    return used;
+  }
+
+  /// Total capacity currently reserved from the system allocator.
+  size_t bytes_reserved() const {
+    size_t cap = 0;
+    for (const Chunk& c : chunks_) cap += c.capacity;
+    return cap;
+  }
+
+  size_t num_chunks() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t capacity = 0;
+    size_t used = 0;
+  };
+
+  void AddChunk(size_t min_bytes) {
+    size_t cap = chunks_.empty() ? kMinChunkBytes
+                                 : chunks_.back().capacity * 2;
+    if (cap < min_bytes) cap = min_bytes;
+    Chunk c;
+    // operator new[] on std::byte returns max_align_t-aligned storage;
+    // for_overwrite skips the value-initializing memset.
+    c.data = std::make_unique_for_overwrite<std::byte[]>(cap);
+    c.capacity = cap;
+    chunks_.push_back(std::move(c));
+  }
+
+  static constexpr size_t kMinChunkBytes = size_t{64} << 10;
+
+  std::vector<Chunk> chunks_;
+  size_t high_water_ = 0;
+};
+
+/// FlatHashMap's twin with arena-backed storage, for per-round pair
+/// accumulators. It reproduces FlatHashMap's layout policy EXACTLY —
+/// same Mix64 linear probing, same initial capacity (16), same 3/4
+/// growth threshold, same doubling — so an identical insertion sequence
+/// yields an identical table layout and therefore an identical ForEach
+/// order. The sharded scans rely on this: their finalize pass walks the
+/// table in storage order, and downstream results (and snapshot bytes)
+/// must match the FlatHashMap-era output bit for bit. Change one policy
+/// only in lockstep with the other (see common/flat_hash.h).
+///
+/// Growth abandons the old arrays inside the arena; the waste is
+/// bounded by the final table size and reclaimed wholesale at Reset.
+template <typename V>
+class ArenaHashMap {
+ public:
+  static constexpr uint64_t kEmptyKey = ~0ULL;
+
+  static_assert(std::is_trivially_destructible_v<V>,
+                "values live in arena storage");
+
+  explicit ArenaHashMap(Arena* arena) : arena_(arena) { RehashTo(16); }
+
+  ArenaHashMap(const ArenaHashMap&) = delete;
+  ArenaHashMap& operator=(const ArenaHashMap&) = delete;
+
+  /// Returns the value slot for `key`, inserting a default-constructed
+  /// value when absent.
+  V& operator[](uint64_t key) {
+    assert(key != kEmptyKey);
+    if ((size_ + 1) * 4 >= capacity_ * 3) RehashTo(capacity_ * 2);
+    size_t i = Probe(key);
+    if (keys_[i] == kEmptyKey) {
+      keys_[i] = key;
+      ++size_;
+    }
+    return values_[i];
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr when absent.
+  V* Find(uint64_t key) {
+    size_t i = Probe(key);
+    return keys_[i] == key ? &values_[i] : nullptr;
+  }
+  const V* Find(uint64_t key) const {
+    size_t i = Probe(key);
+    return keys_[i] == key ? &values_[i] : nullptr;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visits every (key, value&) pair in storage order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (keys_[i] != kEmptyKey) fn(keys_[i], values_[i]);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (keys_[i] != kEmptyKey) fn(keys_[i], values_[i]);
+    }
+  }
+
+ private:
+  size_t Probe(uint64_t key) const {
+    size_t mask = capacity_ - 1;
+    size_t i = static_cast<size_t>(Mix64(key)) & mask;
+    while (keys_[i] != kEmptyKey && keys_[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void RehashTo(size_t new_cap) {
+    uint64_t* old_keys = keys_;
+    V* old_values = values_;
+    size_t old_cap = capacity_;
+    keys_ = arena_->AllocateArray<uint64_t>(new_cap);
+    values_ = arena_->AllocateArray<V>(new_cap);
+    capacity_ = new_cap;
+    size_ = 0;
+    for (size_t i = 0; i < new_cap; ++i) {
+      keys_[i] = kEmptyKey;
+      new (&values_[i]) V();
+    }
+    for (size_t i = 0; i < old_cap; ++i) {
+      if (old_keys[i] != kEmptyKey) {
+        size_t j = Probe(old_keys[i]);
+        keys_[j] = old_keys[i];
+        values_[j] = old_values[i];
+        ++size_;
+      }
+    }
+  }
+
+  Arena* arena_;
+  uint64_t* keys_ = nullptr;
+  V* values_ = nullptr;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_COMMON_ARENA_H_

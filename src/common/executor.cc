@@ -14,9 +14,46 @@ Executor::Executor(size_t num_threads) {
   if (num_threads_ > 1) {
     pool_ = std::make_unique<ThreadPool>(num_threads_);
   }
+  arenas_.resize(num_threads_);
+  arena_claimed_ =
+      std::make_unique<std::atomic<bool>[]>(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
+    arena_claimed_[i].store(false, std::memory_order_relaxed);
+  }
 }
 
 Executor::~Executor() = default;
+
+ArenaLease Executor::AcquireArena(size_t shard) {
+  size_t slot = shard % num_threads_;
+  bool expected = false;
+  if (arena_claimed_[slot].compare_exchange_strong(
+          expected, true, std::memory_order_acquire)) {
+    // Arenas materialize on first claim; the claim flag also orders
+    // this lazy construction between successive lease holders.
+    if (arenas_[slot] == nullptr) {
+      arenas_[slot] = std::make_unique<Arena>();
+    }
+    return ArenaLease(arenas_[slot].get(), this, slot);
+  }
+  return ArenaLease(std::make_unique<Arena>());
+}
+
+void Executor::ReleaseArena(size_t slot) {
+  arena_claimed_[slot].store(false, std::memory_order_release);
+}
+
+ArenaLease::~ArenaLease() {
+  if (owner_ != nullptr) {
+    arena_->Reset();
+    owner_->ReleaseArena(slot_);
+  }
+}
+
+ArenaLease AcquireArena(Executor* executor, size_t shard) {
+  if (executor != nullptr) return executor->AcquireArena(shard);
+  return ArenaLease(std::make_unique<Arena>());
+}
 
 void Executor::ParallelFor(size_t n,
                            const std::function<void(size_t)>& fn) {

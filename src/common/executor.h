@@ -1,13 +1,58 @@
 #ifndef COPYDETECT_COMMON_EXECUTOR_H_
 #define COPYDETECT_COMMON_EXECUTOR_H_
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <vector>
 
+#include "common/arena.h"
 #include "common/thread_pool.h"
 
 namespace copydetect {
+
+class Executor;
+
+/// Exclusive, RAII handle on a scratch Arena for the duration of one
+/// scan shard. Usually it wraps one of the Executor's persistent
+/// per-worker arenas — warm chunks that survive from round to round, so
+/// steady-state shards never reach the system allocator. When no
+/// executor is available, or the preferred slot is already claimed by a
+/// concurrently running ParallelFor, the lease owns a private heap
+/// arena instead; callers see the same interface either way. Release
+/// Reset()s the arena (consolidating its chunks) and reopens the slot.
+class ArenaLease {
+ public:
+  ArenaLease(ArenaLease&& other) noexcept
+      : arena_(other.arena_), owner_(other.owner_), slot_(other.slot_),
+        owned_(std::move(other.owned_)) {
+    other.arena_ = nullptr;
+    other.owner_ = nullptr;
+  }
+  ArenaLease& operator=(ArenaLease&&) = delete;
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+  ~ArenaLease();
+
+  Arena* get() const { return arena_; }
+  Arena& operator*() const { return *arena_; }
+  Arena* operator->() const { return arena_; }
+
+ private:
+  friend class Executor;
+  friend ArenaLease AcquireArena(Executor* executor, size_t shard);
+
+  ArenaLease(Arena* arena, Executor* owner, size_t slot)
+      : arena_(arena), owner_(owner), slot_(slot) {}
+  explicit ArenaLease(std::unique_ptr<Arena> owned)
+      : arena_(owned.get()), owned_(std::move(owned)) {}
+
+  Arena* arena_;
+  Executor* owner_ = nullptr;  // null for privately owned arenas
+  size_t slot_ = 0;
+  std::unique_ptr<Arena> owned_;
+};
 
 /// Shared execution backend for every parallel path in the engine: one
 /// persistent ThreadPool reused by all detectors and the fusion loop
@@ -41,9 +86,21 @@ class Executor {
   /// unless serial().
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Leases the persistent scratch arena for `shard` (mod num_threads).
+  /// Falls back to a private heap arena when that slot is held by an
+  /// overlapping ParallelFor from another thread — exclusivity is
+  /// per-lease, so the scan code never shares bump-allocator state.
+  ArenaLease AcquireArena(size_t shard);
+
  private:
+  friend class ArenaLease;
+
+  void ReleaseArena(size_t slot);
+
   size_t num_threads_;
   std::unique_ptr<ThreadPool> pool_;  // null in serial mode
+  std::vector<std::unique_ptr<Arena>> arenas_;
+  std::unique_ptr<std::atomic<bool>[]> arena_claimed_;
 };
 
 /// Convenience for call sites holding a nullable handle: runs on
@@ -56,6 +113,10 @@ inline void ParallelFor(Executor* executor, size_t n,
     for (size_t i = 0; i < n; ++i) fn(i);
   }
 }
+
+/// Nullable-handle counterpart of Executor::AcquireArena: a private
+/// heap arena when no executor is present.
+ArenaLease AcquireArena(Executor* executor, size_t shard);
 
 }  // namespace copydetect
 

@@ -52,21 +52,17 @@ Posteriors DirectionPosteriors(double c_fwd, double c_bwd,
   return out;
 }
 
-double MaxEntryContribution(std::span<const double> accuracies, double p,
-                            const DetectionParams& params) {
-  assert(accuracies.size() >= 2);
-  // Prop. 3.1 observes that the maximizing pair uses extreme provider
-  // accuracies. We implement the complete extreme-point argument (which
-  // subsumes the paper's three-case split and is robust at its case
-  // boundaries): Eq. 6's ratio is linear-over-linear in each accuracy
-  // with a positive denominator, hence monotone in each argument, so
-  // the maximizer has a1 ∈ {min, max} and a2 an extreme of the
-  // remaining multiset. Four candidate evaluations suffice.
+namespace {
+
+/// Accuracy extremes of a provider multiset — the only values the
+/// Prop. 3.1 maximizer can use.
+struct AccuracyExtremes {
   double a_min = 2.0;
   double a_secmin = 2.0;
   double a_max = -1.0;
   double a_secmax = -1.0;
-  for (double a : accuracies) {
+
+  void Observe(double a) {
     if (a <= a_min) {
       a_secmin = a_min;
       a_min = a;
@@ -80,6 +76,45 @@ double MaxEntryContribution(std::span<const double> accuracies, double p,
       a_secmax = a;
     }
   }
+};
+
+double MaxEntryFromExtremes(const AccuracyExtremes& ex, double p,
+                            const DetectionParams& params);
+
+}  // namespace
+
+double MaxEntryContribution(std::span<const double> accuracies, double p,
+                            const DetectionParams& params) {
+  assert(accuracies.size() >= 2);
+  // Prop. 3.1 observes that the maximizing pair uses extreme provider
+  // accuracies. We implement the complete extreme-point argument (which
+  // subsumes the paper's three-case split and is robust at its case
+  // boundaries): Eq. 6's ratio is linear-over-linear in each accuracy
+  // with a positive denominator, hence monotone in each argument, so
+  // the maximizer has a1 ∈ {min, max} and a2 an extreme of the
+  // remaining multiset. Four candidate evaluations suffice.
+  AccuracyExtremes ex;
+  for (double a : accuracies) ex.Observe(a);
+  return MaxEntryFromExtremes(ex, p, params);
+}
+
+double MaxEntryContribution(std::span<const SourceId> providers,
+                            std::span<const double> accuracies, double p,
+                            const DetectionParams& params) {
+  assert(providers.size() >= 2);
+  AccuracyExtremes ex;
+  for (SourceId s : providers) ex.Observe(accuracies[s]);
+  return MaxEntryFromExtremes(ex, p, params);
+}
+
+namespace {
+
+double MaxEntryFromExtremes(const AccuracyExtremes& ex, double p,
+                            const DetectionParams& params) {
+  const double a_min = ex.a_min;
+  const double a_secmin = ex.a_secmin;
+  const double a_max = ex.a_max;
+  const double a_secmax = ex.a_secmax;
 
   p = ClampProbability(p);
   // Each argument of the optimum is an extreme of the provider multiset
@@ -102,6 +137,8 @@ double MaxEntryContribution(std::span<const double> accuracies, double p,
   best_r = std::max(best_r, ratio(a_secmax, a_max));
   return std::log(1.0 - params.s + params.s * best_r);
 }
+
+}  // namespace
 
 double BruteForceMaxEntryContribution(std::span<const double> accuracies,
                                       double p,

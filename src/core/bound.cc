@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/arena.h"
 #include "common/executor.h"
 #include "core/bayes.h"
 #include "core/sharded_scan.h"
@@ -49,7 +50,7 @@ void ScanShard(const InvertedIndex& index, const DetectionInput& in,
                const DetectionParams& params, const ScanConfig& config,
                const OverlapCounts& overlaps, size_t shard,
                size_t num_shards, Counters* counters, CopyResult* out,
-               ScanBookkeeping* book) {
+               ScanBookkeeping* book, Arena* arena) {
   const Dataset& data = *in.data;
   const std::vector<double>& accs = *in.accuracies;
 
@@ -57,8 +58,13 @@ void ScanShard(const InvertedIndex& index, const DetectionInput& in,
   const double theta_cp = params.theta_cp();
   const double theta_ind = params.theta_ind();
 
-  FlatHashMap<ScanState> pairs;
-  std::vector<uint32_t> n_src(data.num_sources(), 0);
+  // Round scratch — the pair-state table and the per-source counts —
+  // comes from the shard's leased arena, which retains its chunks
+  // between rounds. ArenaHashMap replicates FlatHashMap's layout, so
+  // the finalize walk keeps its pre-arena visit order.
+  ArenaHashMap<ScanState> pairs(arena);
+  uint32_t* n_src = arena->AllocateArray<uint32_t>(data.num_sources());
+  std::fill(n_src, n_src + data.num_sources(), 0u);
 
   for (size_t rank = 0; rank < index.num_entries(); ++rank) {
     if (shard == 0) ++counters->entries_scanned;
@@ -251,10 +257,10 @@ Status BoundedScan(const DetectionInput& in, const DetectionParams& params,
   Executor* executor = book == nullptr ? params.executor : nullptr;
   RunShardedScan(executor, counters, out,
                  [&](size_t shard, size_t num_shards, Counters* c,
-                     CopyResult* o) {
+                     CopyResult* o, Arena* arena) {
                    ScanShard(index, in, params, config, overlaps, shard,
                              num_shards, c, o,
-                             num_shards == 1 ? book : nullptr);
+                             num_shards == 1 ? book : nullptr, arena);
                  });
 
   if (extras != nullptr && extras->keep_index) {

@@ -2,6 +2,7 @@
 
 #include "core/detector_registry.h"
 
+#include "common/arena.h"
 #include "common/executor.h"
 #include "core/bayes.h"
 #include "core/sharded_scan.h"
@@ -26,8 +27,12 @@ struct IndexPairState {
 void ScanShard(const InvertedIndex& index, const std::vector<double>& accs,
                const DetectionParams& params,
                const OverlapCounts& overlaps, size_t shard,
-               size_t num_shards, Counters* counters, CopyResult* out) {
-  FlatHashMap<IndexPairState> pairs;
+               size_t num_shards, Counters* counters, CopyResult* out,
+               Arena* arena) {
+  // The pair table lives in the shard's leased arena; ArenaHashMap
+  // mirrors FlatHashMap's layout policy, so the finalize walk below
+  // visits pairs in the exact pre-arena order.
+  ArenaHashMap<IndexPairState> pairs(arena);
 
   // Steps 1-2: scan entries in order; head entries create state, tail
   // entries only update pairs already seen.
@@ -113,9 +118,9 @@ Status IndexScan(const DetectionInput& in, const DetectionParams& params,
 
   RunShardedScan(executor, counters, out,
                  [&](size_t shard, size_t num_shards, Counters* c,
-                     CopyResult* o) {
+                     CopyResult* o, Arena* arena) {
                    ScanShard(index, accs, params, overlaps, shard,
-                             num_shards, c, o);
+                             num_shards, c, o, arena);
                  });
   return Status::OK();
 }

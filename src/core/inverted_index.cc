@@ -15,12 +15,11 @@ namespace {
 
 double EntryScore(const Dataset& data, SlotId slot, double probability,
                   const std::vector<double>& accuracies,
-                  const DetectionParams& params,
-                  std::vector<double>* scratch) {
-  std::span<const SourceId> providers = data.providers(slot);
-  scratch->clear();
-  for (SourceId s : providers) scratch->push_back(accuracies[s]);
-  return MaxEntryContribution(*scratch, probability, params);
+                  const DetectionParams& params) {
+  // The provider-batched overload reads accuracies through the
+  // provider list directly — no per-entry copy.
+  return MaxEntryContribution(data.providers(slot), accuracies,
+                              probability, params);
 }
 
 }  // namespace
@@ -52,15 +51,13 @@ StatusOr<InvertedIndex> InvertedIndex::Build(const DetectionInput& in,
   watch.Start();
 
   const Dataset& data = *in.data;
-  std::vector<double> scratch;
   index.entries_.reserve(data.num_slots() / 2);
   for (SlotId v = 0; v < data.num_slots(); ++v) {
     if (data.providers(v).size() < 2) continue;
     IndexEntry e;
     e.slot = v;
     e.probability = (*in.value_probs)[v];
-    e.score =
-        EntryScore(data, v, e.probability, *in.accuracies, params, &scratch);
+    e.score = EntryScore(data, v, e.probability, *in.accuracies, params);
     index.entries_.push_back(e);
   }
 
@@ -159,7 +156,6 @@ StatusOr<InvertedIndex> InvertedIndex::Rebase(
 
   // Touched entries: rescored from the new snapshot.
   std::vector<IndexEntry> touched;
-  std::vector<double> scratch;
   for (ItemId item : summary.touched_items) {
     for (SlotId v = data.slot_begin(item); v < data.slot_end(item);
          ++v) {
@@ -167,8 +163,7 @@ StatusOr<InvertedIndex> InvertedIndex::Rebase(
       IndexEntry e;
       e.slot = v;
       e.probability = probs[v];
-      e.score =
-          EntryScore(data, v, e.probability, accs, params, &scratch);
+      e.score = EntryScore(data, v, e.probability, accs, params);
       touched.push_back(e);
     }
   }
@@ -242,11 +237,10 @@ StatusOr<InvertedIndex> InvertedIndex::FromParts(
 
 void InvertedIndex::Rescore(const DetectionInput& in,
                             const DetectionParams& params) {
-  std::vector<double> scratch;
   for (IndexEntry& e : entries_) {
     e.probability = (*in.value_probs)[e.slot];
     e.score = EntryScore(*data_, e.slot, e.probability, *in.accuracies,
-                         params, &scratch);
+                         params);
   }
 }
 

@@ -39,6 +39,12 @@ class PairwiseDetector : public CopyDetector {
 
  private:
   uint64_t last_reused_pairs_ = 0;
+
+  // Round-to-round scratch for the dense pair layout (item bitmaps +
+  // per-source slot tables, see DetectRound). Detector-owned so the
+  // steady state allocates nothing per round.
+  std::vector<uint64_t> bits_;
+  std::vector<SlotId> slot_of_;
 };
 
 }  // namespace copydetect

@@ -1,0 +1,506 @@
+#include "simjoin/intersect.h"
+
+#include <algorithm>
+#include <bit>
+
+// The vector kernels are x86-only and compiled out entirely on the
+// portable leg (-DCOPYDETECT_NO_SIMD=ON) — the dispatcher then only
+// ever sees the scalar and galloping paths.
+#if defined(__x86_64__) && !defined(COPYDETECT_NO_SIMD)
+#define COPYDETECT_INTERSECT_X86 1
+#include <immintrin.h>
+#else
+#define COPYDETECT_INTERSECT_X86 0
+#endif
+
+namespace copydetect {
+
+namespace intersect_internal {
+
+namespace {
+
+/// Forced kernel for differential tests; kAuto in production.
+Kernel g_forced = Kernel::kAuto;
+
+enum class SimdLevel { kNone, kSse2, kAvx2 };
+
+SimdLevel DetectSimdLevel() {
+#if COPYDETECT_INTERSECT_X86
+  return __builtin_cpu_supports("avx2") ? SimdLevel::kAvx2
+                                        : SimdLevel::kSse2;
+#else
+  return SimdLevel::kNone;
+#endif
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = DetectSimdLevel();
+  return level;
+}
+
+/// First index >= `pos` with large[index] >= x, by exponential probe
+/// then binary search — O(log distance) instead of O(distance).
+size_t GallopLowerBound(std::span<const uint32_t> large, size_t pos,
+                        uint32_t x) {
+  const size_t n = large.size();
+  size_t lo = pos;
+  size_t hi = pos;
+  size_t step = 1;
+  while (hi < n && large[hi] < x) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  if (hi > n) hi = n;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (large[mid] < x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+uint32_t SizeScalar(std::span<const uint32_t> a,
+                    std::span<const uint32_t> b) {
+  uint32_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+size_t IndicesScalar(std::span<const uint32_t> a,
+                     std::span<const uint32_t> b, IntersectMatch* out) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out[count].i = static_cast<uint32_t>(i);
+      out[count].j = static_cast<uint32_t>(j);
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint32_t SizeGalloping(std::span<const uint32_t> a,
+                       std::span<const uint32_t> b) {
+  // Walk the shorter list, gallop in the longer one.
+  if (a.size() > b.size()) return SizeGalloping(b, a);
+  if (a.empty() || b.empty()) return 0;
+  uint32_t count = 0;
+  size_t pos = 0;
+  for (uint32_t x : a) {
+    pos = GallopLowerBound(b, pos, x);
+    if (pos == b.size()) break;
+    if (b[pos] == x) {
+      ++count;
+      ++pos;
+    }
+  }
+  return count;
+}
+
+size_t IndicesGalloping(std::span<const uint32_t> a,
+                        std::span<const uint32_t> b,
+                        IntersectMatch* out) {
+  // Positions are side-specific, so both orientations are spelled out
+  // instead of the SizeGalloping self-swap.
+  size_t count = 0;
+  if (a.size() <= b.size()) {
+    size_t pos = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      pos = GallopLowerBound(b, pos, a[i]);
+      if (pos == b.size()) break;
+      if (b[pos] == a[i]) {
+        out[count].i = static_cast<uint32_t>(i);
+        out[count].j = static_cast<uint32_t>(pos);
+        ++count;
+        ++pos;
+      }
+    }
+  } else {
+    size_t pos = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      pos = GallopLowerBound(a, pos, b[j]);
+      if (pos == a.size()) break;
+      if (a[pos] == b[j]) {
+        out[count].i = static_cast<uint32_t>(pos);
+        out[count].j = static_cast<uint32_t>(j);
+        ++count;
+        ++pos;
+      }
+    }
+  }
+  return count;
+}
+
+#if COPYDETECT_INTERSECT_X86
+
+namespace {
+
+// Block-compare kernels (Schlegel/Katsov style): compare a W-wide
+// block of `a` against every cyclic rotation of a W-wide block of
+// `b`, then advance whichever block has the smaller maximum (both on
+// a tie). Strict ascending order makes every match unique, so
+// counting set lanes of the OR-ed compare mask counts matches
+// exactly. The scalar tail finishes whatever the blocks left.
+
+uint32_t SizeSse2Impl(std::span<const uint32_t> a,
+                      std::span<const uint32_t> b) {
+  const size_t an = a.size();
+  const size_t bn = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  uint32_t count = 0;
+  while (i + 4 <= an && j + 4 <= bn) {
+    __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.data() + i));
+    __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.data() + j));
+    __m128i cmp = _mm_cmpeq_epi32(va, vb);
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(
+                 va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(
+                 va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(
+                 va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    count += static_cast<uint32_t>(
+        std::popcount(static_cast<unsigned>(
+            _mm_movemask_ps(_mm_castsi128_ps(cmp)))));
+    uint32_t amax = a[i + 3];
+    uint32_t bmax = b[j + 3];
+    if (amax <= bmax) i += 4;
+    if (bmax <= amax) j += 4;
+  }
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) uint32_t SizeAvx2Impl(
+    std::span<const uint32_t> a, std::span<const uint32_t> b) {
+  const size_t an = a.size();
+  const size_t bn = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  uint32_t count = 0;
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  const __m256i rot2 = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+  const __m256i rot3 = _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2);
+  const __m256i rot4 = _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3);
+  const __m256i rot5 = _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4);
+  const __m256i rot6 = _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5);
+  const __m256i rot7 = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+  while (i + 8 <= an && j + 8 <= bn) {
+    __m256i va = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a.data() + i));
+    __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b.data() + j));
+    __m256i cmp = _mm256_cmpeq_epi32(va, vb);
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot1)));
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot2)));
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot3)));
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot4)));
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot5)));
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot6)));
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot7)));
+    count += static_cast<uint32_t>(
+        std::popcount(static_cast<unsigned>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(cmp)))));
+    uint32_t amax = a[i + 7];
+    uint32_t bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  return count + SizeScalar(a.subspan(i), b.subspan(j));
+}
+
+/// Emits the matches of one W-wide `a` block from its compare mask:
+/// lane k of the mask says a[i + k] matched somewhere in the current
+/// `b` block, and the partner is found by a tiny scan (both blocks
+/// are in cache; matches are the rare case). Lanes ascend, so output
+/// order stays ascending in both coordinates.
+template <size_t W>
+size_t EmitBlockMatches(std::span<const uint32_t> a,
+                        std::span<const uint32_t> b, size_t i, size_t j,
+                        unsigned mask, IntersectMatch* out) {
+  size_t count = 0;
+  while (mask != 0) {
+    unsigned k = static_cast<unsigned>(std::countr_zero(mask));
+    mask &= mask - 1;
+    uint32_t x = a[i + k];
+    for (size_t t = 0; t < W; ++t) {
+      if (b[j + t] == x) {
+        out[count].i = static_cast<uint32_t>(i + k);
+        out[count].j = static_cast<uint32_t>(j + t);
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+size_t IndicesSse2Impl(std::span<const uint32_t> a,
+                       std::span<const uint32_t> b, IntersectMatch* out) {
+  const size_t an = a.size();
+  const size_t bn = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i + 4 <= an && j + 4 <= bn) {
+    __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.data() + i));
+    __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.data() + j));
+    __m128i cmp = _mm_cmpeq_epi32(va, vb);
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(
+                 va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(
+                 va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    cmp = _mm_or_si128(
+        cmp, _mm_cmpeq_epi32(
+                 va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    unsigned mask = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(cmp)));
+    if (mask != 0) {
+      count += EmitBlockMatches<4>(a, b, i, j, mask, out + count);
+    }
+    uint32_t amax = a[i + 3];
+    uint32_t bmax = b[j + 3];
+    if (amax <= bmax) i += 4;
+    if (bmax <= amax) j += 4;
+  }
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out[count].i = static_cast<uint32_t>(i);
+      out[count].j = static_cast<uint32_t>(j);
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) size_t IndicesAvx2Impl(
+    std::span<const uint32_t> a, std::span<const uint32_t> b,
+    IntersectMatch* out) {
+  const size_t an = a.size();
+  const size_t bn = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  const __m256i rot2 = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+  const __m256i rot3 = _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2);
+  const __m256i rot4 = _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3);
+  const __m256i rot5 = _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4);
+  const __m256i rot6 = _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5);
+  const __m256i rot7 = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+  while (i + 8 <= an && j + 8 <= bn) {
+    __m256i va = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a.data() + i));
+    __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b.data() + j));
+    __m256i cmp = _mm256_cmpeq_epi32(va, vb);
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot1)));
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot2)));
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot3)));
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot4)));
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot5)));
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot6)));
+    cmp = _mm256_or_si256(
+        cmp,
+        _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot7)));
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(cmp)));
+    if (mask != 0) {
+      count += EmitBlockMatches<8>(a, b, i, j, mask, out + count);
+    }
+    uint32_t amax = a[i + 7];
+    uint32_t bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  while (i < an && j < bn) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out[count].i = static_cast<uint32_t>(i);
+      out[count].j = static_cast<uint32_t>(j);
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+#endif  // COPYDETECT_INTERSECT_X86
+
+uint32_t SizeSimd(std::span<const uint32_t> a,
+                  std::span<const uint32_t> b) {
+#if COPYDETECT_INTERSECT_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return SizeAvx2Impl(a, b);
+  return SizeSse2Impl(a, b);
+#else
+  return SizeScalar(a, b);
+#endif
+}
+
+size_t IndicesSimd(std::span<const uint32_t> a,
+                   std::span<const uint32_t> b, IntersectMatch* out) {
+#if COPYDETECT_INTERSECT_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    return IndicesAvx2Impl(a, b, out);
+  }
+  return IndicesSse2Impl(a, b, out);
+#else
+  return IndicesScalar(a, b, out);
+#endif
+}
+
+bool SimdAvailable() { return ActiveSimdLevel() != SimdLevel::kNone; }
+
+void ForceKernelForTest(Kernel kernel) { g_forced = kernel; }
+
+namespace {
+
+/// Skew beyond which galloping the longer list beats merging, and the
+/// minimum block size below which the SIMD setup cost is not repaid.
+constexpr size_t kGallopSkew = 32;
+constexpr size_t kSimdMinLength = 16;
+
+Kernel ChooseKernel(size_t an, size_t bn) {
+  if (g_forced != Kernel::kAuto) return g_forced;
+  size_t small = std::min(an, bn);
+  size_t large = std::max(an, bn);
+  if (small < kSimdMinLength) {
+    return small * kGallopSkew < large ? Kernel::kGalloping
+                                       : Kernel::kScalar;
+  }
+  if (small * kGallopSkew < large) return Kernel::kGalloping;
+  return SimdAvailable() ? Kernel::kSimd : Kernel::kScalar;
+}
+
+}  // namespace
+
+}  // namespace intersect_internal
+
+uint32_t IntersectSize(std::span<const uint32_t> a,
+                       std::span<const uint32_t> b) {
+  using namespace intersect_internal;
+  switch (ChooseKernel(a.size(), b.size())) {
+    case Kernel::kGalloping:
+      return SizeGalloping(a, b);
+    case Kernel::kSimd:
+      return SizeSimd(a, b);
+    case Kernel::kScalar:
+    case Kernel::kAuto:
+      break;
+  }
+  return SizeScalar(a, b);
+}
+
+size_t IntersectIndices(std::span<const uint32_t> a,
+                        std::span<const uint32_t> b,
+                        IntersectMatch* out) {
+  using namespace intersect_internal;
+  switch (ChooseKernel(a.size(), b.size())) {
+    case Kernel::kGalloping:
+      return IndicesGalloping(a, b, out);
+    case Kernel::kSimd:
+      return IndicesSimd(a, b, out);
+    case Kernel::kScalar:
+    case Kernel::kAuto:
+      break;
+  }
+  return IndicesScalar(a, b, out);
+}
+
+std::string_view IntersectKernelName() {
+  using namespace intersect_internal;
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kNone:
+      break;
+  }
+  return "portable";
+}
+
+}  // namespace copydetect

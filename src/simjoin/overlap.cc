@@ -1,11 +1,13 @@
 #include "simjoin/overlap.h"
 
 #include <algorithm>
+#include <bit>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "model/dataset.h"
+#include "simjoin/intersect.h"
 
 namespace copydetect {
 
@@ -35,11 +37,18 @@ size_t OverlapCounts::NumPositivePairs() const {
 
 namespace {
 
-/// The process-wide generation -> counts publications.
+/// The process-wide generation -> counts publications. Publications
+/// are reference-counted: two sessions serving the same generation
+/// each publish and each withdraw, and the entry must outlive the
+/// first withdrawal (see SharedOverlaps::Publish).
 struct SharedOverlapsRegistry {
+  struct Entry {
+    std::shared_ptr<const OverlapCounts> counts;
+    size_t publishers = 0;
+  };
+
   std::mutex mu;
-  std::unordered_map<uint64_t, std::shared_ptr<const OverlapCounts>>
-      published;
+  std::unordered_map<uint64_t, Entry> published;
 
   static SharedOverlapsRegistry& Instance() {
     static SharedOverlapsRegistry* registry = new SharedOverlapsRegistry;
@@ -53,7 +62,13 @@ void SharedOverlaps::Publish(
     uint64_t generation, std::shared_ptr<const OverlapCounts> counts) {
   SharedOverlapsRegistry& registry = SharedOverlapsRegistry::Instance();
   std::lock_guard<std::mutex> lock(registry.mu);
-  registry.published[generation] = std::move(counts);
+  auto& entry = registry.published[generation];
+  ++entry.publishers;
+  if (entry.counts == nullptr) {
+    // First publisher wins; a generation's counts are immutable, so
+    // any subsequent publication necessarily holds equal counts.
+    entry.counts = std::move(counts);
+  }
 }
 
 std::shared_ptr<const OverlapCounts> SharedOverlaps::Lookup(
@@ -61,13 +76,21 @@ std::shared_ptr<const OverlapCounts> SharedOverlaps::Lookup(
   SharedOverlapsRegistry& registry = SharedOverlapsRegistry::Instance();
   std::lock_guard<std::mutex> lock(registry.mu);
   auto it = registry.published.find(generation);
-  return it == registry.published.end() ? nullptr : it->second;
+  return it == registry.published.end() ? nullptr : it->second.counts;
 }
 
 void SharedOverlaps::Withdraw(uint64_t generation) {
   SharedOverlapsRegistry& registry = SharedOverlapsRegistry::Instance();
   std::lock_guard<std::mutex> lock(registry.mu);
-  registry.published.erase(generation);
+  auto it = registry.published.find(generation);
+  if (it == registry.published.end()) return;
+  if (--it->second.publishers == 0) registry.published.erase(it);
+}
+
+size_t SharedOverlaps::NumPublished() {
+  SharedOverlapsRegistry& registry = SharedOverlapsRegistry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.published.size();
 }
 
 const OverlapCounts& OverlapCache::Get(const Dataset& data) {
@@ -90,18 +113,48 @@ void OverlapCache::Clear() {
 
 namespace {
 
-/// Adds `delta` (+1/-1) to every provider pair of one item.
-template <typename Adjust>
-void ForItemPairs(const Dataset& data, ItemId item, Adjust&& adjust) {
-  std::span<const SourceId> span = data.item_providers(item);
-  if (span.size() < 2) return;
-  // The per-slot lists are sorted but the concatenation across slots
-  // is not; pair keys normalize order, so no sort is needed here.
-  for (size_t i = 0; i + 1 < span.size(); ++i) {
-    for (size_t j = i + 1; j < span.size(); ++j) {
-      adjust(span[i], span[j]);
+/// Work estimate of the per-item counting path: one increment per
+/// provider pair per item.
+size_t PerItemPairCost(const Dataset& data) {
+  size_t cost = 0;
+  for (ItemId d = 0; d < data.num_items(); ++d) {
+    size_t p = data.item_providers(d).size();
+    cost += p * (p - 1) / 2;
+  }
+  return cost;
+}
+
+/// Which formulation ComputeOverlaps runs. All three produce the same
+/// integer counts; only the memory traffic differs.
+enum class OverlapPath { kPerItem, kBitmap, kPairwise };
+
+/// Memory ceiling for the per-source item bitmaps (kBitmap).
+constexpr size_t kBitmapByteBudget = size_t{64} << 20;
+
+/// Picks the cheapest formulation. Unit costs are rough relative
+/// cycle weights: a bitmap word AND+popcount streams at ~1, a dense
+/// random increment is a read-modify-write (~2), a vector merge
+/// element-advance ~1 (or ~3 scalar on the portable build).
+OverlapPath ChooseOverlapPath(const Dataset& data, bool dense_mode) {
+  const size_t n = data.num_sources();
+  if (!dense_mode || n < 2) return OverlapPath::kPerItem;
+  const size_t pairs = n * (n - 1) / 2;
+  const size_t words = (data.num_items() + 63) / 64;
+  const size_t peritem_cost = 2 * PerItemPairCost(data);
+  size_t best = peritem_cost;
+  OverlapPath path = OverlapPath::kPerItem;
+  if (n * words * 8 <= kBitmapByteBudget) {
+    size_t bitmap_cost = pairs * words + data.num_observations();
+    if (bitmap_cost < best) {
+      best = bitmap_cost;
+      path = OverlapPath::kBitmap;
     }
   }
+  size_t merge_steps = (n - 1) * data.num_observations();
+  size_t pairwise_cost =
+      intersect_internal::SimdAvailable() ? merge_steps : 3 * merge_steps;
+  if (pairwise_cost < best) path = OverlapPath::kPairwise;
+  return path;
 }
 
 }  // namespace
@@ -109,11 +162,60 @@ void ForItemPairs(const Dataset& data, ItemId item, Adjust&& adjust) {
 OverlapCounts ComputeOverlaps(const Dataset& data,
                               size_t dense_threshold) {
   OverlapCounts out;
-  out.num_sources_ = static_cast<SourceId>(data.num_sources());
-  out.dense_mode_ = data.num_sources() <= dense_threshold;
+  const size_t n = data.num_sources();
+  out.num_sources_ = static_cast<SourceId>(n);
+  out.dense_mode_ = n <= dense_threshold;
   if (out.dense_mode_) {
-    size_t n = data.num_sources();
     out.dense_.assign(n * (n - 1) / 2, 0);
+  }
+
+  // Three equivalent formulations (counts are integers, so the choice
+  // can never change a result):
+  //  * per item: every provider pair of every item gets +1 — cheap
+  //    when overlaps are sparse, and the only option in sparse mode
+  //    (it never touches a pair that does not overlap);
+  //  * bitmap: one item-bitmap per source, l(a,b) = popcount(A & B)
+  //    — unbeatable for small dense universes where the bitmaps fit
+  //    in cache;
+  //  * per pair: l(a,b) = |items_of(a) ∩ items_of(b)| via the sorted
+  //    intersection kernel — for dense universes whose bitmaps would
+  //    blow the byte budget.
+  switch (ChooseOverlapPath(data, out.dense_mode_)) {
+    case OverlapPath::kBitmap: {
+      const size_t words = (data.num_items() + 63) / 64;
+      std::vector<uint64_t> bits(n * words, 0);
+      for (SourceId s = 0; s < n; ++s) {
+        uint64_t* row = bits.data() + s * words;
+        for (ItemId d : data.items_of(s)) {
+          row[d >> 6] |= uint64_t{1} << (d & 63);
+        }
+      }
+      for (SourceId a = 0; a + 1 < n; ++a) {
+        const uint64_t* ra = bits.data() + a * words;
+        for (SourceId b = a + 1; b < n; ++b) {
+          const uint64_t* rb = bits.data() + b * words;
+          uint32_t c = 0;
+          for (size_t w = 0; w < words; ++w) {
+            c += static_cast<uint32_t>(std::popcount(ra[w] & rb[w]));
+          }
+          if (c > 0) out.dense_[out.DenseIndex(a, b)] = c;
+        }
+      }
+      return out;
+    }
+    case OverlapPath::kPairwise: {
+      for (SourceId a = 0; a + 1 < n; ++a) {
+        std::span<const ItemId> items_a = data.items_of(a);
+        if (items_a.empty()) continue;
+        for (SourceId b = a + 1; b < n; ++b) {
+          uint32_t c = IntersectSize(items_a, data.items_of(b));
+          if (c > 0) out.dense_[out.DenseIndex(a, b)] = c;
+        }
+      }
+      return out;
+    }
+    case OverlapPath::kPerItem:
+      break;
   }
 
   // Reusable scratch for the per-item provider list (sorted).
@@ -140,6 +242,84 @@ OverlapCounts ComputeOverlaps(const Dataset& data,
   return out;
 }
 
+namespace {
+
+/// Scratch for one UpdateOverlaps call, reused across touched items.
+struct UpdateScratch {
+  std::vector<SourceId> old_sorted;
+  std::vector<SourceId> new_sorted;
+  std::vector<IntersectMatch> matches;
+  std::vector<SourceId> departed;  // old \ new
+  std::vector<SourceId> kept;      // old ∩ new
+  std::vector<SourceId> arrived;   // new \ old
+};
+
+/// Splits one touched item's old/new provider sets into departed /
+/// kept / arrived via the intersection kernel. The net count
+/// adjustment only involves departed and arrived pairs:
+///
+///   old pairs  = D×D + D×K + K×K
+///   new pairs  = A×A + A×K + K×K
+///   net        = −D×D − D×K + A×A + A×K
+///
+/// so a value-only change (providers unchanged → D = A = ∅) costs one
+/// intersection and zero adjustments, where the subtract-all/add-all
+/// formulation redid every pair of the item. Counts are integers, so
+/// the cancellation is exact.
+void ClassifyProviders(std::span<const SourceId> old_span,
+                       std::span<const SourceId> new_span,
+                       UpdateScratch* s) {
+  // item_providers is contiguous but only sorted within slots.
+  s->old_sorted.assign(old_span.begin(), old_span.end());
+  std::sort(s->old_sorted.begin(), s->old_sorted.end());
+  s->new_sorted.assign(new_span.begin(), new_span.end());
+  std::sort(s->new_sorted.begin(), s->new_sorted.end());
+
+  s->matches.resize(
+      std::min(s->old_sorted.size(), s->new_sorted.size()));
+  size_t m = IntersectIndices(s->old_sorted, s->new_sorted,
+                              s->matches.data());
+
+  s->departed.clear();
+  s->kept.clear();
+  s->arrived.clear();
+  size_t next = 0;
+  for (size_t i = 0; i < s->old_sorted.size(); ++i) {
+    if (next < m && s->matches[next].i == i) {
+      s->kept.push_back(s->old_sorted[i]);
+      ++next;
+    } else {
+      s->departed.push_back(s->old_sorted[i]);
+    }
+  }
+  next = 0;
+  for (size_t j = 0; j < s->new_sorted.size(); ++j) {
+    if (next < m && s->matches[next].j == j) {
+      ++next;
+    } else {
+      s->arrived.push_back(s->new_sorted[j]);
+    }
+  }
+}
+
+/// Applies delta to every within-`group` pair and every group×kept
+/// pair.
+template <typename Adjust>
+void AdjustGroupPairs(const std::vector<SourceId>& group,
+                      const std::vector<SourceId>& kept,
+                      Adjust&& adjust) {
+  for (size_t i = 0; i < group.size(); ++i) {
+    for (size_t j = i + 1; j < group.size(); ++j) {
+      adjust(group[i], group[j]);
+    }
+    for (SourceId k : kept) {
+      adjust(group[i], k);
+    }
+  }
+}
+
+}  // namespace
+
 bool UpdateOverlaps(OverlapCounts* counts, const Dataset& old_data,
                     const Dataset& new_data,
                     std::span<const ItemId> touched_items) {
@@ -149,30 +329,36 @@ bool UpdateOverlaps(OverlapCounts* counts, const Dataset& old_data,
     // recount, not a patch.
     return false;
   }
+  UpdateScratch scratch;
   for (ItemId item : touched_items) {
-    if (item < old_data.num_items()) {
-      if (counts->dense_mode_) {
-        ForItemPairs(old_data, item, [&](SourceId a, SourceId b) {
-          if (a > b) std::swap(a, b);
-          --counts->dense_[counts->DenseIndex(a, b)];
-        });
-      } else {
-        ForItemPairs(old_data, item, [&](SourceId a, SourceId b) {
-          --counts->sparse_[PairKey(a, b)];
-        });
-      }
-    }
-    if (item < new_data.num_items()) {
-      if (counts->dense_mode_) {
-        ForItemPairs(new_data, item, [&](SourceId a, SourceId b) {
-          if (a > b) std::swap(a, b);
-          ++counts->dense_[counts->DenseIndex(a, b)];
-        });
-      } else {
-        ForItemPairs(new_data, item, [&](SourceId a, SourceId b) {
-          ++counts->sparse_[PairKey(a, b)];
-        });
-      }
+    std::span<const SourceId> old_span =
+        item < old_data.num_items() ? old_data.item_providers(item)
+                                    : std::span<const SourceId>();
+    std::span<const SourceId> new_span =
+        item < new_data.num_items() ? new_data.item_providers(item)
+                                    : std::span<const SourceId>();
+    ClassifyProviders(old_span, new_span, &scratch);
+    if (scratch.departed.empty() && scratch.arrived.empty()) continue;
+    if (counts->dense_mode_) {
+      auto sub = [&](SourceId a, SourceId b) {
+        if (a > b) std::swap(a, b);
+        --counts->dense_[counts->DenseIndex(a, b)];
+      };
+      auto add = [&](SourceId a, SourceId b) {
+        if (a > b) std::swap(a, b);
+        ++counts->dense_[counts->DenseIndex(a, b)];
+      };
+      AdjustGroupPairs(scratch.departed, scratch.kept, sub);
+      AdjustGroupPairs(scratch.arrived, scratch.kept, add);
+    } else {
+      AdjustGroupPairs(scratch.departed, scratch.kept,
+                       [&](SourceId a, SourceId b) {
+                         --counts->sparse_[PairKey(a, b)];
+                       });
+      AdjustGroupPairs(scratch.arrived, scratch.kept,
+                       [&](SourceId a, SourceId b) {
+                         ++counts->sparse_[PairKey(a, b)];
+                       });
     }
   }
   return true;

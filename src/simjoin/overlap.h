@@ -104,14 +104,24 @@ bool UpdateOverlaps(OverlapCounts* counts, const Dataset& old_data,
 /// plumbing through the detector interface. Generations are
 /// process-unique and a generation's counts are immutable, so a lookup
 /// can never return stale data. Thread-safe.
+/// Publications are reference-counted per generation: two sessions
+/// serving the same snapshot each Publish and each Withdraw, and the
+/// entry survives until the last publisher withdraws — without the
+/// count, the first session's destruction would yank the second's
+/// publication out from under it, and a long-lived process would
+/// either leak generations or drop live ones.
 class SharedOverlaps {
  public:
   static void Publish(uint64_t generation,
                       std::shared_ptr<const OverlapCounts> counts);
   /// Counts published for `generation`, or null.
   static std::shared_ptr<const OverlapCounts> Lookup(uint64_t generation);
-  /// Drops the publication (borrowed references stay valid).
+  /// Drops one publication of `generation`; the registry entry goes
+  /// away with the last one (borrowed references stay valid).
   static void Withdraw(uint64_t generation);
+  /// Number of generations currently published — a leak check for
+  /// session-lifecycle tests.
+  static size_t NumPublished();
 };
 
 /// Round-to-round cache: l(S1,S2) depends only on which cells are

@@ -5,32 +5,9 @@
 
 #include "common/flat_hash.h"
 #include "model/dataset.h"
+#include "simjoin/intersect.h"
 
 namespace copydetect {
-
-namespace {
-
-/// Sorted-merge intersection size of two ascending item spans.
-uint32_t IntersectSize(std::span<const ItemId> a,
-                       std::span<const ItemId> b) {
-  uint32_t count = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
-}
-
-}  // namespace
 
 std::vector<OverlapPair> PrefixFilterJoin(const Dataset& data,
                                           uint32_t min_overlap) {

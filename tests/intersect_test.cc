@@ -1,0 +1,207 @@
+// Differential coverage for the sorted-intersection kernels: scalar is
+// the reference; galloping and SIMD must return the same sizes and the
+// same match positions on every shape, including the adversarial ones
+// (empty, length-1, all-equal, disjoint, tails shorter than a vector
+// width, aliased spans). Runs under asan-ubsan like every other test.
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simjoin/intersect.h"
+
+namespace copydetect {
+namespace {
+
+namespace ii = intersect_internal;
+
+using Vec = std::vector<uint32_t>;
+
+/// Restores the production dispatch heuristic after each test so a
+/// failing ASSERT can't leak a forced kernel into later tests.
+class IntersectTest : public ::testing::Test {
+ protected:
+  ~IntersectTest() override {
+    ii::ForceKernelForTest(ii::Kernel::kAuto);
+  }
+};
+
+Vec MatchValues(std::span<const uint32_t> a,
+                std::span<const uint32_t> b) {
+  std::set<uint32_t> bs(b.begin(), b.end());
+  Vec out;
+  for (uint32_t x : a) {
+    if (bs.count(x)) out.push_back(x);
+  }
+  return out;
+}
+
+/// Runs all three kernels (size + indices) on (a, b) and checks them
+/// against a std::set reference and each other.
+void CheckAllKernels(const Vec& a, const Vec& b) {
+  Vec expected = MatchValues(a, b);
+  const uint32_t want_size = static_cast<uint32_t>(expected.size());
+
+  struct Named {
+    const char* name;
+    uint32_t (*size)(std::span<const uint32_t>, std::span<const uint32_t>);
+    size_t (*indices)(std::span<const uint32_t>, std::span<const uint32_t>,
+                      IntersectMatch*);
+  };
+  const Named kernels[] = {
+      {"scalar", ii::SizeScalar, ii::IndicesScalar},
+      {"galloping", ii::SizeGalloping, ii::IndicesGalloping},
+      {"simd", ii::SizeSimd, ii::IndicesSimd},
+  };
+  for (const Named& k : kernels) {
+    SCOPED_TRACE(k.name);
+    EXPECT_EQ(k.size(a, b), want_size);
+    EXPECT_EQ(k.size(b, a), want_size);
+
+    std::vector<IntersectMatch> matches(std::min(a.size(), b.size()) + 1);
+    size_t n = k.indices(a, b, matches.data());
+    ASSERT_EQ(n, want_size);
+    for (size_t m = 0; m < n; ++m) {
+      ASSERT_LT(matches[m].i, a.size());
+      ASSERT_LT(matches[m].j, b.size());
+      EXPECT_EQ(a[matches[m].i], expected[m]);
+      EXPECT_EQ(b[matches[m].j], expected[m]);
+      if (m > 0) {
+        // Ascending in both coordinates — consumers walk aligned
+        // slots_of spans by these positions.
+        EXPECT_LT(matches[m - 1].i, matches[m].i);
+        EXPECT_LT(matches[m - 1].j, matches[m].j);
+      }
+    }
+  }
+
+  // The public dispatch (whatever the heuristic picks) agrees too.
+  EXPECT_EQ(IntersectSize(a, b), want_size);
+  std::vector<IntersectMatch> matches(std::min(a.size(), b.size()) + 1);
+  EXPECT_EQ(IntersectIndices(a, b, matches.data()), want_size);
+}
+
+TEST_F(IntersectTest, EmptyAndSingleton) {
+  CheckAllKernels({}, {});
+  CheckAllKernels({}, {7});
+  CheckAllKernels({7}, {});
+  CheckAllKernels({7}, {7});
+  CheckAllKernels({7}, {8});
+  CheckAllKernels({8}, {7});
+  CheckAllKernels({0}, {0xFFFFFFFFu});
+}
+
+TEST_F(IntersectTest, AllEqual) {
+  Vec v(100);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<uint32_t>(i);
+  CheckAllKernels(v, v);
+}
+
+TEST_F(IntersectTest, AliasedSpans) {
+  Vec v = {1, 5, 9, 12, 100, 101, 102, 4000, 4001, 70000};
+  std::span<const uint32_t> s(v);
+  // Same underlying memory on both sides.
+  EXPECT_EQ(ii::SizeScalar(s, s), v.size());
+  EXPECT_EQ(ii::SizeGalloping(s, s), v.size());
+  EXPECT_EQ(ii::SizeSimd(s, s), v.size());
+  std::vector<IntersectMatch> matches(v.size());
+  ASSERT_EQ(ii::IndicesSimd(s, s, matches.data()), v.size());
+  for (size_t m = 0; m < v.size(); ++m) {
+    EXPECT_EQ(matches[m].i, m);
+    EXPECT_EQ(matches[m].j, m);
+  }
+}
+
+TEST_F(IntersectTest, Disjoint) {
+  Vec evens, odds;
+  for (uint32_t i = 0; i < 64; ++i) {
+    evens.push_back(2 * i);
+    odds.push_back(2 * i + 1);
+  }
+  CheckAllKernels(evens, odds);
+  // Disjoint by range: every element of one below every element of the
+  // other — the galloping early-exit path.
+  Vec low = {1, 2, 3, 4, 5};
+  Vec high = {1000, 2000, 3000};
+  CheckAllKernels(low, high);
+  CheckAllKernels(high, low);
+}
+
+TEST_F(IntersectTest, TailsShorterThanVectorWidth) {
+  // Every length pair 0..17 x 0..17 crosses the SSE (4) and AVX2 (8)
+  // block widths and leaves tails of every residue.
+  std::mt19937 rng(42);
+  for (size_t an = 0; an <= 17; ++an) {
+    for (size_t bn = 0; bn <= 17; ++bn) {
+      Vec a, b;
+      uint32_t x = 0;
+      for (size_t i = 0; i < an; ++i) a.push_back(x += 1 + rng() % 3);
+      x = 0;
+      for (size_t j = 0; j < bn; ++j) b.push_back(x += 1 + rng() % 3);
+      CheckAllKernels(a, b);
+    }
+  }
+}
+
+TEST_F(IntersectTest, RandomizedDifferential) {
+  std::mt19937 rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t an = rng() % 300;
+    size_t bn = rng() % 300;
+    // Mix densities so some trials are overlap-heavy, some sparse.
+    uint32_t step = 1 + rng() % 8;
+    Vec a, b;
+    uint32_t x = rng() % 16;
+    for (size_t i = 0; i < an; ++i) a.push_back(x += 1 + rng() % step);
+    x = rng() % 16;
+    for (size_t j = 0; j < bn; ++j) b.push_back(x += 1 + rng() % step);
+    CheckAllKernels(a, b);
+  }
+}
+
+TEST_F(IntersectTest, SkewedLengths) {
+  // The galloping sweet spot: one tiny list against one huge list,
+  // with matches at the front, middle, back, and absent.
+  std::mt19937 rng(77);
+  Vec big;
+  uint32_t x = 0;
+  for (size_t i = 0; i < 20000; ++i) big.push_back(x += 1 + rng() % 4);
+  Vec probes = {big.front(), big[big.size() / 2], big.back(),
+                big.back() + 100, 0};
+  std::sort(probes.begin(), probes.end());
+  probes.erase(std::unique(probes.begin(), probes.end()), probes.end());
+  CheckAllKernels(probes, big);
+  CheckAllKernels(big, probes);
+}
+
+TEST_F(IntersectTest, ForcedKernelRoutesDispatch) {
+  Vec a, b;
+  for (uint32_t i = 0; i < 200; ++i) {
+    a.push_back(3 * i);
+    b.push_back(2 * i);
+  }
+  uint32_t want = ii::SizeScalar(a, b);
+  for (ii::Kernel k : {ii::Kernel::kScalar, ii::Kernel::kGalloping,
+                       ii::Kernel::kSimd, ii::Kernel::kAuto}) {
+    ii::ForceKernelForTest(k);
+    EXPECT_EQ(IntersectSize(a, b), want);
+    std::vector<IntersectMatch> matches(a.size());
+    EXPECT_EQ(IntersectIndices(a, b, matches.data()), want);
+  }
+}
+
+TEST_F(IntersectTest, KernelNameIsConsistentWithAvailability) {
+  if (ii::SimdAvailable()) {
+    EXPECT_TRUE(IntersectKernelName() == "avx2" ||
+                IntersectKernelName() == "sse2");
+  } else {
+    EXPECT_EQ(IntersectKernelName(), "portable");
+  }
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -12,9 +12,11 @@
 
 #include "common/executor.h"
 #include "core/detector.h"
+#include "core/detector_registry.h"
 #include "core/index_algo.h"
 #include "core/parallel_index.h"
 #include "fusion/truth_finder.h"
+#include "simjoin/intersect.h"
 #include "test_util.h"
 
 namespace copydetect {
@@ -67,10 +69,11 @@ void CheckDetectorEquivalence(DetectorKind kind, const DetectionInput& in,
 class ParallelEquivalenceTest
     : public ::testing::TestWithParam<size_t> {};
 
-// 1 exercises the serial fallback, 2 and 7 real sharding (7 is odd on
-// purpose: uneven pair ownership).
+// 1 exercises the serial fallback, 2/4/7 real sharding (7 is odd on
+// purpose: uneven pair ownership; 4 is the acceptance width of the
+// hot-path layout rework).
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelEquivalenceTest,
-                         ::testing::Values(1, 2, 7));
+                         ::testing::Values(1, 2, 4, 7));
 
 TEST_P(ParallelEquivalenceTest, IndexBitIdentical) {
   testutil::World world = testutil::SmallWorld(601, 40, 300);
@@ -143,6 +146,78 @@ TEST_P(ParallelEquivalenceTest, FusionLoopBitIdentical) {
   EXPECT_EQ(got->accuracies, want->accuracies);
   EXPECT_EQ(got->truth, want->truth);
   ExpectBitIdentical(got->copies, want->copies);
+}
+
+TEST(ParallelEquivalence, EveryRegisteredDetectorBitIdenticalAtFourThreads) {
+  // Registry-driven: a detector added by one CD_REGISTER_DETECTOR
+  // stanza is covered here with no test change. Serial vs 1-thread
+  // executor vs 4-thread executor, all bit-identical.
+  testutil::World world = testutil::SmallWorld(607, 40, 300);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+  for (const std::string& name : ListDetectors()) {
+    SCOPED_TRACE(name);
+    auto serial = DetectorRegistry::Global().Create(name, PaperParams());
+    ASSERT_TRUE(serial.ok()) << serial.status().message();
+    CopyResult want;
+    ASSERT_TRUE((*serial)->DetectRound(in, 1, &want).ok());
+
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      Executor executor(threads);
+      DetectionParams params = PaperParams();
+      params.executor = &executor;
+      auto parallel = DetectorRegistry::Global().Create(name, params);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+      CopyResult got;
+      ASSERT_TRUE((*parallel)->DetectRound(in, 1, &got).ok());
+      ExpectBitIdentical(got, want);
+      EXPECT_EQ((*parallel)->counters().score_evals,
+                (*serial)->counters().score_evals)
+          << name << " @ " << threads;
+    }
+  }
+}
+
+TEST(ParallelEquivalence, ForcedIntersectionKernelsBitIdentical) {
+  // The vector intersection kernel feeds ComputePairScores and the
+  // overlap counting every detector consumes; dispatch choice (scalar,
+  // galloping, SIMD) must never leak into results. Forcing each kernel
+  // for a full detector round over every registered detector pins the
+  // SIMD-vs-portable seam at the output level, not just the kernel
+  // level (intersect_test.cc covers that).
+  using intersect_internal::ForceKernelForTest;
+  using intersect_internal::Kernel;
+  testutil::World world = testutil::SmallWorld(608, 35, 250);
+  testutil::WorldInput wi(world);
+  DetectionInput in = wi.Input(world);
+
+  struct KernelReset {
+    ~KernelReset() { ForceKernelForTest(Kernel::kAuto); }
+  } reset;
+
+  for (const std::string& name : ListDetectors()) {
+    SCOPED_TRACE(name);
+    ForceKernelForTest(Kernel::kScalar);
+    auto scalar_det =
+        DetectorRegistry::Global().Create(name, PaperParams());
+    ASSERT_TRUE(scalar_det.ok());
+    CopyResult want;
+    ASSERT_TRUE((*scalar_det)->DetectRound(in, 1, &want).ok());
+
+    std::vector<Kernel> others = {Kernel::kGalloping, Kernel::kAuto};
+    if (intersect_internal::SimdAvailable()) {
+      others.push_back(Kernel::kSimd);
+    }
+    for (Kernel kernel : others) {
+      ForceKernelForTest(kernel);
+      auto det = DetectorRegistry::Global().Create(name, PaperParams());
+      ASSERT_TRUE(det.ok());
+      CopyResult got;
+      ASSERT_TRUE((*det)->DetectRound(in, 1, &got).ok());
+      ExpectBitIdentical(got, want);
+    }
+    ForceKernelForTest(Kernel::kAuto);
+  }
 }
 
 TEST(ParallelEquivalence, MoreThreadsThanEntriesDegenerateCase) {

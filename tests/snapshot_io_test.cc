@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+
+#include <unistd.h>
 #include <string>
 #include <vector>
 
@@ -29,7 +31,11 @@ using snapshot::SessionState;
 using snapshot::TapeRound;
 
 std::string TempPath(const std::string& name) {
-  return testing::TempDir() + "/" + name;
+  // ctest runs each TEST of this binary as its own process, in
+  // parallel; the pid keeps concurrent tests (which share TempDir and
+  // reuse names like "good.cdsnap") from clobbering each other.
+  return testing::TempDir() + "/" + std::to_string(getpid()) + "." +
+         name;
 }
 
 std::vector<uint8_t> ReadFileBytes(const std::string& path) {

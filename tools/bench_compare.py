@@ -5,6 +5,7 @@ of anchor benchmarks — the perf-gate CI's comparator.
     bench_compare.py BASELINE.json CURRENT.json \
         --anchor 'BM_IndexRound/book-full' \
         --anchor 'BM_SessionRun/book-full' \
+        [--claims bench/PERF_CLAIMS.json] \
         [--warn-ratio 1.25] [--fail-ratio 2.0]
 
 Records are matched by (name, detector, dataset, threads); an anchor
@@ -21,6 +22,24 @@ catches up when it is regenerated). An anchor with no current records
 fails — the gate must never silently measure nothing. CI timing noise
 is why the default thresholds are generous; they catch order-of-
 magnitude regressions, not percent-level drift.
+
+--claims ratchets the gate with a committed speedup ledger
+(bench/PERF_CLAIMS.json): each claim pins an anchor's pre-optimization
+seconds and the speedup the optimizing PR claimed, both recorded on the
+machine that regenerated the committed baseline. Two checks per claim,
+either failure exits 1:
+
+  * static  — the committed baseline must itself realize the claim
+    (baseline_seconds * speedup <= pre_seconds * slack). Catches a
+    baseline regenerated after the win silently eroded.
+  * dynamic — the re-measured current run must hold the improved level
+    (current/baseline <= slack, machine-independent). A claimed anchor
+    therefore fails at `slack` (default 1.35), not at the generous
+    --fail-ratio: an anchor whose speedup the PR advertised does not
+    get to drift by 2x before anyone notices.
+
+A claim whose anchor has no baseline or no current records fails — a
+claimed win that is no longer measured is not a win.
 """
 
 import argparse
@@ -46,6 +65,73 @@ def key_of(record):
     )
 
 
+def check_claims(claims_path, baseline, current):
+    """Validates the committed speedup ledger; returns True on failure."""
+    with open(claims_path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    slack = float(doc.get("slack", 1.35))
+    failed = False
+    for claim in doc.get("claims", []):
+        anchor = claim["anchor"]
+        threads = claim.get("threads")
+        pre_s = float(claim["pre_seconds"])
+        speedup = float(claim["speedup"])
+
+        def select(records):
+            return sorted(
+                k for k in records
+                if k[0].startswith(anchor)
+                and (threads is None or k[3] == int(threads)))
+
+        base_keys = select(baseline)
+        cur_keys = select(current)
+        if not base_keys or not cur_keys:
+            where = "baseline" if not base_keys else "current run"
+            print(f"::error::claim check: anchor '{anchor}' has no "
+                  f"records in the {where} — a claimed win that is not "
+                  f"measured is not a win")
+            failed = True
+            continue
+        for key in base_keys:
+            label = "/".join(str(p) for p in key if p != "")
+            base_s = float(baseline[key].get("real_seconds", 0.0))
+            if base_s <= 0.0:
+                print(f"::error::claim check {label}: non-positive "
+                      f"baseline timing {base_s:g}")
+                failed = True
+                continue
+            realized = pre_s / base_s
+            line = (f"{label}: pre {pre_s:.6f}s, baseline "
+                    f"{base_s:.6f}s — claimed {speedup:.2f}x, "
+                    f"committed baseline realizes {realized:.2f}x")
+            if base_s * speedup > pre_s * slack:
+                print(f"::error::claim check FAIL {line}")
+                failed = True
+            else:
+                print(f"OK    {line}")
+        for key in cur_keys:
+            base = baseline.get(key)
+            if base is None:
+                continue  # reported as a failure above when empty
+            label = "/".join(str(p) for p in key if p != "")
+            base_s = float(base.get("real_seconds", 0.0))
+            cur_s = float(current[key].get("real_seconds", 0.0))
+            if base_s <= 0.0 or cur_s <= 0.0:
+                continue
+            ratio = cur_s / base_s
+            line = (f"{label}: baseline {base_s:.6f}s, current "
+                    f"{cur_s:.6f}s, ratio {ratio:.2f}x "
+                    f"(claimed-anchor slack {slack:.2f}x)")
+            if ratio > slack:
+                print(f"::error::claim check FAIL {line} — the "
+                      f"re-measure does not realize the claimed "
+                      f"improvement")
+                failed = True
+            else:
+                print(f"OK    {line}")
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -55,6 +141,10 @@ def main():
         action="append",
         required=True,
         help="benchmark name prefix to gate on (repeatable)",
+    )
+    parser.add_argument(
+        "--claims",
+        help="speedup ledger (PERF_CLAIMS.json) to ratchet against",
     )
     parser.add_argument("--warn-ratio", type=float, default=1.25)
     parser.add_argument("--fail-ratio", type=float, default=2.0)
@@ -95,6 +185,9 @@ def main():
                 print(f"::warning::perf gate warn {line}")
             else:
                 print(f"OK    {line}")
+
+    if args.claims:
+        failed = check_claims(args.claims, baseline, current) or failed
 
     return 1 if failed else 0
 

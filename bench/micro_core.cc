@@ -11,6 +11,10 @@
 // run records the speedup curve).
 #include <benchmark/benchmark.h>
 
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +34,7 @@
 #include "core/bayes.h"
 #include "core/inverted_index.h"
 #include "core/pairwise.h"
+#include "core/sharded_detector.h"
 #include "fusion/truth_finder.h"
 #include "simjoin/intersect.h"
 #include "simjoin/overlap.h"
@@ -439,6 +444,173 @@ void BM_SessionLoadBookFull(benchmark::State& state) {
   std::remove(path.c_str());
 }
 
+/// Peak-RSS probes for the mapped-load acceptance check. Writing "5"
+/// to /proc/self/clear_refs resets the VmHWM high-water mark to the
+/// current RSS, so the delta after a load is that load's peak memory
+/// growth. Linux-only; callers skip the check when the reset fails.
+bool ResetPeakRss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+}
+
+size_t PeakRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %zu kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+/// Returns freed heap pages to the OS so the next load's allocations
+/// fault in fresh pages. Without this the warm allocator satisfies
+/// the owned decode from already-resident pages and its RSS delta
+/// reads ~0, drowning the real comparison in page-reuse noise.
+void TrimHeap() {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+}
+
+/// The mapped warm-start anchor: the same snapshot as BM_SessionLoad,
+/// loaded with LoadMode::kMapped. The v2 sections back the Dataset
+/// arrays and the dense overlap triangle in place, so the mapped load
+/// must beat the owned one on both time (perf-gate compares the two
+/// records) and peak memory — the one-time VmHWM probe below asserts
+/// the memory half and fails the run (SkipWithError, which the
+/// --json path turns into exit 4) if mapping silently degraded into a
+/// copy. Each measurement starts from a trimmed heap (TrimHeap) and a
+/// reset high-water mark, so both deltas count freshly faulted pages
+/// rather than allocator page reuse.
+void BM_SessionLoadMappedBookFull(benchmark::State& state) {
+  const World& world = BookFullWorld().world;
+  SessionOptions options = BookFullSessionOptions();
+  options.online_updates = true;  // keep state past Run for Save
+  const std::string path = "bm_session_load_mapped.cdsnap";
+  {
+    auto session = Session::Create(options);
+    if (!session.ok()) {
+      state.SkipWithError(session.status().message().c_str());
+      return;
+    }
+    auto report = session->Run(world.data);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().message().c_str());
+      return;
+    }
+    Status saved = session->Save(path);
+    if (!saved.ok()) {
+      state.SkipWithError(saved.message().c_str());
+      return;
+    }
+  }
+  static bool rss_checked = false;
+  if (!rss_checked && ResetPeakRss()) {
+    rss_checked = true;
+    TrimHeap();
+    ResetPeakRss();
+    size_t before = PeakRssKb();
+    int mapped_rounds = 0;
+    {
+      auto mapped = Session::Load(path, LoadMode::kMapped);
+      if (!mapped.ok()) {
+        state.SkipWithError(mapped.status().message().c_str());
+        std::remove(path.c_str());
+        return;
+      }
+      mapped_rounds = mapped->report().rounds();
+    }
+    size_t mapped_peak_kb = PeakRssKb() - before;
+    TrimHeap();
+    ResetPeakRss();
+    before = PeakRssKb();
+    int owned_rounds = 0;
+    {
+      auto owned = Session::Load(path, LoadMode::kOwned);
+      if (!owned.ok()) {
+        state.SkipWithError(owned.status().message().c_str());
+        std::remove(path.c_str());
+        return;
+      }
+      owned_rounds = owned->report().rounds();
+    }
+    size_t owned_peak_kb = PeakRssKb() - before;
+    if (mapped_rounds != owned_rounds) {
+      state.SkipWithError("mapped load diverged from owned load");
+      std::remove(path.c_str());
+      return;
+    }
+    if (mapped_peak_kb >= owned_peak_kb) {
+      std::string msg = StrFormat(
+          "mapped load peak RSS %zu kB >= owned %zu kB — the view "
+          "backend is copying",
+          mapped_peak_kb, owned_peak_kb);
+      state.SkipWithError(msg.c_str());
+      std::remove(path.c_str());
+      return;
+    }
+    state.counters["mapped_peak_kb"] = benchmark::Counter(
+        static_cast<double>(mapped_peak_kb));
+    state.counters["owned_peak_kb"] = benchmark::Counter(
+        static_cast<double>(owned_peak_kb));
+  }
+  for (auto _ : state) {
+    auto loaded = Session::Load(path, LoadMode::kMapped);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(loaded->report().rounds());
+  }
+  std::remove(path.c_str());
+}
+
+/// Scale of the book-cs world behind BM_ShardedDetect — the bench
+/// default of that data set (see bench_util.h).
+constexpr double kBookCsScale = 0.5;
+
+const WorldInputs& BookCsWorld() {
+  static const WorldInputs* inputs = new WorldInputs([] {
+    auto world = MakeWorldByName("book-cs", kBookCsScale, 42);
+    CD_CHECK_OK(world.status());
+    return std::move(world).value();
+  }());
+  return *inputs;
+}
+
+/// The in-process sharding anchor: one INDEX detection round through
+/// the N-shard harness (N inner detectors, each scanning its slice of
+/// the pair set, merged per round). Against BM_DetectorRound/index
+/// this prices the shard overhead (N index builds + merge) that the
+/// multi-process CLI path pays per round.
+void BM_ShardedDetectBookCs(benchmark::State& state) {
+  const uint32_t shards = static_cast<uint32_t>(state.range(0));
+  Executor executor(1);
+  DetectionParams params = Params();
+  params.executor = &executor;
+  auto detector = ShardedDetector::Create("index", params, shards);
+  if (!detector.ok()) {
+    state.SkipWithError(detector.status().message().c_str());
+    return;
+  }
+  DetectionInput in = BookCsWorld().Input();
+  CopyResult result;
+  for (auto _ : state) {
+    (*detector)->Reset();
+    Status status = (*detector)->DetectRound(in, /*round=*/1, &result);
+    if (!status.ok()) {
+      state.SkipWithError(status.message().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+
 /// The pre-facade anchor: identical configuration driven directly
 /// through IterativeFusion. BM_SessionRun minus BM_FusionRun is the
 /// facade's overhead (detector construction, registry lookup, report
@@ -480,6 +652,10 @@ constexpr std::string_view kSessionUpdateName =
     "BM_SessionUpdate/book-full";
 constexpr std::string_view kSessionLoadName =
     "BM_SessionLoad/book-full";
+constexpr std::string_view kSessionLoadMappedName =
+    "BM_SessionLoad/mapped/book-full";
+constexpr std::string_view kShardedDetectPrefix =
+    "BM_ShardedDetect/book-cs";
 
 void RegisterDetectorBenchmarks(size_t multi_threads) {
   // Every registered detector, straight from the registry — a
@@ -510,6 +686,14 @@ void RegisterDetectorBenchmarks(size_t multi_threads) {
   benchmark::RegisterBenchmark(std::string(kSessionLoadName).c_str(),
                                BM_SessionLoadBookFull)
       ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      std::string(kSessionLoadMappedName).c_str(),
+      BM_SessionLoadMappedBookFull)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      std::string(kShardedDetectPrefix).c_str(), BM_ShardedDetectBookCs)
+      ->Unit(benchmark::kMillisecond)
+      ->Arg(4);
 }
 
 /// True when the run produced no usable measurement. Google Benchmark
@@ -599,12 +783,20 @@ class CollectingReporter : public benchmark::BenchmarkReporter {
       } else if (StartsWith(base_name, kSessionRunName) ||
                  StartsWith(base_name, kFusionRunName) ||
                  StartsWith(base_name, kSessionUpdateName) ||
-                 StartsWith(base_name, kSessionLoadName)) {
-        // Facade-overhead pair + online-update + warm-start anchors:
-        // full serial runs, same configuration.
+                 StartsWith(base_name, kSessionLoadName) ||
+                 StartsWith(base_name, kSessionLoadMappedName)) {
+        // Facade-overhead pair + online-update + warm-start anchors
+        // (owned and mapped): full serial runs, same configuration.
         record.detector = "index";
         record.dataset = "book-full";
         record.scale = kBookFullScale;
+        record.threads = 1;
+      } else if (StartsWith(base_name, kShardedDetectPrefix)) {
+        // "BM_ShardedDetect/book-cs/<shards>": one INDEX round
+        // through the in-process N-shard harness, serial.
+        record.detector = "sharded-index";
+        record.dataset = "book-cs";
+        record.scale = kBookCsScale;
         record.threads = 1;
       }
       double iters =

@@ -5,6 +5,10 @@
 // prints detection time per method so the divergence is visible; the
 // paper-size extrapolation is the last row's trend. Each run goes
 // through the public Session facade (--detector-style registry names).
+//
+// --detectors picks the methods (comma list): the book-xl profile is
+// sized past what the quadratic PAIRWISE baseline can touch, so its
+// weekly-CI curve runs --detectors=index,incremental.
 #include "bench_util.h"
 
 using namespace copydetect;
@@ -12,10 +16,17 @@ using namespace copydetect::bench;
 
 int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
-  // Sweep factors applied on top of the bench default scales.
+  // Sweep factors applied on top of the dataset's base scale.
   double max_factor = flags.GetDouble("max-factor", 4.0);
   uint64_t seed = flags.GetUint64("seed", 7);
   std::string dataset = flags.GetString("dataset", "book-cs");
+  // Base scale of the sweep (factor 1). 0 = the bench default for the
+  // dataset, falling back to 0.5 for profiles outside the bench set
+  // (book-xl).
+  double base_scale = flags.GetDouble("base-scale", 0.0);
+  std::vector<std::string> detectors =
+      Split(flags.GetString("detectors", "pairwise,index,incremental"),
+            ',');
   // 1 = serial (the historical configuration), 0 = hardware width.
   uint64_t threads = flags.GetUint64("threads", 1);
   std::string json_path = JsonFlag(flags);
@@ -23,17 +34,20 @@ int main(int argc, char** argv) {
 
   JsonReporter reporter("scaling");
 
+  const bool ratio_col = detectors.size() >= 2;
   TextTable table;
-  table.SetHeader({"scale", "#pairs(all)", "pairwise", "index",
-                   "incremental", "pairwise/incremental"});
-
-  double base_scale = 0.0;
-  for (const BenchDataset& spec : DefaultDatasets(1.0)) {
-    if (spec.name == dataset) base_scale = spec.scale;
+  std::vector<std::string> header = {"scale", "#pairs(all)"};
+  for (const std::string& d : detectors) header.push_back(d);
+  if (ratio_col) {
+    header.push_back(detectors.front() + "/" + detectors.back());
   }
-  if (base_scale == 0.0) {
-    std::fprintf(stderr, "unknown dataset %s\n", dataset.c_str());
-    return 2;
+  table.SetHeader(header);
+
+  if (base_scale <= 0.0) {
+    for (const BenchDataset& spec : DefaultDatasets(1.0)) {
+      if (spec.name == dataset) base_scale = spec.scale;
+    }
+    if (base_scale <= 0.0) base_scale = 0.5;
   }
 
   for (double factor = 1.0; factor <= max_factor + 1e-9;
@@ -52,11 +66,13 @@ int main(int argc, char** argv) {
       auto report = session->Run(world.data);
       CD_CHECK_OK(report.status());
       double seconds = report->fusion.detect_seconds;
-      // Real CPU time of the same phase (the fusion loop measures it
-      // around each detection call) — ~= real_seconds when serial,
-      // ~threads× larger when parallel. The seed harness emitted a
-      // constant 0 here, which made the schema_version 2 field
-      // untrustworthy.
+      // Throughput = analyzed pairs per detection second: the
+      // detector's pairs_tracked counter accumulated over the run's
+      // rounds against the detection wall time. The seed harness
+      // emitted a constant 0 here, which made the field untrustworthy
+      // for cross-run comparison.
+      double pairs =
+          static_cast<double>(report->counters.pairs_tracked);
       reporter.Add({.name = "detect_total",
                     .detector = detector,
                     .dataset = dataset,
@@ -64,19 +80,23 @@ int main(int argc, char** argv) {
                     .real_seconds = seconds,
                     .cpu_seconds = report->fusion.detect_cpu_seconds,
                     .iterations = 1,
-                    .items_per_second = 0.0,
+                    .items_per_second =
+                        seconds > 0.0 ? pairs / seconds : 0.0,
                     .threads = run_threads});
       return seconds;
     };
-    double pairwise = run("pairwise");
-    double index = run("index");
-    double incremental = run("incremental");
+    std::vector<double> times;
+    times.reserve(detectors.size());
+    for (const std::string& d : detectors) times.push_back(run(d));
 
     size_t n = world.data.num_sources();
-    table.AddRow({Fmt(spec.scale, "%.3f"),
-                  WithCommas(n * (n - 1) / 2), HumanSeconds(pairwise),
-                  HumanSeconds(index), HumanSeconds(incremental),
-                  Fmt(pairwise / incremental, "%.1fx")});
+    std::vector<std::string> row = {Fmt(spec.scale, "%.3f"),
+                                    WithCommas(n * (n - 1) / 2)};
+    for (double t : times) row.push_back(HumanSeconds(t));
+    if (ratio_col) {
+      row.push_back(Fmt(times.front() / times.back(), "%.1fx"));
+    }
+    table.AddRow(row);
   }
   std::printf(
       "%s\n",

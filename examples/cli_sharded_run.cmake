@@ -1,0 +1,101 @@
+# ctest driver for the multi-process sharded run (Session BSP API):
+# one coordinator init, then per fusion round three shard processes +
+# one merge process, until the merge reports the run finished. The
+# final report's truth/accuracies/copies CSVs must be byte-identical
+# to a plain single-process run on the same data.
+#   cmake -DCLI=<copydetect_cli> -DWORK_DIR=<dir> -P this_file
+#
+# Both the baseline and every sharded invocation load the same saved
+# CSV (not the generator directly): CSV round-tripping fixes the id
+# assignment, so all processes agree on the pair-key space.
+set(obs "${WORK_DIR}/bsp_obs.csv")
+set(state "${WORK_DIR}/bsp_state.cdsnap")
+set(base_truth "${WORK_DIR}/bsp_base_truth.csv")
+set(base_accs "${WORK_DIR}/bsp_base_accs.csv")
+set(base_copies "${WORK_DIR}/bsp_base_copies.csv")
+set(bsp_truth "${WORK_DIR}/bsp_truth.csv")
+set(bsp_accs "${WORK_DIR}/bsp_accs.csv")
+set(bsp_copies "${WORK_DIR}/bsp_copies.csv")
+set(shard_files "")
+foreach(i RANGE 0 2)
+  list(APPEND shard_files "${WORK_DIR}/bsp_shard${i}.cdsnap")
+endforeach()
+list(JOIN shard_files "," shard_list)
+
+execute_process(
+  COMMAND ${CLI} --generate=book-cs --scale=0.1 --seed=7
+          --detector=index --save-data=${obs}
+  RESULT_VARIABLE gen_result OUTPUT_QUIET)
+if(NOT gen_result EQUAL 0)
+  message(FATAL_ERROR "world generation + --save-data failed (${gen_result})")
+endif()
+
+# Single-process baseline on the saved CSV, serial.
+execute_process(
+  COMMAND ${CLI} --data=${obs} --detector=index --threads=1
+          --out-truth=${base_truth} --out-accuracies=${base_accs}
+          --out-copies=${base_copies}
+  RESULT_VARIABLE base_result OUTPUT_QUIET)
+if(NOT base_result EQUAL 0)
+  message(FATAL_ERROR "single-process baseline failed (${base_result})")
+endif()
+
+# Coordinator init: round-0 state for a 3-shard run.
+execute_process(
+  COMMAND ${CLI} --data=${obs} --detector=index --shards=3
+          --init-state=${state}
+  RESULT_VARIABLE init_result OUTPUT_QUIET)
+if(NOT init_result EQUAL 0)
+  message(FATAL_ERROR "--init-state failed (${init_result})")
+endif()
+
+# BSP supersteps: 3 shard processes (at 2 threads each — results are
+# width-invariant) then one merge, until the merge reports done. The
+# bound matches the CLI's default --max-rounds.
+set(done FALSE)
+foreach(round RANGE 1 12)
+  foreach(i RANGE 0 2)
+    list(GET shard_files ${i} shard_file)
+    execute_process(
+      COMMAND ${CLI} --data=${obs} --detector=index --threads=2
+              --shards=3 --shard=${i} --state=${state}
+              --emit-shard=${shard_file}
+      RESULT_VARIABLE shard_result OUTPUT_QUIET)
+    if(NOT shard_result EQUAL 0)
+      message(FATAL_ERROR
+        "shard ${i} of round ${round} failed (${shard_result})")
+    endif()
+  endforeach()
+  execute_process(
+    COMMAND ${CLI} --data=${obs} --detector=index --shards=3
+            --state=${state} --merge-shards=${shard_list}
+            --out-truth=${bsp_truth} --out-accuracies=${bsp_accs}
+            --out-copies=${bsp_copies}
+    RESULT_VARIABLE merge_result OUTPUT_VARIABLE merge_out)
+  if(NOT merge_result EQUAL 0)
+    message(FATAL_ERROR "merge of round ${round} failed (${merge_result})")
+  endif()
+  string(FIND "${merge_out}" "BSP done" done_pos)
+  if(NOT done_pos EQUAL -1)
+    set(done TRUE)
+    break()
+  endif()
+endforeach()
+if(NOT done)
+  message(FATAL_ERROR "sharded run never finished within the round cap")
+endif()
+
+foreach(kind truth accs copies)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/bsp_base_${kind}.csv ${WORK_DIR}/bsp_${kind}.csv
+    RESULT_VARIABLE diff_result)
+  if(NOT diff_result EQUAL 0)
+    message(FATAL_ERROR
+      "sharded-run ${kind} CSV differs from the single-process run's")
+  endif()
+endforeach()
+
+file(REMOVE ${obs} ${state} ${shard_files}
+  ${base_truth} ${base_accs} ${base_copies}
+  ${bsp_truth} ${bsp_accs} ${bsp_copies})

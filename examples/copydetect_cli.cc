@@ -23,6 +23,17 @@
 //   # from the file instead of re-running from cold
 //   ./copydetect_cli --generate=book-full --save-snapshot=run.cdsnap
 //   ./copydetect_cli --load-snapshot=run.cdsnap --out-truth=truth.csv
+//
+//   # serve a big snapshot zero-copy out of the mapped file
+//   ./copydetect_cli --load-snapshot=run.cdsnap --load-mode=mapped
+//
+//   # multi-process sharded run (BSP, one fusion round per superstep;
+//   # examples/cli_sharded_run.cmake drives the full loop)
+//   ./copydetect_cli --data=obs.csv --shards=3 --init-state=st.cdsnap
+//   ./copydetect_cli --data=obs.csv --shards=3 --shard=0
+//       --state=st.cdsnap --emit-shard=shard0.cdsnap   # ... 1, 2
+//   ./copydetect_cli --data=obs.csv --shards=3 --state=st.cdsnap
+//       --merge-shards=shard0.cdsnap,shard1.cdsnap,shard2.cdsnap
 #include <cstdio>
 #include <optional>
 #include <utility>
@@ -110,6 +121,17 @@ Status RunCli(int argc, char** argv) {
   // file instead of re-parsing + re-running.
   std::string save_snapshot = flags.GetString("save-snapshot", "");
   std::string load_snapshot = flags.GetString("load-snapshot", "");
+  std::string load_mode_name = flags.GetString("load-mode", "owned");
+  // Multi-process sharded runs (Session BSP API): --init-state writes
+  // the round-0 coordinator state, --emit-shard runs this process's
+  // shard for the next round, --merge-shards folds a round's shard
+  // files and advances the fusion loop.
+  uint64_t shards = flags.GetUint64("shards", 1);
+  uint64_t shard = flags.GetUint64("shard", 0);
+  std::string init_state = flags.GetString("init-state", "");
+  std::string state_path = flags.GetString("state", "");
+  std::string emit_shard = flags.GetString("emit-shard", "");
+  std::string merge_shards = flags.GetString("merge-shards", "");
   // Unknown flags are an error, never a silent fall-through to
   // defaults. The detector list rides along so the most common typo
   // (--detector mis-spellings and friends) is self-correcting.
@@ -133,13 +155,37 @@ Status RunCli(int argc, char** argv) {
     return Status::InvalidArgument(
         "exactly one of --data=<csv>, --generate=<profile> or "
         "--load-snapshot=<file> is required (profiles: book-cs, "
-        "book-full, stock-1day, stock-2wk, example)");
+        "book-full, stock-1day, stock-2wk, book-xl, example)");
   }
   if (!load_snapshot.empty() &&
       (!data_path.empty() || !generate.empty())) {
     return Status::InvalidArgument(
         "--load-snapshot replaces --data/--generate — the data set "
         "lives inside the snapshot file");
+  }
+  if (load_mode_name != "owned" && load_mode_name != "mapped") {
+    return Status::InvalidArgument(
+        "--load-mode must be 'owned' or 'mapped', got '" +
+        load_mode_name + "'");
+  }
+  const int bsp_modes = (init_state.empty() ? 0 : 1) +
+                        (emit_shard.empty() ? 0 : 1) +
+                        (merge_shards.empty() ? 0 : 1);
+  if (bsp_modes > 1) {
+    return Status::InvalidArgument(
+        "--init-state, --emit-shard and --merge-shards are separate "
+        "steps of the sharded-run protocol — pass exactly one");
+  }
+  if (bsp_modes == 1 && !load_snapshot.empty()) {
+    return Status::InvalidArgument(
+        "sharded-run steps need the shared data set via --data or "
+        "--generate, not --load-snapshot");
+  }
+  if ((!emit_shard.empty() || !merge_shards.empty()) &&
+      state_path.empty()) {
+    return Status::InvalidArgument(
+        "--emit-shard/--merge-shards need the coordinator state via "
+        "--state=<file>");
   }
   if (!load_snapshot.empty()) {
     // The snapshot fixes the whole session configuration; silently
@@ -164,7 +210,10 @@ Status RunCli(int argc, char** argv) {
   std::optional<Session> session;
   Report report;
   if (!load_snapshot.empty()) {
-    auto loaded = Session::Load(load_snapshot);
+    auto loaded = Session::Load(load_snapshot,
+                                load_mode_name == "mapped"
+                                    ? LoadMode::kMapped
+                                    : LoadMode::kOwned);
     CD_RETURN_IF_ERROR(loaded.status());
     session.emplace(std::move(*loaded));
     world.data = *session->current_data();
@@ -196,6 +245,8 @@ Status RunCli(int argc, char** argv) {
     options.threads = static_cast<size_t>(threads);
     // Save needs the session to keep its state past Run.
     options.online_updates = !save_snapshot.empty();
+    options.plan.num_shards = static_cast<uint32_t>(shards);
+    options.plan.shard_id = static_cast<uint32_t>(shard);
 
     auto created = Session::Create(options);
     CD_RETURN_IF_ERROR(created.status());
@@ -203,11 +254,45 @@ Status RunCli(int argc, char** argv) {
     if (session->threads() > 1) {
       std::printf("Threads: %zu\n", session->threads());
     }
-    auto report_or = session->Run(world.data);
-    CD_RETURN_IF_ERROR(report_or.status());
-    report = std::move(report_or).value();
+
+    if (bsp_modes == 1) {
+      if (!save_data.empty()) {
+        CD_RETURN_IF_ERROR(world.data.SaveCsv(save_data));
+      }
+      if (!init_state.empty()) {
+        CD_RETURN_IF_ERROR(
+            session->InitShardedRun(world.data, init_state));
+        std::printf("BSP init: %s (%llu shards)\n", init_state.c_str(),
+                    static_cast<unsigned long long>(shards));
+        return Status::OK();
+      }
+      if (!emit_shard.empty()) {
+        CD_RETURN_IF_ERROR(session->RunShardRound(
+            world.data, state_path, emit_shard));
+        std::printf("BSP shard %llu/%llu: wrote %s\n",
+                    static_cast<unsigned long long>(shard),
+                    static_cast<unsigned long long>(shards),
+                    emit_shard.c_str());
+        return Status::OK();
+      }
+      auto done = session->MergeShardRound(
+          world.data, Split(merge_shards, ','), state_path);
+      CD_RETURN_IF_ERROR(done.status());
+      if (!*done) {
+        std::printf("BSP merge: round folded into %s, run continues\n",
+                    state_path.c_str());
+        return Status::OK();
+      }
+      report = session->report();
+      std::printf("BSP done: finished after %d rounds\n",
+                  report.rounds());
+    } else {
+      auto report_or = session->Run(world.data);
+      CD_RETURN_IF_ERROR(report_or.status());
+      report = std::move(report_or).value();
+    }
   }
-  if (!save_data.empty()) {
+  if (!save_data.empty() && bsp_modes == 0) {
     CD_RETURN_IF_ERROR(world.data.SaveCsv(save_data));
   }
 

@@ -37,6 +37,7 @@
 /// CI enforces it).
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,7 @@
 #include "eval/table.h"
 #include "fusion/truth_finder.h"
 #include "model/dataset_delta.h"
+#include "model/shard_plan.h"
 #include "model/stats.h"
 
 namespace copydetect {
@@ -116,6 +118,17 @@ struct SessionOptions {
   /// delta invalidates nearly everything, so maintaining state costs
   /// more than it saves. Either path yields bit-identical reports.
   double update_rebuild_fraction = 0.5;
+
+  // --- Multi-process shard plan (Session BSP API below). ---
+  /// This process's slot in a multi-process sharded run. The default
+  /// {1, 0} is the whole-pair-set plan; with num_shards > 1 the
+  /// session detects only the pairs the plan owns, so ordinary
+  /// Run/Start are refused — drive the run through InitShardedRun /
+  /// RunShardRound / MergeShardRound instead. Incompatible with
+  /// online_updates and detection sampling. Not persisted by Save
+  /// (shard placement is per-process runtime configuration, not
+  /// session state).
+  ShardPlan plan;
 
   /// Validates every field, aggregating all violations into a single
   /// InvalidArgument message ("invalid SessionOptions: <a>; <b>; ...")
@@ -187,6 +200,20 @@ struct Report {
   const CopyResult& copies() const { return fusion.copies; }
   int rounds() const { return fusion.rounds; }
   bool converged() const { return fusion.converged; }
+};
+
+/// How Session::Load materializes the snapshot's arrays.
+enum class LoadMode {
+  /// Decode everything into owned heap arrays (snapshot::Read) — the
+  /// default, and the only mode version-1 files support.
+  kOwned,
+  /// Map the file read-only and serve the Dataset arrays and the
+  /// dense overlap triangle as zero-copy views into it
+  /// (snapshot::ReadMapped). Peak memory stays at the resident mapped
+  /// pages instead of file + decoded copy; a later Update
+  /// copy-on-writes out of the mapping. Version-1 files and
+  /// big-endian hosts transparently fall back to kOwned.
+  kMapped,
 };
 
 /// The facade over the whole pipeline. Create() validates the options
@@ -278,6 +305,60 @@ class Session {
   /// structurally inconsistent payloads — never undefined behavior.
   static StatusOr<Session> Load(const std::string& path);
 
+  /// Load with an explicit storage backend. LoadMode::kOwned is the
+  /// plain Load above; LoadMode::kMapped serves the big arrays
+  /// zero-copy out of the mapped file — the session's report() is
+  /// byte-identical either way (tests/session_snapshot_test.cc), only
+  /// the memory footprint differs.
+  static StatusOr<Session> Load(const std::string& path, LoadMode mode);
+
+  // --- Multi-process sharded runs (BSP; docs/ARCHITECTURE.md). ---
+  //
+  // One fusion round per superstep: every shard process detects its
+  // plan-owned pairs against the shared state file, then one merge
+  // process folds the shard files together and advances the fusion
+  // loop a single round. Driven to completion this reproduces the
+  // single-process Run bit for bit:
+  //
+  //   coordinator:  session.InitShardedRun(data, "state.cdsnap");
+  //   per round:    shard i:  session_i.RunShardRound(data,
+  //                     "state.cdsnap", "shard_i.cdsnap");
+  //                 merge:    done = session.MergeShardRound(data,
+  //                     {"shard_0.cdsnap", ...}, "state.cdsnap");
+  //   until *done;  session.report() then serves the final result.
+  //
+  // Every process must load the identical data set (the state and
+  // shard files validate dimensions and pair ids against it, not its
+  // provenance). Requires a round-stateless detector (INCREMENTAL is
+  // refused — its cross-round state cannot survive process
+  // boundaries) and plain options: no online_updates, no sampling.
+
+  /// Writes the round-0 coordinator state for a run of
+  /// options().plan.num_shards shards to `state_path`: the initial
+  /// fusion estimates (exactly what Start computes) and zeroed
+  /// counters.
+  Status InitShardedRun(const Dataset& data,
+                        const std::string& state_path);
+
+  /// Executes the next detection round for this process's shard
+  /// (options().plan.shard_id of options().plan.num_shards, which
+  /// must match the state file's width) and writes the partial result
+  /// to `shard_path`. The session's detector is Reset() first, so
+  /// repeated calls behave like the fresh process per superstep the
+  /// protocol assumes.
+  Status RunShardRound(const Dataset& data,
+                       const std::string& state_path,
+                       const std::string& shard_path);
+
+  /// Folds one round's shard files (all of them, any order) into the
+  /// state file and advances the fusion loop one round. Returns true
+  /// when the run just finished (converged or max_rounds) — the
+  /// session then holds the final report(), bit-identical to a
+  /// single-process Run on the same data.
+  StatusOr<bool> MergeShardRound(
+      const Dataset& data, const std::vector<std::string>& shard_paths,
+      const std::string& state_path);
+
   /// The session's current snapshot: the owned, delta-evolved data
   /// set when online_updates is on and a run has started; null before
   /// the first run (or, without online_updates, the caller's data of
@@ -301,6 +382,8 @@ class Session {
   /// Installs a snapshot::Read result into this freshly Created
   /// session — the back half of Load().
   Status InstallLoaded(snapshot::SessionState state);
+  /// Shared eligibility gate of the three BSP entry points.
+  Status CheckBspEligible() const;
 
   SessionOptions options_;
   std::string detector_name_;
@@ -309,6 +392,11 @@ class Session {
   std::unique_ptr<FusionLoop> loop_;        // null until Start
   const Dataset* data_ = nullptr;           // current run's data set
   Report report_;
+  /// Counters accumulated across a finished BSP run's merged rounds.
+  /// The session's own detector never ran that work, so RefreshReport
+  /// serves these instead of detector_->counters() while set; any
+  /// fresh Start clears them.
+  std::optional<Counters> merged_counters_;
 
   // Online-update state (null/empty unless options_.online_updates).
   std::unique_ptr<Dataset> snapshot_;       // owned evolving snapshot

@@ -45,7 +45,11 @@ uint32_t CeilToU32(double v) {
 /// n_src every shard recomputes identically from the shared entry
 /// stream, so each owned pair evolves exactly as in the sequential
 /// scan — the parallel result is bit-identical at any shard count.
-/// entries_scanned is charged to shard 0 only.
+/// entries_scanned is charged to shard 0 only. params.plan partitions
+/// pairs the same way one level up (across processes): non-owned
+/// pairs are skipped entirely and the stream-level charge goes to the
+/// plan's primary shard, so merged shard counters match the unsharded
+/// run.
 void ScanShard(const InvertedIndex& index, const DetectionInput& in,
                const DetectionParams& params, const ScanConfig& config,
                const OverlapCounts& overlaps, size_t shard,
@@ -67,7 +71,7 @@ void ScanShard(const InvertedIndex& index, const DetectionInput& in,
   std::fill(n_src, n_src + data.num_sources(), 0u);
 
   for (size_t rank = 0; rank < index.num_entries(); ++rank) {
-    if (shard == 0) ++counters->entries_scanned;
+    if (shard == 0 && params.plan.primary()) ++counters->entries_scanned;
     const IndexEntry& e = index.entry(rank);
     std::span<const SourceId> providers = index.providers(rank);
     const bool tail = config.respect_tail && index.in_tail(rank);
@@ -85,6 +89,7 @@ void ScanShard(const InvertedIndex& index, const DetectionInput& in,
         SourceId lo = std::min(providers[i], providers[j]);
         SourceId hi = std::max(providers[i], providers[j]);
         uint64_t key = PairKey(lo, hi);
+        if (!params.plan.Owns(key)) continue;
         if (num_shards > 1 && Mix64(key) % num_shards != shard) continue;
 
         ScanState* st;

@@ -41,6 +41,7 @@ StatusOr<FaginInput> BuildFaginInput(const DetectionInput& in,
         SourceId lo = std::min(providers[i], providers[j]);
         SourceId hi = std::max(providers[i], providers[j]);
         uint64_t key = PairKey(lo, hi);
+        if (!params.plan.Owns(key)) continue;
         double cf =
             SharedContribution(e.probability, accs[lo], accs[hi], params);
         double cb =

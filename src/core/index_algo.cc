@@ -23,7 +23,11 @@ struct IndexPairState {
 /// still accumulates in rank order inside its single owner, which is
 /// what makes the parallel path bit-identical to the serial one.
 /// entries_scanned is charged to shard 0 only (every shard walks the
-/// same stream; the work is shared, not repeated per pair).
+/// same stream; the work is shared, not repeated per pair). The same
+/// two rules apply one level up to params.plan, the process-level
+/// partition: a pair is skipped unless this process owns it, and the
+/// stream-level charge goes to the plan's primary shard only, so
+/// summing the shards' counters reproduces the unsharded totals.
 void ScanShard(const InvertedIndex& index, const std::vector<double>& accs,
                const DetectionParams& params,
                const OverlapCounts& overlaps, size_t shard,
@@ -37,7 +41,7 @@ void ScanShard(const InvertedIndex& index, const std::vector<double>& accs,
   // Steps 1-2: scan entries in order; head entries create state, tail
   // entries only update pairs already seen.
   for (size_t rank = 0; rank < index.num_entries(); ++rank) {
-    if (shard == 0) ++counters->entries_scanned;
+    if (shard == 0 && params.plan.primary()) ++counters->entries_scanned;
     const IndexEntry& e = index.entry(rank);
     std::span<const SourceId> providers = index.providers(rank);
     const bool tail = index.in_tail(rank);
@@ -46,6 +50,7 @@ void ScanShard(const InvertedIndex& index, const std::vector<double>& accs,
         SourceId a = providers[i];
         SourceId b = providers[j];
         uint64_t key = PairKey(a, b);
+        if (!params.plan.Owns(key)) continue;
         if (num_shards > 1 && Mix64(key) % num_shards != shard) continue;
         IndexPairState* state;
         if (tail) {

@@ -166,6 +166,10 @@ Status PairwiseDetector::DetectRound(const DetectionInput& in, int round,
     SourceId a = static_cast<SourceId>(row);
     Counters& counters = row_counters[row];
     for (SourceId b = static_cast<SourceId>(a + 1); b < n; ++b) {
+      // Process-level partition: under an active ShardPlan this
+      // instance scores only the pairs it owns; the merge of all
+      // shards' results is then the full pair set.
+      if (!params_.plan.Owns(PairKey(a, b))) continue;
       if (hints != nullptr && hints->PairReusable(a, b)) {
         // Clean pair: tracked before iff it shares items now (the
         // shared structure is unchanged), so absent stays absent.

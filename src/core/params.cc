@@ -30,6 +30,7 @@ Status DetectionParams::Validate() const {
   if (!(rho_value > 0.0)) {
     return Status::InvalidArgument("rho_value must be positive");
   }
+  CD_RETURN_IF_ERROR(plan.Validate());
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <cstddef>
 
 #include "common/status.h"
+#include "model/shard_plan.h"
 
 namespace copydetect {
 
@@ -40,6 +41,15 @@ struct DetectionParams {
   /// parallel paths are bit-identical to the sequential ones at any
   /// thread count, so this is purely a speed knob.
   Executor* executor = nullptr;
+
+  /// Which slice of the pair space this detector instance owns (see
+  /// model/shard_plan.h). The default single-shard plan owns every
+  /// pair; an active plan restricts every scan path to the owned
+  /// pairs and gates stream-level counters to the primary shard, so
+  /// that merging the shards' results reproduces the unsharded run
+  /// exactly. Orthogonal to `executor`: threads subdivide the work a
+  /// plan assigns to this process.
+  ShardPlan plan;
 
   double beta() const { return 1.0 - 2.0 * alpha; }
   /// No-copying threshold theta_ind = ln(beta / (2 alpha)): both Cmax

@@ -127,6 +127,41 @@ WorldConfig Stock2WkProfile(double scale) {
   return cfg;
 }
 
+WorldConfig BookXlProfile(double scale) {
+  WorldConfig cfg;
+  cfg.name = "book-xl";
+  // 25k sources / 200k items at scale 1; scale 4 crosses 100k
+  // sources. Coverage fractions are per item count, and BoostCoverage
+  // divides by the scale again, so the items-per-source distribution
+  // (~10-40 for the 90% small majority) is scale-invariant and the
+  // observation count grows linearly with the source count.
+  cfg.num_sources = Scaled(25000, scale, 100);
+  cfg.num_items = Scaled(200000, scale, 500);
+  cfg.false_pool = 15;
+  cfg.min_coverage_items = 2;
+  cfg.coverage = {.frac_small = 0.9,
+                  .small_lo = 0.00005,
+                  .small_hi = 0.0002,
+                  .big_lo = 0.0002,
+                  .big_hi = 0.001};
+  cfg.accuracy = {.frac_low = 0.3,
+                  .low_lo = 0.15,
+                  .low_hi = 0.5,
+                  .high_lo = 0.5,
+                  .high_hi = 0.9};
+  cfg.copying = {.num_groups = Scaled(400, scale, 8),
+                 .group_min = 2,
+                 .group_max = 4,
+                 .selectivity = 0.75,
+                 .extra_coverage_frac = 0.0002,
+                 .chain = false};
+  cfg.gold_size = 100;
+  cfg.correlated_error_frac = 0.2;
+  cfg.correlated_error_bias = 0.5;
+  BoostCoverage(&cfg.coverage, scale);
+  return cfg;
+}
+
 bool LookupProfile(const std::string& name, double scale,
                    WorldConfig* out) {
   if (name == "book-cs") {
@@ -137,6 +172,8 @@ bool LookupProfile(const std::string& name, double scale,
     *out = Stock1DayProfile(scale);
   } else if (name == "stock-2wk") {
     *out = Stock2WkProfile(scale);
+  } else if (name == "book-xl") {
+    *out = BookXlProfile(scale);
   } else {
     return false;
   }

@@ -90,8 +90,17 @@ WorldConfig Stock1DayProfile(double scale = 1.0);
 /// Profile mirroring Stock-2wk: Stock-1day x 10 trading days.
 WorldConfig Stock2WkProfile(double scale = 1.0);
 
+/// Beyond-paper stress profile for the sharded/mmap scaling work:
+/// 25,000 sources and 200,000 items at scale 1 (100,000+ sources at
+/// scale 4), with Book-full-like very sparse coverage so the
+/// observation count stays linear in the source count. Deliberately
+/// sized past what the quadratic PAIRWISE baseline can touch — bench
+/// it with the index family.
+WorldConfig BookXlProfile(double scale = 1.0);
+
 /// Looks a profile up by name ("book-cs", "book-full", "stock-1day",
-/// "stock-2wk"); nullptr-like empty name in the result means not found.
+/// "stock-2wk", "book-xl"); nullptr-like empty name in the result
+/// means not found.
 bool LookupProfile(const std::string& name, double scale,
                    WorldConfig* out);
 

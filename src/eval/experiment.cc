@@ -12,7 +12,7 @@ StatusOr<World> MakeWorldByName(const std::string& name, double scale,
   if (!LookupProfile(name, scale, &config)) {
     return Status::NotFound("unknown data set '" + name +
                             "' (want book-cs, book-full, stock-1day, "
-                            "stock-2wk or example)");
+                            "stock-2wk, book-xl or example)");
   }
   return GenerateWorld(config, seed);
 }

@@ -44,6 +44,26 @@ Status FusionLoop::Start(const Dataset& data, CopyDetector* detector) {
   return Status::OK();
 }
 
+Status FusionLoop::Resume(const Dataset& data, CopyDetector* detector,
+                          FusionResult state) {
+  CD_RETURN_IF_ERROR(options_.params.Validate());
+  if (options_.use_copy_detection && detector == nullptr) {
+    return Status::InvalidArgument(
+        "use_copy_detection requires a detector");
+  }
+  if (state.value_probs.size() != data.num_slots() ||
+      state.accuracies.size() != data.num_sources()) {
+    return Status::InvalidArgument(
+        "FusionLoop::Resume: state dimensions disagree with the data "
+        "set");
+  }
+  data_ = &data;
+  detector_ = detector;
+  result_ = std::move(state);
+  done_ = result_.converged || result_.rounds >= options_.max_rounds;
+  return Status::OK();
+}
+
 StatusOr<bool> FusionLoop::Step() {
   if (data_ == nullptr) {
     return Status::FailedPrecondition("FusionLoop::Step before Start");

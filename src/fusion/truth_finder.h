@@ -114,6 +114,17 @@ class FusionLoop {
   /// probabilities and accuracies). Resets any previous run.
   Status Start(const Dataset& data, CopyDetector* detector);
 
+  /// Start()'s warm twin: adopts `state` — a FusionResult persisted
+  /// after some round N — as the loop's state, so the next Step()
+  /// executes round N + 1 exactly as the original loop would have.
+  /// This is what lets a multi-process sharded run advance the fusion
+  /// loop one round per coordinator invocation (Session's BSP merge)
+  /// and still reproduce the in-process run bit for bit. The loop is
+  /// immediately done() when `state` already converged or exhausted
+  /// max_rounds.
+  Status Resume(const Dataset& data, CopyDetector* detector,
+                FusionResult state);
+
   /// Attaches an observer for subsequent Steps (null detaches). Not
   /// owned; must outlive the loop or be detached first.
   void set_observer(RoundObserver* observer) { observer_ = observer; }

@@ -164,7 +164,18 @@ StatusOr<Dataset> DatasetBuilder::Build() {
   const size_t num_items = d.item_names_.size();
   const size_t num_sources = d.source_names_.size();
 
-  d.item_slot_begin_.assign(num_items + 1, 0);
+  // A freshly constructed Dataset is owned-mode, so these are the
+  // empty vectors the layout passes fill in.
+  std::vector<std::string>& slot_value = d.slot_value_.MutableOwned();
+  std::vector<ItemId>& slot_item = d.slot_item_.MutableOwned();
+  std::vector<SlotId>& item_slot_begin = d.item_slot_begin_.MutableOwned();
+  std::vector<uint32_t>& provider_begin = d.provider_begin_.MutableOwned();
+  std::vector<SourceId>& providers = d.providers_.MutableOwned();
+  std::vector<uint32_t>& src_begin = d.src_begin_.MutableOwned();
+  std::vector<ItemId>& obs_item = d.obs_item_.MutableOwned();
+  std::vector<SlotId>& obs_slot = d.obs_slot_.MutableOwned();
+
+  item_slot_begin.assign(num_items + 1, 0);
   // First pass: create slots (contiguous per item, in (item, value) order)
   // and the provider CSR.
   std::vector<SlotId> obs_to_slot(obs_.size());
@@ -174,46 +185,45 @@ StatusOr<Dataset> DatasetBuilder::Build() {
            obs_[j].value_idx == obs_[i].value_idx) {
       ++j;
     }
-    SlotId slot = static_cast<SlotId>(d.slot_value_.size());
-    d.slot_value_.push_back(value_strings_[obs_[i].value_idx]);
-    d.slot_item_.push_back(obs_[i].item);
-    d.provider_begin_.push_back(static_cast<uint32_t>(d.providers_.size()));
+    SlotId slot = static_cast<SlotId>(slot_value.size());
+    slot_value.push_back(value_strings_[obs_[i].value_idx]);
+    slot_item.push_back(obs_[i].item);
+    provider_begin.push_back(static_cast<uint32_t>(providers.size()));
     for (size_t k = i; k < j; ++k) {
-      d.providers_.push_back(obs_[k].source);
+      providers.push_back(obs_[k].source);
       obs_to_slot[k] = slot;
     }
     i = j;
   }
-  d.provider_begin_.push_back(static_cast<uint32_t>(d.providers_.size()));
+  provider_begin.push_back(static_cast<uint32_t>(providers.size()));
 
   // item -> slot range (slots already grouped by item in order).
-  for (SlotId v = 0; v < d.slot_value_.size(); ++v) {
-    d.item_slot_begin_[d.slot_item_[v] + 1] = v + 1;
+  for (SlotId v = 0; v < slot_value.size(); ++v) {
+    item_slot_begin[slot_item[v] + 1] = v + 1;
   }
   // Items with no slots inherit the previous boundary.
   for (size_t i = 1; i <= num_items; ++i) {
-    if (d.item_slot_begin_[i] < d.item_slot_begin_[i - 1]) {
-      d.item_slot_begin_[i] = d.item_slot_begin_[i - 1];
+    if (item_slot_begin[i] < item_slot_begin[i - 1]) {
+      item_slot_begin[i] = item_slot_begin[i - 1];
     }
   }
 
   // Second pass: per-source CSR sorted by item.
-  d.src_begin_.assign(num_sources + 1, 0);
-  for (const Obs& o : obs_) d.src_begin_[o.source + 1]++;
+  src_begin.assign(num_sources + 1, 0);
+  for (const Obs& o : obs_) src_begin[o.source + 1]++;
   for (size_t s = 0; s < num_sources; ++s) {
-    d.src_begin_[s + 1] += d.src_begin_[s];
+    src_begin[s + 1] += src_begin[s];
   }
-  d.obs_item_.resize(obs_.size());
-  d.obs_slot_.resize(obs_.size());
-  std::vector<uint32_t> cursor(d.src_begin_.begin(),
-                               d.src_begin_.end() - 1);
+  obs_item.resize(obs_.size());
+  obs_slot.resize(obs_.size());
+  std::vector<uint32_t> cursor(src_begin.begin(), src_begin.end() - 1);
   // obs_ is sorted by (item, value, source); emitting in this order per
   // source yields per-source arrays sorted by item (values within an
   // item are unique per source).
   for (size_t i = 0; i < obs_.size(); ++i) {
     uint32_t pos = cursor[obs_[i].source]++;
-    d.obs_item_[pos] = obs_[i].item;
-    d.obs_slot_[pos] = obs_to_slot[i];
+    obs_item[pos] = obs_[i].item;
+    obs_slot[pos] = obs_to_slot[i];
   }
 
   // Reset the builder.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "model/array_store.h"
 #include "model/types.h"
 
 namespace copydetect {
@@ -136,25 +137,31 @@ class Dataset {
 
   uint64_t generation_ = NextGeneration();
 
-  std::vector<std::string> source_names_;
-  std::vector<std::string> item_names_;
+  // Every array sits behind an ArrayStore/StringArray so the whole
+  // Dataset can be served either from owned heap vectors or zero-copy
+  // out of a mapped snapshot (see model/array_store.h and
+  // snapshot::ReadMapped). Mutating paths (DatasetBuilder::Build,
+  // Dataset::Apply) go through MutableOwned(), which copies-on-write
+  // when the backing is a view.
+  StringArray source_names_;
+  StringArray item_names_;
 
   // Slot tables (indexed by SlotId).
-  std::vector<std::string> slot_value_;
-  std::vector<ItemId> slot_item_;
+  StringArray slot_value_;
+  ArrayStore<ItemId> slot_item_;
 
   // item -> slot range. Size num_items + 1.
-  std::vector<SlotId> item_slot_begin_;
+  ArrayStore<SlotId> item_slot_begin_;
 
   // slot -> providers CSR. provider_begin_ has size num_slots + 1.
-  std::vector<uint32_t> provider_begin_;
-  std::vector<SourceId> providers_;
+  ArrayStore<uint32_t> provider_begin_;
+  ArrayStore<SourceId> providers_;
 
   // source -> (item, slot) CSR, sorted by item. src_begin_ has size
   // num_sources + 1.
-  std::vector<uint32_t> src_begin_;
-  std::vector<ItemId> obs_item_;
-  std::vector<SlotId> obs_slot_;
+  ArrayStore<uint32_t> src_begin_;
+  ArrayStore<ItemId> obs_item_;
+  ArrayStore<SlotId> obs_slot_;
 };
 
 /// Accumulates observations and freezes them into a Dataset.

@@ -61,7 +61,9 @@ namespace {
 struct ResolvedOp {
   SourceId source = kInvalidSource;
   ItemId item = kInvalidItem;
-  const std::string* value = nullptr;  // null for retractions
+  /// Views the delta op's value string (stable for the whole Apply);
+  /// empty and unused for retractions.
+  std::string_view value;
   bool retract = false;
   /// New-snapshot slot the Set lands in; filled by the item pass and
   /// consumed by the per-source pass.
@@ -70,7 +72,9 @@ struct ResolvedOp {
 
 /// One value of a touched item while its slots are rebuilt.
 struct LocalSlot {
-  const std::string* value = nullptr;
+  /// Views either the old snapshot's slot table (possibly mapped
+  /// memory — stable, the old Dataset outlives Apply) or a delta op.
+  std::string_view value;
   SlotId old_slot = kInvalidSlot;  // kInvalidSlot for delta-born values
   std::vector<SourceId> providers;  // sorted ascending
 };
@@ -94,8 +98,15 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
   Dataset& next = out.data;
   DeltaSummary& sum = out.summary;
 
+  // Materialized copies even when this snapshot is view-backed: Apply
+  // is the copy-on-write seam for mapped snapshots, and the name
+  // tables must grow for delta-born sources/items anyway.
   next.source_names_ = source_names_;
   next.item_names_ = item_names_;
+  std::vector<std::string>& next_source_names =
+      next.source_names_.MutableOwned();
+  std::vector<std::string>& next_item_names =
+      next.item_names_.MutableOwned();
 
   // --- Resolve names, registering new sources/items in op order. ---
   std::unordered_map<std::string_view, uint32_t> source_ids;
@@ -116,7 +127,7 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
   for (const DatasetDelta::Op& op : delta.ops()) {
     ResolvedOp r;
     r.retract = op.retract;
-    if (!op.retract) r.value = &op.value;
+    if (!op.retract) r.value = op.value;
     auto s_it = source_ids.find(op.source);
     if (s_it != source_ids.end()) {
       r.source = s_it->second;
@@ -124,8 +135,8 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
       return Status::InvalidArgument(StrFormat(
           "delta retracts from unknown source '%s'", op.source.c_str()));
     } else {
-      r.source = static_cast<SourceId>(next.source_names_.size());
-      next.source_names_.emplace_back(op.source);
+      r.source = static_cast<SourceId>(next_source_names.size());
+      next_source_names.emplace_back(op.source);
       // Key the view on the delta's op string (stable), not on the
       // growing names vector (reallocation would dangle it).
       source_ids.emplace(op.source, r.source);
@@ -138,8 +149,8 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
       return Status::InvalidArgument(StrFormat(
           "delta retracts unknown item '%s'", op.item.c_str()));
     } else {
-      r.item = static_cast<ItemId>(next.item_names_.size());
-      next.item_names_.emplace_back(op.item);
+      r.item = static_cast<ItemId>(next_item_names.size());
+      next_item_names.emplace_back(op.item);
       item_ids.emplace(op.item, r.item);
       ++sum.added_items;
     }
@@ -162,8 +173,8 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
     rops.push_back(r);
   }
 
-  const size_t new_sources = next.source_names_.size();
-  const size_t new_items = next.item_names_.size();
+  const size_t new_sources = next_source_names.size();
+  const size_t new_items = next_item_names.size();
 
   for (const ResolvedOp& r : rops) {
     sum.touched_sources.push_back(r.source);
@@ -184,18 +195,26 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
   for (ResolvedOp& r : rops) item_ops[r.item].push_back(&r);
 
   // --- Item pass: splice touched items, copy the rest verbatim. ---
+  std::vector<std::string>& next_slot_value =
+      next.slot_value_.MutableOwned();
+  std::vector<ItemId>& next_slot_item = next.slot_item_.MutableOwned();
+  std::vector<SlotId>& next_item_slot_begin =
+      next.item_slot_begin_.MutableOwned();
+  std::vector<uint32_t>& next_provider_begin =
+      next.provider_begin_.MutableOwned();
+  std::vector<SourceId>& next_providers = next.providers_.MutableOwned();
   sum.old_to_new_slot.assign(num_slots(), kInvalidSlot);
-  next.item_slot_begin_.assign(new_items + 1, 0);
-  next.slot_value_.reserve(num_slots() + sum.added);
-  next.slot_item_.reserve(num_slots() + sum.added);
-  next.provider_begin_.reserve(num_slots() + sum.added + 1);
-  next.providers_.reserve(num_observations() + sum.added);
+  next_item_slot_begin.assign(new_items + 1, 0);
+  next_slot_value.reserve(num_slots() + sum.added);
+  next_slot_item.reserve(num_slots() + sum.added);
+  next_provider_begin.reserve(num_slots() + sum.added + 1);
+  next_providers.reserve(num_observations() + sum.added);
 
   std::vector<LocalSlot> locals;
   size_t ti = 0;  // cursor into sum.touched_items
   for (ItemId item = 0; item < new_items; ++item) {
-    next.item_slot_begin_[item] =
-        static_cast<SlotId>(next.slot_value_.size());
+    next_item_slot_begin[item] =
+        static_cast<SlotId>(next_slot_value.size());
     const bool touched =
         ti < sum.touched_items.size() && sum.touched_items[ti] == item;
     if (!touched) {
@@ -203,14 +222,14 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
       // order, same provider lists.
       for (SlotId v = slot_begin(item); v < slot_end(item); ++v) {
         sum.old_to_new_slot[v] =
-            static_cast<SlotId>(next.slot_value_.size());
-        next.slot_value_.push_back(slot_value_[v]);
-        next.slot_item_.push_back(item);
-        next.provider_begin_.push_back(
-            static_cast<uint32_t>(next.providers_.size()));
+            static_cast<SlotId>(next_slot_value.size());
+        next_slot_value.emplace_back(slot_value_[v]);
+        next_slot_item.push_back(item);
+        next_provider_begin.push_back(
+            static_cast<uint32_t>(next_providers.size()));
         std::span<const SourceId> span = providers(v);
-        next.providers_.insert(next.providers_.end(), span.begin(),
-                               span.end());
+        next_providers.insert(next_providers.end(), span.begin(),
+                              span.end());
       }
       continue;
     }
@@ -221,7 +240,7 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
     if (item < old_items) {
       for (SlotId v = slot_begin(item); v < slot_end(item); ++v) {
         LocalSlot ls;
-        ls.value = &slot_value_[v];
+        ls.value = slot_value_[v];
         ls.old_slot = v;
         std::span<const SourceId> span = providers(v);
         ls.providers.assign(span.begin(), span.end());
@@ -239,7 +258,7 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
       if (r->retract) continue;
       auto match = std::find_if(
           locals.begin(), locals.end(), [&](const LocalSlot& ls) {
-            return *ls.value == *r->value;
+            return ls.value == r->value;
           });
       if (match == locals.end()) {
         LocalSlot ls;
@@ -252,34 +271,34 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
     }
     std::sort(locals.begin(), locals.end(),
               [](const LocalSlot& a, const LocalSlot& b) {
-                return *a.value < *b.value;
+                return a.value < b.value;
               });
     for (LocalSlot& ls : locals) {
       if (ls.providers.empty()) continue;  // value lost its last source
-      SlotId nv = static_cast<SlotId>(next.slot_value_.size());
+      SlotId nv = static_cast<SlotId>(next_slot_value.size());
       if (ls.old_slot != kInvalidSlot) {
         sum.old_to_new_slot[ls.old_slot] = nv;
       }
-      next.slot_value_.push_back(*ls.value);
-      next.slot_item_.push_back(item);
-      next.provider_begin_.push_back(
-          static_cast<uint32_t>(next.providers_.size()));
-      next.providers_.insert(next.providers_.end(),
-                             ls.providers.begin(), ls.providers.end());
+      next_slot_value.emplace_back(ls.value);
+      next_slot_item.push_back(item);
+      next_provider_begin.push_back(
+          static_cast<uint32_t>(next_providers.size()));
+      next_providers.insert(next_providers.end(),
+                            ls.providers.begin(), ls.providers.end());
     }
   }
-  next.item_slot_begin_[new_items] =
-      static_cast<SlotId>(next.slot_value_.size());
-  next.provider_begin_.push_back(
-      static_cast<uint32_t>(next.providers_.size()));
+  next_item_slot_begin[new_items] =
+      static_cast<SlotId>(next_slot_value.size());
+  next_provider_begin.push_back(
+      static_cast<uint32_t>(next_providers.size()));
 
   // Resolve every Set's landing slot for the per-source pass (the
   // provider lists just built contain the op's source by now).
   for (ResolvedOp& r : rops) {
     if (r.retract) continue;
-    for (SlotId v = next.item_slot_begin_[r.item];
-         v < next.item_slot_begin_[r.item + 1]; ++v) {
-      if (next.slot_value_[v] == *r.value) {
+    for (SlotId v = next_item_slot_begin[r.item];
+         v < next_item_slot_begin[r.item + 1]; ++v) {
+      if (next_slot_value[v] == r.value) {
         r.new_slot = v;
         break;
       }
@@ -297,11 +316,14 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
               });
   }
 
-  next.src_begin_.assign(new_sources + 1, 0);
-  next.obs_item_.reserve(num_observations() + sum.added);
-  next.obs_slot_.reserve(num_observations() + sum.added);
+  std::vector<uint32_t>& next_src_begin = next.src_begin_.MutableOwned();
+  std::vector<ItemId>& next_obs_item = next.obs_item_.MutableOwned();
+  std::vector<SlotId>& next_obs_slot = next.obs_slot_.MutableOwned();
+  next_src_begin.assign(new_sources + 1, 0);
+  next_obs_item.reserve(num_observations() + sum.added);
+  next_obs_slot.reserve(num_observations() + sum.added);
   for (SourceId s = 0; s < new_sources; ++s) {
-    next.src_begin_[s] = static_cast<uint32_t>(next.obs_item_.size());
+    next_src_begin[s] = static_cast<uint32_t>(next_obs_item.size());
     auto ops_it = source_ops.find(s);
     if (ops_it == source_ops.end()) {
       // Untouched source: same items, slots remapped (all survive —
@@ -309,8 +331,8 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
       std::span<const ItemId> items = items_of(s);
       std::span<const SlotId> slots = slots_of(s);
       for (size_t i = 0; i < items.size(); ++i) {
-        next.obs_item_.push_back(items[i]);
-        next.obs_slot_.push_back(sum.old_to_new_slot[slots[i]]);
+        next_obs_item.push_back(items[i]);
+        next_obs_slot.push_back(sum.old_to_new_slot[slots[i]]);
       }
       continue;
     }
@@ -326,21 +348,21 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
     while (i < items.size() || j < ops.size()) {
       if (j == ops.size() ||
           (i < items.size() && items[i] < ops[j]->item)) {
-        next.obs_item_.push_back(items[i]);
-        next.obs_slot_.push_back(sum.old_to_new_slot[slots[i]]);
+        next_obs_item.push_back(items[i]);
+        next_obs_slot.push_back(sum.old_to_new_slot[slots[i]]);
         ++i;
       } else {
         if (i < items.size() && items[i] == ops[j]->item) ++i;
         if (!ops[j]->retract) {
-          next.obs_item_.push_back(ops[j]->item);
-          next.obs_slot_.push_back(ops[j]->new_slot);
+          next_obs_item.push_back(ops[j]->item);
+          next_obs_slot.push_back(ops[j]->new_slot);
         }
         ++j;
       }
     }
   }
-  next.src_begin_[new_sources] =
-      static_cast<uint32_t>(next.obs_item_.size());
+  next_src_begin[new_sources] =
+      static_cast<uint32_t>(next_obs_item.size());
 
   return out;
 }

@@ -1,0 +1,20 @@
+#include "model/shard_plan.h"
+
+#include "common/stringutil.h"
+
+namespace copydetect {
+
+Status ShardPlan::Validate() const {
+  if (num_shards == 0) {
+    return Status::InvalidArgument(
+        "shard plan: num_shards must be at least 1");
+  }
+  if (shard_id >= num_shards) {
+    return Status::InvalidArgument(
+        StrFormat("shard plan: shard_id %u out of range for %u shards",
+                  shard_id, num_shards));
+  }
+  return Status::OK();
+}
+
+}  // namespace copydetect

@@ -165,8 +165,9 @@ OverlapCounts ComputeOverlaps(const Dataset& data,
   const size_t n = data.num_sources();
   out.num_sources_ = static_cast<SourceId>(n);
   out.dense_mode_ = n <= dense_threshold;
+  std::vector<uint32_t>& dense = out.dense_.MutableOwned();
   if (out.dense_mode_) {
-    out.dense_.assign(n * (n - 1) / 2, 0);
+    dense.assign(n * (n - 1) / 2, 0);
   }
 
   // Three equivalent formulations (counts are integers, so the choice
@@ -198,7 +199,7 @@ OverlapCounts ComputeOverlaps(const Dataset& data,
           for (size_t w = 0; w < words; ++w) {
             c += static_cast<uint32_t>(std::popcount(ra[w] & rb[w]));
           }
-          if (c > 0) out.dense_[out.DenseIndex(a, b)] = c;
+          if (c > 0) dense[out.DenseIndex(a, b)] = c;
         }
       }
       return out;
@@ -209,7 +210,7 @@ OverlapCounts ComputeOverlaps(const Dataset& data,
         if (items_a.empty()) continue;
         for (SourceId b = a + 1; b < n; ++b) {
           uint32_t c = IntersectSize(items_a, data.items_of(b));
-          if (c > 0) out.dense_[out.DenseIndex(a, b)] = c;
+          if (c > 0) dense[out.DenseIndex(a, b)] = c;
         }
       }
       return out;
@@ -228,7 +229,7 @@ OverlapCounts ComputeOverlaps(const Dataset& data,
     if (out.dense_mode_) {
       for (size_t i = 0; i + 1 < providers.size(); ++i) {
         for (size_t j = i + 1; j < providers.size(); ++j) {
-          ++out.dense_[out.DenseIndex(providers[i], providers[j])];
+          ++dense[out.DenseIndex(providers[i], providers[j])];
         }
       }
     } else {
@@ -329,6 +330,10 @@ bool UpdateOverlaps(OverlapCounts* counts, const Dataset& old_data,
     // recount, not a patch.
     return false;
   }
+  // Copy-on-write: a view-backed dense triangle (mapped snapshot)
+  // materializes before the first patch.
+  std::vector<uint32_t>* dense =
+      counts->dense_mode_ ? &counts->dense_.MutableOwned() : nullptr;
   UpdateScratch scratch;
   for (ItemId item : touched_items) {
     std::span<const SourceId> old_span =
@@ -342,11 +347,11 @@ bool UpdateOverlaps(OverlapCounts* counts, const Dataset& old_data,
     if (counts->dense_mode_) {
       auto sub = [&](SourceId a, SourceId b) {
         if (a > b) std::swap(a, b);
-        --counts->dense_[counts->DenseIndex(a, b)];
+        --(*dense)[counts->DenseIndex(a, b)];
       };
       auto add = [&](SourceId a, SourceId b) {
         if (a > b) std::swap(a, b);
-        ++counts->dense_[counts->DenseIndex(a, b)];
+        ++(*dense)[counts->DenseIndex(a, b)];
       };
       AdjustGroupPairs(scratch.departed, scratch.kept, sub);
       AdjustGroupPairs(scratch.arrived, scratch.kept, add);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/flat_hash.h"
+#include "model/array_store.h"
 #include "model/types.h"
 
 namespace copydetect {
@@ -68,7 +69,11 @@ class OverlapCounts {
 
   bool dense_mode_ = false;
   SourceId num_sources_ = 0;
-  std::vector<uint32_t> dense_;
+  // ArrayStore so a mapped snapshot can serve the dense triangle
+  // zero-copy (sparse tables stay owned — FlatHashMap's layout is
+  // pointer-based); UpdateOverlaps copies-on-write through
+  // MutableOwned when patching a view-backed triangle.
+  ArrayStore<uint32_t> dense_;
   FlatHashMap<uint32_t> sparse_;
 };
 

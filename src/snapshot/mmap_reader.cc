@@ -1,0 +1,179 @@
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/stringutil.h"
+#include "snapshot/framing.h"
+#include "snapshot/snapshot_io.h"
+
+namespace copydetect {
+namespace snapshot {
+
+using snapshot_internal::Hash64;
+using snapshot_internal::kHeaderSize;
+using snapshot_internal::kMaxSections;
+using snapshot_internal::kTableEntrySize;
+
+namespace {
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+MmapReader::~MmapReader() {
+  if (base_ != nullptr) {
+    munmap(const_cast<uint8_t*>(base_), size_);
+  }
+}
+
+StatusOr<std::shared_ptr<MmapReader>> MmapReader::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("snapshot file not found: " + path);
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IOError("cannot stat snapshot file: " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < kHeaderSize) {
+    ::close(fd);
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: file truncated (%zu bytes, header needs %zu)",
+        path.c_str(), size, kHeaderSize));
+  }
+  // MAP_PRIVATE: the pages are read-only to us either way, but private
+  // mapping keeps a concurrent writer (which snapshot::Write never is,
+  // thanks to rename-replace, but an ill-behaved tool could be) from
+  // feeding us bytes that change after validation on some systems.
+  void* mapped = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (mapped == MAP_FAILED) {
+    return Status::IOError("cannot mmap snapshot file: " + path);
+  }
+
+  std::shared_ptr<MmapReader> reader(new MmapReader());
+  reader->path_ = path;
+  reader->base_ = static_cast<const uint8_t*>(mapped);
+  reader->size_ = size;
+  const uint8_t* base = reader->base_;
+
+  // Framing validation mirrors ParseFraming (snapshot_io.cc) except
+  // the per-section payload checksums, which Section() defers to
+  // first access, and the additional alignment check on version-2
+  // section offsets — a misaligned offset can only come from a forged
+  // or corrupt table, and accepting it would make the zero-copy views
+  // alias misaligned memory.
+  if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": bad magic — not a copydetect snapshot "
+        "file (or mangled in transit)");
+  }
+  reader->version_ = LoadU32(base + 8);
+  reader->generation_ = LoadU64(base + 16);
+  const uint32_t section_count = LoadU32(base + 24);
+  if (reader->version_ < kMinReadVersion ||
+      reader->version_ > kFormatVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: format version %u not supported (this build "
+        "reads versions %u through %u) — refusing rather than guessing "
+        "at the layout",
+        path.c_str(), reader->version_, kMinReadVersion,
+        kFormatVersion));
+  }
+  if (section_count == 0 || section_count > kMaxSections) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: implausible section count %u", path.c_str(),
+        section_count));
+  }
+  const size_t table_end =
+      kHeaderSize + static_cast<size_t>(section_count) * kTableEntrySize;
+  if (size < table_end + 8) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": file truncated inside the section "
+        "table");
+  }
+  if (LoadU64(base + table_end) != Hash64(base, table_end)) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": header/section-table checksum "
+        "mismatch — file corrupt");
+  }
+
+  reader->entries_.resize(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const uint8_t* e = base + kHeaderSize + i * kTableEntrySize;
+    Entry& entry = reader->entries_[i];
+    entry.id = LoadU32(e);
+    entry.offset = LoadU64(e + 8);
+    entry.size = LoadU64(e + 16);
+    entry.checksum = LoadU64(e + 24);
+    if (entry.offset > size || entry.size > size - entry.offset) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot: %s: section %u extends past the end of the file "
+          "(offset %llu, size %llu, file %zu bytes) — file truncated "
+          "or table corrupt",
+          path.c_str(), entry.id,
+          static_cast<unsigned long long>(entry.offset),
+          static_cast<unsigned long long>(entry.size), size));
+    }
+    if (reader->version_ >= 2 && entry.offset % 8 != 0) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot: %s: section %u starts at misaligned offset %llu "
+          "in a version-%u file — table forged or corrupt",
+          path.c_str(), entry.id,
+          static_cast<unsigned long long>(entry.offset),
+          reader->version_));
+    }
+  }
+  return reader;
+}
+
+std::vector<uint32_t> MmapReader::SectionIds() const {
+  std::vector<uint32_t> ids;
+  ids.reserve(entries_.size());
+  for (const Entry& e : entries_) ids.push_back(e.id);
+  return ids;
+}
+
+StatusOr<std::span<const uint8_t>> MmapReader::Section(uint32_t id) {
+  for (Entry& e : entries_) {
+    if (e.id != id) continue;
+    if (!e.verified) {
+      if (Hash64(base_ + e.offset, static_cast<size_t>(e.size)) !=
+          e.checksum) {
+        return Status::InvalidArgument(StrFormat(
+            "snapshot: %s: section %u checksum mismatch — file "
+            "corrupt",
+            path_.c_str(), e.id));
+      }
+      e.verified = true;
+    }
+    return std::span<const uint8_t>(base_ + e.offset,
+                                    static_cast<size_t>(e.size));
+  }
+  return Status::NotFound(StrFormat(
+      "snapshot: %s: no section with id %u", path_.c_str(), id));
+}
+
+}  // namespace snapshot
+}  // namespace copydetect

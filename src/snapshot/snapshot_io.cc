@@ -11,6 +11,7 @@
 
 #include "common/flat_hash.h"
 #include "common/stringutil.h"
+#include "snapshot/framing.h"
 
 namespace copydetect {
 
@@ -36,34 +37,34 @@ struct DatasetSerde {
   // Write-path accessors: serialization reads the arrays in place
   // (copying a large Dataset just to write it would double the Save
   // peak next to the byte buffer).
-  static const std::vector<std::string>& source_names(const Dataset& d) {
+  static const StringArray& source_names(const Dataset& d) {
     return d.source_names_;
   }
-  static const std::vector<std::string>& item_names(const Dataset& d) {
+  static const StringArray& item_names(const Dataset& d) {
     return d.item_names_;
   }
-  static const std::vector<std::string>& slot_value(const Dataset& d) {
+  static const StringArray& slot_value(const Dataset& d) {
     return d.slot_value_;
   }
-  static const std::vector<ItemId>& slot_item(const Dataset& d) {
+  static const ArrayStore<ItemId>& slot_item(const Dataset& d) {
     return d.slot_item_;
   }
-  static const std::vector<SlotId>& item_slot_begin(const Dataset& d) {
+  static const ArrayStore<SlotId>& item_slot_begin(const Dataset& d) {
     return d.item_slot_begin_;
   }
-  static const std::vector<uint32_t>& provider_begin(const Dataset& d) {
+  static const ArrayStore<uint32_t>& provider_begin(const Dataset& d) {
     return d.provider_begin_;
   }
-  static const std::vector<SourceId>& providers(const Dataset& d) {
+  static const ArrayStore<SourceId>& providers(const Dataset& d) {
     return d.providers_;
   }
-  static const std::vector<uint32_t>& src_begin(const Dataset& d) {
+  static const ArrayStore<uint32_t>& src_begin(const Dataset& d) {
     return d.src_begin_;
   }
-  static const std::vector<ItemId>& obs_item(const Dataset& d) {
+  static const ArrayStore<ItemId>& obs_item(const Dataset& d) {
     return d.obs_item_;
   }
-  static const std::vector<SlotId>& obs_slot(const Dataset& d) {
+  static const ArrayStore<SlotId>& obs_slot(const Dataset& d) {
     return d.obs_slot_;
   }
 
@@ -81,6 +82,41 @@ struct DatasetSerde {
     d->obs_item_ = std::move(a.obs_item);
     d->obs_slot_ = std::move(a.obs_slot);
   }
+
+  /// View-backed twin of Arrays: spans/string_views aliasing a mapped
+  /// snapshot instead of decoded heap copies.
+  struct ViewArrays {
+    std::vector<std::string_view> source_names;
+    std::vector<std::string_view> item_names;
+    std::vector<std::string_view> slot_value;
+    std::span<const ItemId> slot_item;
+    std::span<const SlotId> item_slot_begin;
+    std::span<const uint32_t> provider_begin;
+    std::span<const SourceId> providers;
+    std::span<const uint32_t> src_begin;
+    std::span<const ItemId> obs_item;
+    std::span<const SlotId> obs_slot;
+  };
+
+  /// Installs mapped views; `keepalive` (the MmapReader) is shared
+  /// into every store so the mapping outlives any use of `d`.
+  static void InstallView(ViewArrays a,
+                          const std::shared_ptr<const void>& keepalive,
+                          Dataset* d) {
+    d->source_names_ =
+        StringArray::View(std::move(a.source_names), keepalive);
+    d->item_names_ = StringArray::View(std::move(a.item_names), keepalive);
+    d->slot_value_ = StringArray::View(std::move(a.slot_value), keepalive);
+    d->slot_item_ = ArrayStore<ItemId>::View(a.slot_item, keepalive);
+    d->item_slot_begin_ =
+        ArrayStore<SlotId>::View(a.item_slot_begin, keepalive);
+    d->provider_begin_ =
+        ArrayStore<uint32_t>::View(a.provider_begin, keepalive);
+    d->providers_ = ArrayStore<SourceId>::View(a.providers, keepalive);
+    d->src_begin_ = ArrayStore<uint32_t>::View(a.src_begin, keepalive);
+    d->obs_item_ = ArrayStore<ItemId>::View(a.obs_item, keepalive);
+    d->obs_slot_ = ArrayStore<SlotId>::View(a.obs_slot, keepalive);
+  }
 };
 
 struct OverlapSerde {
@@ -88,15 +124,17 @@ struct OverlapSerde {
   static SourceId num_sources(const OverlapCounts& c) {
     return c.num_sources_;
   }
-  static const std::vector<uint32_t>& dense(const OverlapCounts& c) {
+  static const ArrayStore<uint32_t>& dense(const OverlapCounts& c) {
     return c.dense_;
   }
   static const FlatHashMap<uint32_t>& sparse(const OverlapCounts& c) {
     return c.sparse_;
   }
 
+  /// `dense` accepts either backend: owned decode passes a vector
+  /// (implicit conversion), the mapped path passes an ArrayStore view.
   static void Install(bool dense_mode, SourceId num_sources,
-                      std::vector<uint32_t> dense,
+                      ArrayStore<uint32_t> dense,
                       FlatHashMap<uint32_t> sparse, OverlapCounts* out) {
     out->dense_mode_ = dense_mode;
     out->num_sources_ = num_sources;
@@ -112,44 +150,12 @@ namespace snapshot {
 namespace {
 
 using snapshot_internal::DatasetSerde;
+using snapshot_internal::Hash64;
+using snapshot_internal::kHeaderSize;
+using snapshot_internal::kMaxSections;
+using snapshot_internal::kTableEntrySize;
 using snapshot_internal::OverlapSerde;
-
-// ---------------------------------------------------------------------
-// Checksum: 8-byte little-endian words folded through Mix64, the final
-// partial word zero-padded, seeded with an FNV-style length mix. Not
-// cryptographic — it detects corruption, not tampering. Specified in
-// docs/FORMATS.md so independent readers can verify files.
-
-/// std::byteswap is C++23; the repo builds as C++20.
-inline uint64_t ByteSwap64(uint64_t v) {
-  v = ((v & 0x00ff00ff00ff00ffULL) << 8) |
-      ((v >> 8) & 0x00ff00ff00ff00ffULL);
-  v = ((v & 0x0000ffff0000ffffULL) << 16) |
-      ((v >> 16) & 0x0000ffff0000ffffULL);
-  return (v << 32) | (v >> 32);
-}
-
-uint64_t Hash64(const uint8_t* data, size_t size) {
-  uint64_t h = 0xcbf29ce484222325ULL ^ (static_cast<uint64_t>(size) *
-                                        0x100000001b3ULL);
-  size_t i = 0;
-  for (; i + 8 <= size; i += 8) {
-    uint64_t word;
-    std::memcpy(&word, data + i, 8);
-    if constexpr (std::endian::native == std::endian::big) {
-      word = ByteSwap64(word);
-    }
-    h = Mix64(h ^ word);
-  }
-  if (i < size) {
-    uint64_t word = 0;
-    for (size_t j = 0; i + j < size; ++j) {
-      word |= static_cast<uint64_t>(data[i + j]) << (8 * j);
-    }
-    h = Mix64(h ^ word);
-  }
-  return h;
-}
+using snapshot_internal::TableEntry;
 
 // ---------------------------------------------------------------------
 // Little-endian wire primitives. Scalars are encoded byte-wise (so the
@@ -174,16 +180,26 @@ class Writer {
 
   void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
 
-  void Str(const std::string& s) {
+  void Str(std::string_view s) {
     U64(s.size());
     bytes_.insert(bytes_.end(), s.begin(), s.end());
   }
 
+  /// Zero-pads to the next 8-byte boundary relative to the payload
+  /// start. Section payloads start 8-aligned in the file (version 2),
+  /// so padding here lands the bytes 8-aligned on disk.
+  void AlignTo8() {
+    while (bytes_.size() % 8 != 0) bytes_.push_back(0);
+  }
+
   template <typename T>
-  void Vec(const std::vector<T>& v) {
+  void Vec(std::span<const T> v) {
     static_assert(sizeof(T) == 4 || sizeof(T) == 8);
+    // Version 2: align so the element bytes after the 8-byte count
+    // start on an 8-byte file offset — the mmap view requirement.
+    AlignTo8();
     U64(v.size());
-    if (v.empty()) return;  // data() may be null on an empty vector
+    if (v.empty()) return;  // data() may be null on an empty span
     if constexpr (std::endian::native == std::endian::little) {
       const uint8_t* raw = reinterpret_cast<const uint8_t*>(v.data());
       bytes_.insert(bytes_.end(), raw, raw + v.size() * sizeof(T));
@@ -198,9 +214,24 @@ class Writer {
     }
   }
 
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    Vec(std::span<const T>(v.data(), v.size()));
+  }
+
+  template <typename T>
+  void Vec(const ArrayStore<T>& v) {
+    Vec(v.span());
+  }
+
   void StrVec(const std::vector<std::string>& v) {
     U64(v.size());
     for (const std::string& s : v) Str(s);
+  }
+
+  void StrVec(const StringArray& v) {
+    U64(v.size());
+    for (size_t i = 0; i < v.size(); ++i) Str(v[i]);
   }
 
   size_t size() const { return bytes_.size(); }
@@ -230,7 +261,11 @@ class Writer {
 /// sticky error into one descriptive Status per section.
 class Reader {
  public:
-  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  /// `aligned` selects the version-2 decode: Vec/VecView skip the
+  /// writer's padding to the next 8-byte boundary before the count.
+  /// Version-1 payloads pass false and decode the packed layout.
+  Reader(const uint8_t* data, size_t size, bool aligned = false)
+      : data_(data), size_(size), aligned_(aligned) {}
 
   bool ok() const { return ok_; }
   size_t remaining() const { return size_ - pos_; }
@@ -274,6 +309,7 @@ class Reader {
   template <typename T>
   std::vector<T> Vec() {
     static_assert(sizeof(T) == 4 || sizeof(T) == 8);
+    AlignTo8();
     uint64_t n = U64();
     // Guard the multiply and the allocation against a hostile count:
     // each element needs sizeof(T) payload bytes, so a count beyond
@@ -312,6 +348,58 @@ class Reader {
     return v;
   }
 
+  /// Zero-copy Vec: a span aliasing the payload bytes instead of a
+  /// decoded vector. Only valid for aligned (version-2) payloads on a
+  /// little-endian host — the mapped path checks both before calling.
+  /// Fails (sticky) if the element bytes land misaligned for T, which
+  /// a forged table can arrange even in an "aligned" file.
+  template <typename T>
+  std::span<const T> VecView() {
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8);
+    if constexpr (std::endian::native != std::endian::little) {
+      // Mapped decode never runs on big-endian hosts (ReadMapped falls
+      // back to the owned path first); refuse rather than alias.
+      ok_ = false;
+      return {};
+    }
+    AlignTo8();
+    uint64_t n = U64();
+    if (!ok_ || n > remaining() / sizeof(T)) {
+      ok_ = false;
+      return {};
+    }
+    const uint8_t* p = data_ + pos_;
+    if (reinterpret_cast<uintptr_t>(p) % alignof(T) != 0) {
+      ok_ = false;
+      return {};
+    }
+    pos_ += static_cast<size_t>(n) * sizeof(T);
+    if (n == 0) return {};
+    return std::span<const T>(reinterpret_cast<const T*>(p),
+                              static_cast<size_t>(n));
+  }
+
+  /// Zero-copy StrVec: string_views aliasing the payload bytes.
+  /// Strings are byte-aligned, so this needs no alignment rules.
+  std::vector<std::string_view> StrVecView() {
+    uint64_t n = U64();
+    if (!ok_ || n > remaining() / 8) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::string_view> v;
+    v.reserve(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n && ok_; ++i) {
+      uint64_t len = U64();
+      if (!Need(len)) break;
+      v.emplace_back(reinterpret_cast<const char*>(data_ + pos_),
+                     static_cast<size_t>(len));
+      pos_ += static_cast<size_t>(len);
+    }
+    if (!ok_) return {};
+    return v;
+  }
+
  private:
   bool Need(uint64_t n) {
     if (!ok_ || n > size_ - pos_) {
@@ -321,9 +409,18 @@ class Reader {
     return true;
   }
 
+  /// Skips the writer's padding to the next 8-byte boundary (aligned
+  /// payloads only; version-1 payloads have none).
+  void AlignTo8() {
+    if (!aligned_) return;
+    const size_t rem = pos_ % 8;
+    if (rem != 0 && Need(8 - rem)) pos_ += 8 - rem;
+  }
+
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;
+  bool aligned_ = false;
   bool ok_ = true;
 };
 
@@ -402,7 +499,7 @@ void WriteDataset(const Dataset& data, Writer* w) {
 
 /// One CSR boundary array: starts at 0, non-decreasing, `rows + 1`
 /// entries, ends exactly at `total`.
-bool ValidCsr(const std::vector<uint32_t>& begin, size_t rows,
+bool ValidCsr(std::span<const uint32_t> begin, size_t rows,
               size_t total) {
   if (begin.size() != rows + 1) return false;
   if (begin.front() != 0 || begin.back() != total) return false;
@@ -412,44 +509,29 @@ bool ValidCsr(const std::vector<uint32_t>& begin, size_t rows,
   return true;
 }
 
-bool AllBelow(const std::vector<uint32_t>& ids, size_t bound) {
+bool AllBelow(std::span<const uint32_t> ids, size_t bound) {
   for (uint32_t id : ids) {
     if (id >= bound) return false;
   }
   return true;
 }
 
-Status ReadDataset(Reader* r, Dataset* out) {
+/// Structural validation of a decoded DATASET section, shared by the
+/// owned and mapped decode paths (the spans alias vectors in the
+/// former, the mapped file in the latter): everything the detection
+/// algorithms index with must be in range, every CSR monotone — a
+/// Dataset accepted here cannot take the engine out of bounds.
+Status ValidateDatasetShape(uint64_t num_sources, uint64_t num_items,
+                            uint64_t num_slots, uint64_t num_obs,
+                            size_t source_names, size_t item_names,
+                            size_t slot_values,
+                            const DatasetSerde::ViewArrays& a) {
   auto corrupt = [](const char* what) {
     return Status::InvalidArgument(
         std::string("snapshot: DATASET section inconsistent: ") + what);
   };
-  const uint64_t num_sources = r->U64();
-  const uint64_t num_items = r->U64();
-  const uint64_t num_slots = r->U64();
-  const uint64_t num_obs = r->U64();
-  DatasetSerde::Arrays a;
-  a.source_names = r->StrVec();
-  a.item_names = r->StrVec();
-  a.slot_value = r->StrVec();
-  a.slot_item = r->Vec<ItemId>();
-  a.item_slot_begin = r->Vec<SlotId>();
-  a.provider_begin = r->Vec<uint32_t>();
-  a.providers = r->Vec<SourceId>();
-  a.src_begin = r->Vec<uint32_t>();
-  a.obs_item = r->Vec<ItemId>();
-  a.obs_slot = r->Vec<SlotId>();
-  if (!r->ok()) {
-    return Status::InvalidArgument(
-        "snapshot: DATASET section truncated");
-  }
-  // Structural validation: everything the detection algorithms index
-  // with must be in range, every CSR monotone — a Dataset accepted
-  // here cannot take the engine out of bounds.
-  if (a.source_names.size() != num_sources ||
-      a.item_names.size() != num_items ||
-      a.slot_value.size() != num_slots ||
-      a.obs_item.size() != num_obs) {
+  if (source_names != num_sources || item_names != num_items ||
+      slot_values != num_slots || a.obs_item.size() != num_obs) {
     return corrupt("array sizes disagree with the declared counts");
   }
   if (a.slot_item.size() != num_slots ||
@@ -478,7 +560,73 @@ Status ReadDataset(Reader* r, Dataset* out) {
       !AllBelow(a.obs_slot, num_slots)) {
     return corrupt("per-source observation arrays out of range");
   }
+  return Status::OK();
+}
+
+Status ReadDataset(Reader* r, Dataset* out) {
+  const uint64_t num_sources = r->U64();
+  const uint64_t num_items = r->U64();
+  const uint64_t num_slots = r->U64();
+  const uint64_t num_obs = r->U64();
+  DatasetSerde::Arrays a;
+  a.source_names = r->StrVec();
+  a.item_names = r->StrVec();
+  a.slot_value = r->StrVec();
+  a.slot_item = r->Vec<ItemId>();
+  a.item_slot_begin = r->Vec<SlotId>();
+  a.provider_begin = r->Vec<uint32_t>();
+  a.providers = r->Vec<SourceId>();
+  a.src_begin = r->Vec<uint32_t>();
+  a.obs_item = r->Vec<ItemId>();
+  a.obs_slot = r->Vec<SlotId>();
+  if (!r->ok()) {
+    return Status::InvalidArgument(
+        "snapshot: DATASET section truncated");
+  }
+  DatasetSerde::ViewArrays shape;
+  shape.slot_item = a.slot_item;
+  shape.item_slot_begin = a.item_slot_begin;
+  shape.provider_begin = a.provider_begin;
+  shape.providers = a.providers;
+  shape.src_begin = a.src_begin;
+  shape.obs_item = a.obs_item;
+  shape.obs_slot = a.obs_slot;
+  CD_RETURN_IF_ERROR(ValidateDatasetShape(
+      num_sources, num_items, num_slots, num_obs, a.source_names.size(),
+      a.item_names.size(), a.slot_value.size(), shape));
   DatasetSerde::Install(std::move(a), out);
+  return Status::OK();
+}
+
+/// Mapped twin of ReadDataset: the POD arrays and string tables become
+/// views into the mapped payload instead of heap copies. Validation is
+/// identical (ValidateDatasetShape walks the mapped bytes directly).
+Status ReadDatasetMapped(Reader* r,
+                         const std::shared_ptr<const void>& keepalive,
+                         Dataset* out) {
+  const uint64_t num_sources = r->U64();
+  const uint64_t num_items = r->U64();
+  const uint64_t num_slots = r->U64();
+  const uint64_t num_obs = r->U64();
+  DatasetSerde::ViewArrays a;
+  a.source_names = r->StrVecView();
+  a.item_names = r->StrVecView();
+  a.slot_value = r->StrVecView();
+  a.slot_item = r->VecView<ItemId>();
+  a.item_slot_begin = r->VecView<SlotId>();
+  a.provider_begin = r->VecView<uint32_t>();
+  a.providers = r->VecView<SourceId>();
+  a.src_begin = r->VecView<uint32_t>();
+  a.obs_item = r->VecView<ItemId>();
+  a.obs_slot = r->VecView<SlotId>();
+  if (!r->ok()) {
+    return Status::InvalidArgument(
+        "snapshot: DATASET section truncated");
+  }
+  CD_RETURN_IF_ERROR(ValidateDatasetShape(
+      num_sources, num_items, num_slots, num_obs, a.source_names.size(),
+      a.item_names.size(), a.slot_value.size(), a));
+  DatasetSerde::InstallView(std::move(a), keepalive, out);
   return Status::OK();
 }
 
@@ -496,17 +644,14 @@ void WriteOverlaps(const SessionState& state, Writer* w) {
   WriteRawMapU32(OverlapSerde::sparse(c), w);
 }
 
-Status ReadOverlaps(Reader* r, size_t num_sources, SessionState* out) {
-  out->overlaps_generation = r->U64();
-  const bool dense_mode = r->U8() != 0;
-  const uint32_t n = r->U32();
-  std::vector<uint32_t> dense = r->Vec<uint32_t>();
-  std::vector<uint64_t> keys = r->Vec<uint64_t>();
-  std::vector<uint32_t> values = r->Vec<uint32_t>();
-  if (!r->ok()) {
-    return Status::InvalidArgument(
-        "snapshot: OVERLAPS section truncated");
-  }
+/// Shared tail of the two OVERLAPS decode paths: validates the decoded
+/// pieces against the data set and installs them. `dense` is an owned
+/// vector (streaming path) or a view into the mapped file.
+Status InstallOverlaps(bool dense_mode, uint32_t n,
+                       ArrayStore<uint32_t> dense,
+                       std::vector<uint64_t> keys,
+                       std::vector<uint32_t> values, size_t num_sources,
+                       SessionState* out) {
   if (n != num_sources) {
     return Status::InvalidArgument(
         StrFormat("snapshot: OVERLAPS counts cover %u sources but the "
@@ -538,6 +683,45 @@ Status ReadOverlaps(Reader* r, size_t num_sources, SessionState* out) {
                         std::move(sparse), &out->overlaps);
   out->has_overlaps = true;
   return Status::OK();
+}
+
+Status ReadOverlaps(Reader* r, size_t num_sources, SessionState* out) {
+  out->overlaps_generation = r->U64();
+  const bool dense_mode = r->U8() != 0;
+  const uint32_t n = r->U32();
+  std::vector<uint32_t> dense = r->Vec<uint32_t>();
+  std::vector<uint64_t> keys = r->Vec<uint64_t>();
+  std::vector<uint32_t> values = r->Vec<uint32_t>();
+  if (!r->ok()) {
+    return Status::InvalidArgument(
+        "snapshot: OVERLAPS section truncated");
+  }
+  return InstallOverlaps(dense_mode, n, std::move(dense),
+                         std::move(keys), std::move(values), num_sources,
+                         out);
+}
+
+/// Mapped twin of ReadOverlaps: the dense triangle (the O(n^2) part)
+/// becomes a view into the mapped payload; the sparse table must stay
+/// owned (FlatHashMap owns its storage), which is fine — it is sized
+/// to the surviving pairs, not the pair space.
+Status ReadOverlapsMapped(Reader* r,
+                          const std::shared_ptr<const void>& keepalive,
+                          size_t num_sources, SessionState* out) {
+  out->overlaps_generation = r->U64();
+  const bool dense_mode = r->U8() != 0;
+  const uint32_t n = r->U32();
+  std::span<const uint32_t> dense = r->VecView<uint32_t>();
+  std::vector<uint64_t> keys = r->Vec<uint64_t>();
+  std::vector<uint32_t> values = r->Vec<uint32_t>();
+  if (!r->ok()) {
+    return Status::InvalidArgument(
+        "snapshot: OVERLAPS section truncated");
+  }
+  return InstallOverlaps(dense_mode, n,
+                         ArrayStore<uint32_t>::View(dense, keepalive),
+                         std::move(keys), std::move(values), num_sources,
+                         out);
 }
 
 void WriteCopies(const CopyResult& copies, Writer* w) {
@@ -609,7 +793,8 @@ void WriteFusion(const FusionResult& f, Writer* w) {
   w->F64(f.detect_cpu_seconds);
 }
 
-Status ReadFusion(Reader* r, const Dataset& data, FusionResult* out) {
+Status ReadFusion(Reader* r, const Dataset& data, FusionResult* out,
+                  bool allow_empty_truth = false) {
   out->value_probs = r->Vec<double>();
   out->accuracies = r->Vec<double>();
   out->truth = r->Vec<SlotId>();
@@ -639,9 +824,13 @@ Status ReadFusion(Reader* r, const Dataset& data, FusionResult* out) {
     return Status::InvalidArgument(
         "snapshot: FUSION section truncated");
   }
+  // A mid-run BSP state carries no truth yet — the fusion loop only
+  // chooses truth once the run finishes.
+  const bool truth_ok =
+      out->truth.size() == data.num_items() ||
+      (allow_empty_truth && out->truth.empty());
   if (out->value_probs.size() != data.num_slots() ||
-      out->accuracies.size() != data.num_sources() ||
-      out->truth.size() != data.num_items()) {
+      out->accuracies.size() != data.num_sources() || !truth_ok) {
     return Status::InvalidArgument(
         "snapshot: FUSION arrays disagree with the data set's "
         "dimensions");
@@ -736,32 +925,6 @@ Status ReadTape(Reader* r, const Dataset& data, SessionState* out) {
   return Status::OK();
 }
 
-// ---------------------------------------------------------------------
-// File framing. Layout (all integers little-endian; see
-// docs/FORMATS.md for the byte-level spec):
-//
-//   [0,  8)  magic "CDSNAP\r\n"
-//   [8, 12)  u32 format version
-//   [12,16)  u32 flags (0 in version 1)
-//   [16,24)  u64 generation (save-time Dataset::generation())
-//   [24,28)  u32 section count
-//   [28,32)  u32 reserved (0)
-//   then     section table: count x 32-byte entries
-//            { u32 id, u32 reserved, u64 offset, u64 size, u64 checksum }
-//   then     u64 meta checksum over bytes [0, table end)
-//   then     section payloads at their recorded offsets
-
-constexpr size_t kHeaderSize = 32;
-constexpr size_t kTableEntrySize = 32;
-constexpr uint32_t kMaxSections = 64;
-
-struct TableEntry {
-  uint32_t id = 0;
-  uint64_t offset = 0;
-  uint64_t size = 0;
-  uint64_t checksum = 0;
-};
-
 }  // namespace
 
 OptionField OptionField::Bool(std::string name, bool v) {
@@ -796,6 +959,178 @@ OptionField OptionField::Text(std::string name, std::string v) {
   return f;
 }
 
+namespace {
+
+/// Temp-and-rename in the target directory so a crash mid-write
+/// cannot leave a torn file under the final name (rename within one
+/// directory is atomic on POSIX). fflush moves the bytes to the
+/// kernel; fsync moves them to the device — without the latter, the
+/// rename can commit the new name while the data is still only in the
+/// page cache, and a power loss would replace a good file with a torn
+/// one.
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + tmp_path + " for writing");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0 && fsync(fileno(f)) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !flushed || !closed) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("short write to " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+/// Assembles the framed file around the given section payloads:
+/// header, table, meta checksum, then the payloads with each start
+/// offset padded to 8 bytes (the version-2 alignment invariant; the
+/// zero gap bytes are excluded from the recorded sizes). The payload
+/// area itself starts 8-aligned by construction: 32-byte header +
+/// 32-byte entries + 8-byte meta checksum.
+std::vector<uint8_t> FrameSections(
+    uint64_t generation,
+    const std::vector<std::pair<SectionId, Writer>>& sections) {
+  Writer file;
+  for (unsigned char c : kMagic) file.U8(c);
+  file.U32(kFormatVersion);
+  file.U32(0);  // flags
+  file.U64(generation);
+  file.U32(static_cast<uint32_t>(sections.size()));
+  file.U32(0);  // reserved
+
+  const size_t table_begin = file.size();
+  uint64_t payload_offset = table_begin +
+                            sections.size() * kTableEntrySize +
+                            8;  // + meta checksum
+  for (const auto& [id, payload] : sections) {
+    payload_offset = (payload_offset + 7) & ~uint64_t{7};
+    file.U32(static_cast<uint32_t>(id));
+    file.U32(0);  // per-section reserved/version
+    file.U64(payload_offset);
+    file.U64(payload.size());
+    file.U64(Hash64(payload.bytes().data(), payload.size()));
+    payload_offset += payload.size();
+  }
+  file.U64(Hash64(file.bytes().data(), file.size()));
+  for (const auto& [id, payload] : sections) {
+    file.AlignTo8();
+    file.bytes().insert(file.bytes().end(), payload.bytes().begin(),
+                        payload.bytes().end());
+  }
+  return std::move(file.bytes());
+}
+
+Status ReadFileBytes(const std::string& path,
+                     std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("snapshot file not found: " + path);
+  }
+  uint8_t buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IOError("cannot read snapshot file: " + path);
+  }
+  return Status::OK();
+}
+
+struct Framing {
+  uint32_t version = 0;
+  uint64_t generation = 0;
+  std::vector<TableEntry> entries;
+};
+
+/// Validates everything up to (and including) the per-section
+/// checksums: magic, version range, section count, table bounds, meta
+/// checksum, payload checksums. Shared by Read() and the shard/state
+/// file readers; MmapReader::Open mirrors it minus the eager payload
+/// checksums (those it defers to first access).
+Status ParseFraming(const std::vector<uint8_t>& bytes,
+                    const std::string& path, Framing* out) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: file truncated (%zu bytes, header needs %zu)",
+        path.c_str(), bytes.size(), kHeaderSize));
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": bad magic — not a copydetect snapshot "
+        "file (or mangled in transit)");
+  }
+  Reader header(bytes.data() + sizeof(kMagic),
+                kHeaderSize - sizeof(kMagic));
+  out->version = header.U32();
+  header.U32();  // flags, ignored in versions 1 and 2
+  out->generation = header.U64();
+  const uint32_t section_count = header.U32();
+  if (out->version < kMinReadVersion || out->version > kFormatVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: format version %u not supported (this build "
+        "reads versions %u through %u) — refusing rather than guessing "
+        "at the layout",
+        path.c_str(), out->version, kMinReadVersion, kFormatVersion));
+  }
+  if (section_count == 0 || section_count > kMaxSections) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: implausible section count %u", path.c_str(),
+        section_count));
+  }
+  const size_t table_end =
+      kHeaderSize + static_cast<size_t>(section_count) * kTableEntrySize;
+  if (bytes.size() < table_end + 8) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": file truncated inside the section "
+        "table");
+  }
+  Reader meta(bytes.data() + table_end, 8);
+  if (meta.U64() != Hash64(bytes.data(), table_end)) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": header/section-table checksum "
+        "mismatch — file corrupt");
+  }
+
+  Reader table(bytes.data() + kHeaderSize, table_end - kHeaderSize);
+  out->entries.resize(section_count);
+  for (TableEntry& e : out->entries) {
+    e.id = table.U32();
+    table.U32();  // reserved
+    e.offset = table.U64();
+    e.size = table.U64();
+    e.checksum = table.U64();
+    if (e.offset > bytes.size() || e.size > bytes.size() - e.offset) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot: %s: section %u extends past the end of the file "
+          "(offset %llu, size %llu, file %zu bytes) — file truncated "
+          "or table corrupt",
+          path.c_str(), e.id,
+          static_cast<unsigned long long>(e.offset),
+          static_cast<unsigned long long>(e.size), bytes.size()));
+    }
+    if (Hash64(bytes.data() + e.offset, static_cast<size_t>(e.size)) !=
+        e.checksum) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot: %s: section %u checksum mismatch — file corrupt",
+          path.c_str(), e.id));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status Write(const std::string& path, const SessionState& state) {
   // Serialize every present section payload first; the table is
   // back-filled once offsets are known.
@@ -826,157 +1161,27 @@ Status Write(const std::string& path, const SessionState& state) {
     sections.emplace_back(SectionId::kTape, std::move(w));
   }
 
-  Writer file;
-  for (unsigned char c : kMagic) file.U8(c);
-  file.U32(kFormatVersion);
-  file.U32(0);  // flags
-  file.U64(state.generation);
-  file.U32(static_cast<uint32_t>(sections.size()));
-  file.U32(0);  // reserved
-
-  const size_t table_begin = file.size();
-  uint64_t payload_offset = table_begin +
-                            sections.size() * kTableEntrySize +
-                            8;  // + meta checksum
-  for (const auto& [id, payload] : sections) {
-    file.U32(static_cast<uint32_t>(id));
-    file.U32(0);  // per-section reserved/version
-    file.U64(payload_offset);
-    file.U64(payload.size());
-    file.U64(Hash64(payload.bytes().data(), payload.size()));
-    payload_offset += payload.size();
-  }
-  file.U64(Hash64(file.bytes().data(), file.size()));
-  for (const auto& [id, payload] : sections) {
-    file.bytes().insert(file.bytes().end(), payload.bytes().begin(),
-                        payload.bytes().end());
-  }
-
-  // Temp-and-rename in the target directory so a crash mid-write
-  // cannot leave a torn file under the final name (rename within one
-  // directory is atomic on POSIX).
-  const std::string tmp_path = path + ".tmp";
-  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IOError("cannot open " + tmp_path + " for writing");
-  }
-  const size_t written =
-      std::fwrite(file.bytes().data(), 1, file.size(), f);
-  // fflush moves the bytes to the kernel; fsync moves them to the
-  // device. Without the latter, the rename below can commit the new
-  // name while the data is still only in the page cache — a power
-  // loss would then replace a good snapshot with a torn one.
-  const bool flushed =
-      std::fflush(f) == 0 && fsync(fileno(f)) == 0;
-  const bool closed = std::fclose(f) == 0;
-  if (written != file.size() || !flushed || !closed) {
-    std::remove(tmp_path.c_str());
-    return Status::IOError("short write to " + tmp_path);
-  }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::IOError("cannot rename " + tmp_path + " to " + path);
-  }
-  return Status::OK();
+  return WriteFileAtomic(path, FrameSections(state.generation, sections));
 }
 
 StatusOr<SessionState> Read(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::NotFound("snapshot file not found: " + path);
-  }
   std::vector<uint8_t> bytes;
-  {
-    uint8_t buf[1 << 16];
-    size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-      bytes.insert(bytes.end(), buf, buf + n);
-    }
-    const bool read_error = std::ferror(f) != 0;
-    std::fclose(f);
-    if (read_error) {
-      return Status::IOError("cannot read snapshot file: " + path);
-    }
-  }
-
-  // --- Header. ---
-  if (bytes.size() < kHeaderSize) {
-    return Status::InvalidArgument(StrFormat(
-        "snapshot: %s: file truncated (%zu bytes, header needs %zu)",
-        path.c_str(), bytes.size(), kHeaderSize));
-  }
-  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument(
-        "snapshot: " + path + ": bad magic — not a copydetect snapshot "
-        "file (or mangled in transit)");
-  }
-  Reader header(bytes.data() + sizeof(kMagic),
-                kHeaderSize - sizeof(kMagic));
-  const uint32_t version = header.U32();
-  header.U32();  // flags, ignored in version 1
-  const uint64_t generation = header.U64();
-  const uint32_t section_count = header.U32();
-  if (version != kFormatVersion) {
-    return Status::InvalidArgument(StrFormat(
-        "snapshot: %s: format version %u not supported (this build "
-        "reads version %u) — refusing rather than guessing at the "
-        "layout",
-        path.c_str(), version, kFormatVersion));
-  }
-  if (section_count == 0 || section_count > kMaxSections) {
-    return Status::InvalidArgument(StrFormat(
-        "snapshot: %s: implausible section count %u", path.c_str(),
-        section_count));
-  }
-  const size_t table_end =
-      kHeaderSize + static_cast<size_t>(section_count) * kTableEntrySize;
-  if (bytes.size() < table_end + 8) {
-    return Status::InvalidArgument(
-        "snapshot: " + path + ": file truncated inside the section "
-        "table");
-  }
-  Reader meta(bytes.data() + table_end, 8);
-  if (meta.U64() != Hash64(bytes.data(), table_end)) {
-    return Status::InvalidArgument(
-        "snapshot: " + path + ": header/section-table checksum "
-        "mismatch — file corrupt");
-  }
-
-  // --- Section table. ---
-  Reader table(bytes.data() + kHeaderSize, table_end - kHeaderSize);
-  std::vector<TableEntry> entries(section_count);
-  for (TableEntry& e : entries) {
-    e.id = table.U32();
-    table.U32();  // reserved
-    e.offset = table.U64();
-    e.size = table.U64();
-    e.checksum = table.U64();
-    if (e.offset > bytes.size() || e.size > bytes.size() - e.offset) {
-      return Status::InvalidArgument(StrFormat(
-          "snapshot: %s: section %u extends past the end of the file "
-          "(offset %llu, size %llu, file %zu bytes) — file truncated "
-          "or table corrupt",
-          path.c_str(), e.id,
-          static_cast<unsigned long long>(e.offset),
-          static_cast<unsigned long long>(e.size), bytes.size()));
-    }
-    if (Hash64(bytes.data() + e.offset, static_cast<size_t>(e.size)) !=
-        e.checksum) {
-      return Status::InvalidArgument(StrFormat(
-          "snapshot: %s: section %u checksum mismatch — file corrupt",
-          path.c_str(), e.id));
-    }
-  }
+  CD_RETURN_IF_ERROR(ReadFileBytes(path, &bytes));
+  Framing framing;
+  CD_RETURN_IF_ERROR(ParseFraming(bytes, path, &framing));
+  // Version-2 payloads pad POD arrays to 8-byte offsets; version-1
+  // payloads are packed. Same sections, same order, either way.
+  const bool aligned = framing.version >= 2;
 
   // --- Payloads, in table order. The DATASET section must precede
   // the sections validated against it; Write emits them in id order,
   // which satisfies this. ---
   SessionState state;
-  state.generation = generation;
+  state.generation = framing.generation;
   bool saw_options = false;
   bool saw_dataset = false;
   bool saw_fusion = false;
-  for (const TableEntry& e : entries) {
+  for (const TableEntry& e : framing.entries) {
     // A repeated id is never legitimate: a second DATASET would
     // replace the data set earlier sections were validated against,
     // a second TAPE would concatenate rounds — fail closed instead.
@@ -996,7 +1201,8 @@ StatusOr<SessionState> Read(const std::string& path) {
           "snapshot: %s: duplicate section id %u", path.c_str(),
           e.id));
     }
-    Reader r(bytes.data() + e.offset, static_cast<size_t>(e.size));
+    Reader r(bytes.data() + e.offset, static_cast<size_t>(e.size),
+             aligned);
     switch (static_cast<SectionId>(e.id)) {
       case SectionId::kOptions:
         CD_RETURN_IF_ERROR(ReadOptions(&r, &state.options));
@@ -1031,12 +1237,14 @@ StatusOr<SessionState> Read(const std::string& path) {
         CD_RETURN_IF_ERROR(ReadTape(&r, state.data, &state));
         break;
       default:
-        // Version 1 defines exactly the sections above; an unknown id
-        // within a known version means the file does not match its
-        // declared version (new state ships with a version bump).
+        // Session snapshots define exactly the sections above (SHARD
+        // and STATE frame the separate shard-protocol files); an
+        // unknown id within a known version means the file does not
+        // match its declared version (new state ships with a version
+        // bump).
         return Status::InvalidArgument(StrFormat(
             "snapshot: %s: unknown section id %u in a version-%u file",
-            path.c_str(), e.id, version));
+            path.c_str(), e.id, framing.version));
     }
   }
   if (!saw_options || !saw_dataset || !saw_fusion) {
@@ -1047,7 +1255,8 @@ StatusOr<SessionState> Read(const std::string& path) {
 
   // --- Cross-section generation consistency: derived state must have
   // been computed for the very snapshot in this file. ---
-  if (state.has_overlaps && state.overlaps_generation != generation) {
+  if (state.has_overlaps &&
+      state.overlaps_generation != framing.generation) {
     return Status::InvalidArgument(StrFormat(
         "snapshot: %s: generation mismatch — OVERLAPS were computed "
         "for generation %llu but the file's snapshot is generation "
@@ -1055,9 +1264,9 @@ StatusOr<SessionState> Read(const std::string& path) {
         "different data set",
         path.c_str(),
         static_cast<unsigned long long>(state.overlaps_generation),
-        static_cast<unsigned long long>(generation)));
+        static_cast<unsigned long long>(framing.generation)));
   }
-  if (state.has_tape && state.tape_generation != generation) {
+  if (state.has_tape && state.tape_generation != framing.generation) {
     return Status::InvalidArgument(StrFormat(
         "snapshot: %s: generation mismatch — the update TAPE was "
         "recorded for generation %llu but the file's snapshot is "
@@ -1065,8 +1274,272 @@ StatusOr<SessionState> Read(const std::string& path) {
         "against a different data set",
         path.c_str(),
         static_cast<unsigned long long>(state.tape_generation),
-        static_cast<unsigned long long>(generation)));
+        static_cast<unsigned long long>(framing.generation)));
   }
+  return state;
+}
+
+StatusOr<SessionState> ReadMapped(const std::string& path) {
+  // Zero-copy decode aliases little-endian on-disk words; on a
+  // big-endian host every array would need byte-swapping anyway, so
+  // serve the owned decode instead (same result, just not zero-copy).
+  if constexpr (std::endian::native != std::endian::little) {
+    return Read(path);
+  }
+
+  auto opened = MmapReader::Open(path);
+  if (!opened.ok()) return opened.status();
+  std::shared_ptr<MmapReader> map = std::move(opened).value();
+
+  // Version-1 files pack their arrays with no alignment guarantee —
+  // only the owned decode can serve them.
+  if (map->version() < 2) return Read(path);
+
+  // Mirror Read()'s orchestration exactly: same section-order rules,
+  // same refusals, same validation — only the DATASET arrays and the
+  // dense OVERLAPS triangle install as views into the mapping.
+  SessionState state;
+  state.generation = map->generation();
+  bool saw_options = false;
+  bool saw_dataset = false;
+  bool saw_fusion = false;
+  for (uint32_t id : map->SectionIds()) {
+    const bool duplicate =
+        (id == static_cast<uint32_t>(SectionId::kOptions) &&
+         saw_options) ||
+        (id == static_cast<uint32_t>(SectionId::kDataset) &&
+         saw_dataset) ||
+        (id == static_cast<uint32_t>(SectionId::kOverlaps) &&
+         state.has_overlaps) ||
+        (id == static_cast<uint32_t>(SectionId::kFusion) &&
+         saw_fusion) ||
+        (id == static_cast<uint32_t>(SectionId::kTape) &&
+         state.has_tape);
+    if (duplicate) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot: %s: duplicate section id %u", path.c_str(), id));
+    }
+    auto payload = map->Section(id);
+    if (!payload.ok()) return payload.status();
+    Reader r(payload.value().data(), payload.value().size(),
+             /*aligned=*/true);
+    switch (static_cast<SectionId>(id)) {
+      case SectionId::kOptions:
+        CD_RETURN_IF_ERROR(ReadOptions(&r, &state.options));
+        saw_options = true;
+        break;
+      case SectionId::kDataset:
+        CD_RETURN_IF_ERROR(ReadDatasetMapped(&r, map, &state.data));
+        saw_dataset = true;
+        break;
+      case SectionId::kOverlaps:
+        if (!saw_dataset) {
+          return Status::InvalidArgument(
+              "snapshot: " + path + ": OVERLAPS section before "
+              "DATASET");
+        }
+        CD_RETURN_IF_ERROR(ReadOverlapsMapped(
+            &r, map, state.data.num_sources(), &state));
+        break;
+      case SectionId::kFusion:
+        if (!saw_dataset) {
+          return Status::InvalidArgument(
+              "snapshot: " + path + ": FUSION section before DATASET");
+        }
+        CD_RETURN_IF_ERROR(ReadFusion(&r, state.data, &state.fusion));
+        saw_fusion = true;
+        break;
+      case SectionId::kTape:
+        if (!saw_dataset) {
+          return Status::InvalidArgument(
+              "snapshot: " + path + ": TAPE section before DATASET");
+        }
+        CD_RETURN_IF_ERROR(ReadTape(&r, state.data, &state));
+        break;
+      default:
+        return Status::InvalidArgument(StrFormat(
+            "snapshot: %s: unknown section id %u in a version-%u file",
+            path.c_str(), id, map->version()));
+    }
+  }
+  if (!saw_options || !saw_dataset || !saw_fusion) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": missing a required section (OPTIONS, "
+        "DATASET and FUSION are mandatory)");
+  }
+  if (state.has_overlaps &&
+      state.overlaps_generation != map->generation()) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: generation mismatch — OVERLAPS were computed "
+        "for generation %llu but the file's snapshot is generation "
+        "%llu; refusing to warm-start derived state against a "
+        "different data set",
+        path.c_str(),
+        static_cast<unsigned long long>(state.overlaps_generation),
+        static_cast<unsigned long long>(map->generation())));
+  }
+  if (state.has_tape && state.tape_generation != map->generation()) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: generation mismatch — the update TAPE was "
+        "recorded for generation %llu but the file's snapshot is "
+        "generation %llu; refusing to warm-start derived state "
+        "against a different data set",
+        path.c_str(),
+        static_cast<unsigned long long>(state.tape_generation),
+        static_cast<unsigned long long>(map->generation())));
+  }
+  return state;
+}
+
+// ---------------------------------------------------------------------
+// Shard-protocol files: the same framed container with exactly one
+// section (SHARD or STATE), so the corruption story — checksums,
+// bounds, atomic replace — is inherited rather than reinvented.
+
+namespace {
+
+Status WriteSingleSection(const std::string& path, SectionId id,
+                          Writer payload) {
+  std::vector<std::pair<SectionId, Writer>> sections;
+  sections.emplace_back(id, std::move(payload));
+  // Shard/state files carry no Dataset, so the generation slot is 0;
+  // consistency with the coordinator's data set is the caller's
+  // contract (the reader validates dimensions instead).
+  return WriteFileAtomic(path, FrameSections(/*generation=*/0, sections));
+}
+
+/// Reads a shard-protocol file and hands back its single section's
+/// payload bytes (still inside `bytes`).
+Status ReadSingleSection(const std::string& path, SectionId id,
+                         const char* what, std::vector<uint8_t>* bytes,
+                         size_t* payload_offset, size_t* payload_size,
+                         bool* aligned) {
+  CD_RETURN_IF_ERROR(ReadFileBytes(path, bytes));
+  Framing framing;
+  CD_RETURN_IF_ERROR(ParseFraming(*bytes, path, &framing));
+  if (framing.entries.size() != 1 ||
+      framing.entries.front().id != static_cast<uint32_t>(id)) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: not a %s file (expected exactly one section of "
+        "id %u)",
+        path.c_str(), what, static_cast<uint32_t>(id)));
+  }
+  *payload_offset = static_cast<size_t>(framing.entries.front().offset);
+  *payload_size = static_cast<size_t>(framing.entries.front().size);
+  *aligned = framing.version >= 2;
+  return Status::OK();
+}
+
+void WriteCounters(const Counters& c, Writer* w) {
+  w->U64(c.score_evals);
+  w->U64(c.bound_evals);
+  w->U64(c.finalize_evals);
+  w->U64(c.pairs_tracked);
+  w->U64(c.entries_scanned);
+  w->U64(c.values_examined);
+  w->U64(c.early_copy);
+  w->U64(c.early_nocopy);
+}
+
+void ReadCounters(Reader* r, Counters* c) {
+  c->score_evals = r->U64();
+  c->bound_evals = r->U64();
+  c->finalize_evals = r->U64();
+  c->pairs_tracked = r->U64();
+  c->entries_scanned = r->U64();
+  c->values_examined = r->U64();
+  c->early_copy = r->U64();
+  c->early_nocopy = r->U64();
+}
+
+}  // namespace
+
+Status WriteShardResult(const std::string& path,
+                        const ShardResult& shard) {
+  if (shard.num_shards == 0 || shard.shard_id >= shard.num_shards) {
+    return Status::InvalidArgument(StrFormat(
+        "shard file: shard id %u / num_shards %u is not a valid plan "
+        "slot",
+        shard.shard_id, shard.num_shards));
+  }
+  Writer w;
+  w.U32(shard.num_shards);
+  w.U32(shard.shard_id);
+  w.U32(static_cast<uint32_t>(shard.round));
+  w.U32(0);  // pad
+  WriteCounters(shard.counters, &w);
+  WriteCopies(shard.copies, &w);
+  return WriteSingleSection(path, SectionId::kShard, std::move(w));
+}
+
+StatusOr<ShardResult> ReadShardResult(const std::string& path,
+                                      const Dataset& data) {
+  std::vector<uint8_t> bytes;
+  size_t offset = 0;
+  size_t size = 0;
+  bool aligned = false;
+  CD_RETURN_IF_ERROR(ReadSingleSection(path, SectionId::kShard, "shard",
+                                       &bytes, &offset, &size,
+                                       &aligned));
+  Reader r(bytes.data() + offset, size, aligned);
+  ShardResult shard;
+  shard.num_shards = r.U32();
+  shard.shard_id = r.U32();
+  shard.round = static_cast<int>(r.U32());
+  r.U32();  // pad
+  ReadCounters(&r, &shard.counters);
+  if (!r.ok()) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": SHARD section truncated");
+  }
+  if (shard.num_shards == 0 || shard.shard_id >= shard.num_shards) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot: %s: shard id %u / num_shards %u is not a valid "
+        "plan slot",
+        path.c_str(), shard.shard_id, shard.num_shards));
+  }
+  CD_RETURN_IF_ERROR(
+      ReadCopies(&r, data.num_sources(), "SHARD", &shard.copies));
+  return shard;
+}
+
+Status WriteBspState(const std::string& path, const BspState& state) {
+  if (state.num_shards == 0) {
+    return Status::InvalidArgument(
+        "state file: num_shards must be at least 1");
+  }
+  Writer w;
+  w.U32(state.num_shards);
+  w.U32(0);  // pad
+  WriteCounters(state.counters, &w);
+  WriteFusion(state.fusion, &w);
+  return WriteSingleSection(path, SectionId::kState, std::move(w));
+}
+
+StatusOr<BspState> ReadBspState(const std::string& path,
+                                const Dataset& data) {
+  std::vector<uint8_t> bytes;
+  size_t offset = 0;
+  size_t size = 0;
+  bool aligned = false;
+  CD_RETURN_IF_ERROR(ReadSingleSection(path, SectionId::kState, "state",
+                                       &bytes, &offset, &size,
+                                       &aligned));
+  Reader r(bytes.data() + offset, size, aligned);
+  BspState state;
+  state.num_shards = r.U32();
+  r.U32();  // pad
+  ReadCounters(&r, &state.counters);
+  if (!r.ok()) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": STATE section truncated");
+  }
+  if (state.num_shards == 0) {
+    return Status::InvalidArgument(
+        "snapshot: " + path + ": state file declares zero shards");
+  }
+  CD_RETURN_IF_ERROR(ReadFusion(&r, data, &state.fusion,
+                                /*allow_empty_truth=*/true));
   return state;
 }
 

@@ -29,16 +29,28 @@
 ///    yield a descriptive error Status — never undefined behavior.
 ///  * Compatibility policy: files written by format version N are
 ///    refused (with a Status naming both versions) by readers that
-///    only know M < N; readers accept versions they know. Version 1
-///    readers refuse anything but 1.
+///    only know M < N; readers accept versions they know. This
+///    version-2 reader accepts 1 (pre-alignment, owned decode only)
+///    and 2.
+///
+/// Version 2 additionally aligns every section payload — and every
+/// POD array inside a payload — to an 8-byte file offset, which lets
+/// MmapReader/ReadMapped serve the Dataset arrays and the dense
+/// overlap triangle zero-copy out of the mapped file (the ArrayStore
+/// view backend). Version-1 files remain readable through the owned
+/// decode path.
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/copy_result.h"
+#include "core/counters.h"
 #include "core/inverted_index.h"
+#include "core/shard_merge.h"
 #include "fusion/truth_finder.h"
 #include "model/dataset.h"
 #include "simjoin/overlap.h"
@@ -46,9 +58,13 @@
 namespace copydetect {
 namespace snapshot {
 
-/// Current (and only) on-disk format version. Bump on any layout
-/// change; readers refuse versions they do not know.
-inline constexpr uint32_t kFormatVersion = 1;
+/// Current on-disk format version. Version 2 pads sections and POD
+/// arrays to 8-byte alignment (the mmap zero-copy requirement). Bump
+/// on any layout change; readers refuse versions they do not know.
+inline constexpr uint32_t kFormatVersion = 2;
+
+/// Oldest version this reader still decodes (via the owned path).
+inline constexpr uint32_t kMinReadVersion = 1;
 
 /// First 8 bytes of every snapshot file. Like the PNG magic, the
 /// CR/LF pair makes text-mode line-ending mangling fail loudly at
@@ -56,15 +72,19 @@ inline constexpr uint32_t kFormatVersion = 1;
 inline constexpr unsigned char kMagic[8] = {'C', 'D', 'S', 'N',
                                             'A', 'P', '\r', '\n'};
 
-/// Section ids of format version 1. The section table is the unit of
-/// integrity checking (one checksum per section) and of forward
-/// evolution (new optional state = new section id + version bump).
+/// Section ids. The section table is the unit of integrity checking
+/// (one checksum per section) and of forward evolution (new optional
+/// state = new section id + version bump). Ids 1-5 are the session
+/// snapshot sections (versions 1 and 2); 6 and 7 frame the
+/// multi-process shard protocol's files (version 2).
 enum class SectionId : uint32_t {
   kOptions = 1,   ///< session configuration, self-describing fields
   kDataset = 2,   ///< the Dataset snapshot, all arrays verbatim
   kOverlaps = 3,  ///< maintained OverlapCounts (optional)
   kFusion = 4,    ///< the last completed run's FusionResult
   kTape = 5,      ///< per-round update tape (optional)
+  kShard = 6,     ///< one shard's round result (shard files only)
+  kState = 7,     ///< BSP coordinator state (state files only)
 };
 
 /// One self-describing configuration field of the OPTIONS section:
@@ -148,6 +168,86 @@ Status Write(const std::string& path, const SessionState& state);
 /// range, every CSR monotone) — a file that Read() accepts is safe
 /// to hand to the detection algorithms.
 StatusOr<SessionState> Read(const std::string& path);
+
+/// A `.cdsnap` file mapped read-only into the address space. Open()
+/// validates the framing eagerly (magic, version, bounds-checked
+/// section table, meta checksum, v2 section alignment); section
+/// payload checksums are verified lazily at first Section() access —
+/// a server mapping a large snapshot pays for integrity checking only
+/// on the sections it touches. Instances are shared_ptr-managed
+/// because they double as the keepalive behind every ArrayStore view
+/// ReadMapped hands out: the mapping stays live for as long as any
+/// view into it does. Not thread-safe during Section() (the lazy
+/// verification mutates a flag); share only after loading completes.
+class MmapReader {
+ public:
+  static StatusOr<std::shared_ptr<MmapReader>> Open(
+      const std::string& path);
+  ~MmapReader();
+  MmapReader(const MmapReader&) = delete;
+  MmapReader& operator=(const MmapReader&) = delete;
+
+  uint32_t version() const { return version_; }
+  uint64_t generation() const { return generation_; }
+
+  /// Section ids, in table order.
+  std::vector<uint32_t> SectionIds() const;
+
+  /// Payload bytes of section `id` (first occurrence), verifying its
+  /// checksum on first access. NotFound when the file has no such
+  /// section; InvalidArgument on checksum mismatch.
+  StatusOr<std::span<const uint8_t>> Section(uint32_t id);
+
+ private:
+  struct Entry {
+    uint32_t id = 0;
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    uint64_t checksum = 0;
+    bool verified = false;
+  };
+
+  MmapReader() = default;
+
+  std::string path_;
+  const uint8_t* base_ = nullptr;
+  size_t size_ = 0;
+  uint32_t version_ = 0;
+  uint64_t generation_ = 0;
+  std::vector<Entry> entries_;
+};
+
+/// Mapped-mode Read(): same validation and the same SessionState, but
+/// the Dataset's POD/string arrays and the dense overlap triangle are
+/// ArrayStore views straight into the mapped file instead of decoded
+/// heap copies — peak memory stays at roughly the resident mapped
+/// pages instead of file + decoded copy. Requires a version-2 file;
+/// version-1 files (and big-endian hosts) transparently fall back to
+/// the owned Read(). The returned state's views keep the mapping
+/// alive; Dataset::Apply and UpdateOverlaps copy-on-write out of it.
+StatusOr<SessionState> ReadMapped(const std::string& path);
+
+/// One shard's round output (ShardResult), framed exactly like a
+/// snapshot: magic, version, single SHARD section, checksummed. The
+/// reader validates pair keys against `data`.
+Status WriteShardResult(const std::string& path,
+                        const ShardResult& shard);
+StatusOr<ShardResult> ReadShardResult(const std::string& path,
+                                      const Dataset& data);
+
+/// Coordinator state of a multi-process (BSP) sharded run: the plan
+/// width, counters accumulated over merged rounds, and the fusion
+/// loop state after the last merged round. One STATE section, same
+/// framing.
+struct BspState {
+  uint32_t num_shards = 0;
+  Counters counters;
+  FusionResult fusion;
+};
+
+Status WriteBspState(const std::string& path, const BspState& state);
+StatusOr<BspState> ReadBspState(const std::string& path,
+                                const Dataset& data);
 
 }  // namespace snapshot
 }  // namespace copydetect

@@ -373,6 +373,105 @@ TEST(SessionSnapshot, OptionsRoundTripExactly) {
             options.update_rebuild_fraction);
 }
 
+// --- Mapped loading: LoadMode::kMapped serves the same state out of
+// the mapped file, and Update copy-on-writes out of the mapping. ---
+
+TEST(SessionSnapshotMapped, MappedLoadMatchesOwnedLoadEveryDetector) {
+  World world = MotivatingExample();
+  for (const std::string& name : ListDetectors()) {
+    SCOPED_TRACE(name);
+    const std::string path = TempPath("mapped_" + name + ".cdsnap");
+    SessionOptions options;
+    options.detector = name;
+    options.online_updates = true;
+    auto live = Session::Create(options);
+    CD_CHECK_OK(live.status());
+    CD_CHECK_OK(live->Run(world.data).status());
+    CD_CHECK_OK(live->Save(path));
+
+    auto owned = Session::Load(path, LoadMode::kOwned);
+    CD_CHECK_OK(owned.status());
+    auto mapped = Session::Load(path, LoadMode::kMapped);
+    CD_CHECK_OK(mapped.status());
+    std::remove(path.c_str());
+
+    EXPECT_EQ(mapped->detector_name(), owned->detector_name());
+    ExpectSameReport(mapped->report(), owned->report());
+    EXPECT_EQ(mapped->report().copies().raw_map().raw_keys(),
+              owned->report().copies().raw_map().raw_keys());
+    ASSERT_NE(mapped->current_data(), nullptr);
+    EXPECT_EQ(mapped->current_data()->num_observations(),
+              world.data.num_observations());
+  }
+}
+
+TEST(SessionSnapshotMapped, UpdateAfterMappedLoadCopiesOnWrite) {
+  // The COW path: a mapped session taking updates must behave bit-
+  // identically to an owned one — Apply may not write through the
+  // read-only mapping (asan/ubsan in CI would catch a stray write,
+  // and divergence here would catch a missed copy).
+  World world = MotivatingExample();
+  const std::string path = TempPath("mapped_cow.cdsnap");
+  SessionOptions options;
+  options.detector = "index";
+  options.online_updates = true;
+  auto live = Session::Create(options);
+  CD_CHECK_OK(live.status());
+  CD_CHECK_OK(live->Run(world.data).status());
+  CD_CHECK_OK(live->Save(path));
+
+  auto owned = Session::Load(path, LoadMode::kOwned);
+  CD_CHECK_OK(owned.status());
+  auto mapped = Session::Load(path, LoadMode::kMapped);
+  CD_CHECK_OK(mapped.status());
+  std::remove(path.c_str());
+
+  for (const DatasetDelta& delta :
+       {ExampleDelta(world.data), FollowUpDelta(world.data)}) {
+    CD_CHECK_OK(owned->Update(delta));
+    CD_CHECK_OK(mapped->Update(delta));
+    EXPECT_EQ(mapped->last_update_stats().incremental,
+              owned->last_update_stats().incremental);
+    ExpectSameReport(mapped->report(), owned->report());
+  }
+  // A save from the mapped session after COW round-trips cleanly.
+  CD_CHECK_OK(mapped->Save(path));
+  auto reloaded = Session::Load(path);
+  CD_CHECK_OK(reloaded.status());
+  std::remove(path.c_str());
+  ExpectSameReport(reloaded->report(), mapped->report());
+}
+
+TEST(SessionSnapshotMapped, StreamingAfterMappedLoadMatchesOwned) {
+  World world = MotivatingExample();
+  const std::string path = TempPath("mapped_stream.cdsnap");
+  SessionOptions options;
+  options.detector = "hybrid";
+  options.threads = 4;
+  options.online_updates = true;
+  auto live = Session::Create(options);
+  CD_CHECK_OK(live.status());
+  CD_CHECK_OK(live->Run(world.data).status());
+  CD_CHECK_OK(live->Save(path));
+  auto owned = Session::Load(path, LoadMode::kOwned);
+  CD_CHECK_OK(owned.status());
+  auto mapped = Session::Load(path, LoadMode::kMapped);
+  CD_CHECK_OK(mapped.status());
+  std::remove(path.c_str());
+
+  CD_CHECK_OK(owned->Start(world.data));
+  CD_CHECK_OK(mapped->Start(world.data));
+  while (true) {
+    auto owned_step = owned->Step();
+    auto mapped_step = mapped->Step();
+    CD_CHECK_OK(owned_step.status());
+    CD_CHECK_OK(mapped_step.status());
+    ASSERT_EQ(*mapped_step, *owned_step);
+    if (!*owned_step) break;
+  }
+  ExpectSameReport(mapped->report(), owned->report());
+}
+
 // --- Failure modes. ---
 
 TEST(SessionSnapshot, SaveBeforeAnyRunIsRefused) {

@@ -604,5 +604,289 @@ TEST(SnapshotIoCorruption, PairKeyOutOfSourceRangeIsRefused) {
       << loaded.status().message();
 }
 
+// --- Version-2 mapped reading: ReadMapped must serve byte-identical
+// state out of the mapping, refuse the same corruption matrix, and
+// fall back to the owned decoder for version-1 files. ---
+
+StatusOr<SessionState> ReadBytesMapped(
+    const std::vector<uint8_t>& bytes, const std::string& name) {
+  const std::string path = TempPath(name);
+  WriteFileBytes(path, bytes);
+  auto loaded = snapshot::ReadMapped(path);
+  // Unlinking with the mapping live is fine on POSIX — the keepalive
+  // holds the pages; this doubles as a test of that property.
+  std::remove(path.c_str());
+  return loaded;
+}
+
+void ExpectSameState(const SessionState& got, const SessionState& want) {
+  EXPECT_EQ(got.generation, want.generation);
+  ExpectSameDataset(got.data, want.data);
+  ASSERT_EQ(got.has_overlaps, want.has_overlaps);
+  if (want.has_overlaps) {
+    for (SourceId a = 0; a < want.data.num_sources(); ++a) {
+      for (SourceId b = a + 1; b < want.data.num_sources(); ++b) {
+        EXPECT_EQ(got.overlaps.Get(a, b), want.overlaps.Get(a, b));
+      }
+    }
+    EXPECT_EQ(got.overlaps.NumPositivePairs(),
+              want.overlaps.NumPositivePairs());
+  }
+  EXPECT_EQ(got.fusion.value_probs, want.fusion.value_probs);
+  EXPECT_EQ(got.fusion.accuracies, want.fusion.accuracies);
+  EXPECT_EQ(got.fusion.truth, want.fusion.truth);
+  EXPECT_EQ(got.fusion.rounds, want.fusion.rounds);
+  EXPECT_EQ(got.fusion.converged, want.fusion.converged);
+  EXPECT_EQ(got.fusion.copies.raw_map().raw_keys(),
+            want.fusion.copies.raw_map().raw_keys());
+  ASSERT_EQ(got.has_tape, want.has_tape);
+  ASSERT_EQ(got.tape.size(), want.tape.size());
+  for (size_t r = 0; r < want.tape.size(); ++r) {
+    EXPECT_EQ(got.tape[r].pre_probs, want.tape[r].pre_probs);
+    EXPECT_EQ(got.tape[r].pre_accs, want.tape[r].pre_accs);
+  }
+}
+
+TEST(SnapshotIoMapped, MappedStateMatchesOwnedRead) {
+  const std::string path = TempPath("mapped_roundtrip.cdsnap");
+  SessionState state = FullState();
+  CD_CHECK_OK(snapshot::Write(path, state));
+  auto owned = snapshot::Read(path);
+  CD_CHECK_OK(owned.status());
+  auto mapped = snapshot::ReadMapped(path);
+  CD_CHECK_OK(mapped.status());
+  std::remove(path.c_str());
+  ExpectSameState(*mapped, *owned);
+}
+
+TEST(SnapshotIoMapped, MappedStateOutlivesTheUnlinkedFile) {
+  auto mapped = ReadBytesMapped(GoodFileBytes(), "mapped_keep.cdsnap");
+  CD_CHECK_OK(mapped.status());
+  // The backing file is gone; every array must still read correctly
+  // (the mapping keepalive owns the pages).
+  SessionState want = FullState();
+  ExpectSameDataset(mapped->data, want.data);
+}
+
+TEST(SnapshotIoMappedCorruption, EveryTruncationFailsClosed) {
+  const std::vector<uint8_t>& good = GoodFileBytes();
+  ASSERT_GT(good.size(), 128u);
+  std::vector<size_t> cuts;
+  for (size_t n = 0; n < 128; ++n) cuts.push_back(n);
+  for (size_t n = 128; n < good.size(); n += 97) cuts.push_back(n);
+  cuts.push_back(good.size() - 1);
+  for (size_t n : cuts) {
+    std::vector<uint8_t> truncated(good.begin(),
+                                   good.begin() +
+                                       static_cast<ptrdiff_t>(n));
+    auto loaded = ReadBytesMapped(truncated, "mtrunc.cdsnap");
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << n << " bytes mapped";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+        << "prefix " << n;
+  }
+}
+
+TEST(SnapshotIoMappedCorruption, ForeignMagicIsRefused) {
+  std::vector<uint8_t> bytes = GoodFileBytes();
+  bytes[0] = 'X';
+  auto loaded = ReadBytesMapped(bytes, "mmagic.cdsnap");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("bad magic"),
+            std::string::npos);
+}
+
+TEST(SnapshotIoMappedCorruption, PayloadFlipFailsTheSectionChecksum) {
+  std::vector<uint8_t> bytes = GoodFileBytes();
+  bytes.back() ^= 0x40;
+  auto loaded = ReadBytesMapped(bytes, "mpayload.cdsnap");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << loaded.status().message();
+}
+
+TEST(SnapshotIoMappedCorruption, HeaderTableFlipFailsTheMetaChecksum) {
+  std::vector<uint8_t> bytes = GoodFileBytes();
+  bytes[40] ^= 0x01;
+  auto loaded = ReadBytesMapped(bytes, "mtable.cdsnap");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << loaded.status().message();
+}
+
+TEST(SnapshotIoMappedCorruption, MisalignedForgedOffsetIsRefused) {
+  // A version-2 file whose table places a section at an odd offset.
+  // Only a forged table can produce this (the writer always pads to
+  // 8); the mapped reader must refuse it eagerly rather than hand out
+  // views aliasing misaligned memory. The table is re-sealed so the
+  // alignment check — not the checksum — is what fires.
+  std::vector<uint8_t> bytes = GoodFileBytes();
+  const size_t header_size = 32;
+  const uint32_t sections = bytes[24];
+  const size_t table_end = header_size + sections * 32;
+  uint64_t offset = 0;
+  std::memcpy(&offset, bytes.data() + header_size + 2 * 32 + 8, 8);
+  offset += 1;
+  std::memcpy(bytes.data() + header_size + 2 * 32 + 8, &offset, 8);
+  uint64_t resealed = SpecHash64(bytes.data(), table_end);
+  std::memcpy(bytes.data() + table_end, &resealed, 8);
+  auto loaded = ReadBytesMapped(bytes, "malign.cdsnap");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("misaligned"),
+            std::string::npos)
+      << loaded.status().message();
+}
+
+TEST(SnapshotIoMapped, Version1GoldenFallsBackToOwnedRead) {
+  // A committed pre-mmap (version 1) snapshot: both entry points must
+  // read it, producing identical state — ReadMapped transparently
+  // falls back to the owned decoder for files without the version-2
+  // alignment guarantee.
+  const std::string path =
+      std::string(CD_TEST_DATA_DIR) + "/v1_golden.cdsnap";
+  auto owned = snapshot::Read(path);
+  CD_CHECK_OK(owned.status());
+  auto mapped = snapshot::ReadMapped(path);
+  CD_CHECK_OK(mapped.status());
+  ExpectSameState(*mapped, *owned);
+}
+
+// --- Shard/BSP files: single-section .cdsnap framing around
+// ShardResult and BspState. ---
+
+Counters FilledCounters(uint64_t base) {
+  Counters counters;
+  counters.score_evals = base + 1;
+  counters.bound_evals = base + 2;
+  counters.finalize_evals = base + 3;
+  counters.pairs_tracked = base + 4;
+  counters.entries_scanned = base + 5;
+  counters.values_examined = base + 6;
+  counters.early_copy = base + 7;
+  counters.early_nocopy = base + 8;
+  return counters;
+}
+
+void ExpectSameCounters(const Counters& got, const Counters& want) {
+  EXPECT_EQ(got.score_evals, want.score_evals);
+  EXPECT_EQ(got.bound_evals, want.bound_evals);
+  EXPECT_EQ(got.finalize_evals, want.finalize_evals);
+  EXPECT_EQ(got.pairs_tracked, want.pairs_tracked);
+  EXPECT_EQ(got.entries_scanned, want.entries_scanned);
+  EXPECT_EQ(got.values_examined, want.values_examined);
+  EXPECT_EQ(got.early_copy, want.early_copy);
+  EXPECT_EQ(got.early_nocopy, want.early_nocopy);
+}
+
+TEST(SnapshotIoShard, ShardResultRoundTrips) {
+  const std::string path = TempPath("shard.cdsnap");
+  Dataset data = SmallData();
+  ShardResult shard;
+  shard.num_shards = 3;
+  shard.shard_id = 1;
+  shard.round = 2;
+  shard.counters = FilledCounters(100);
+  PairPosterior posterior;
+  posterior.p_indep = 0.25;
+  posterior.p_first_copies = 0.125;
+  posterior.p_second_copies = 0.625;
+  shard.copies.Set(0, 1, posterior);
+  shard.copies.Set(1, 3, posterior);
+  CD_CHECK_OK(snapshot::WriteShardResult(path, shard));
+  auto loaded = snapshot::ReadShardResult(path, data);
+  std::remove(path.c_str());
+  CD_CHECK_OK(loaded.status());
+  EXPECT_EQ(loaded->num_shards, shard.num_shards);
+  EXPECT_EQ(loaded->shard_id, shard.shard_id);
+  EXPECT_EQ(loaded->round, shard.round);
+  ExpectSameCounters(loaded->counters, shard.counters);
+  EXPECT_EQ(loaded->copies.raw_map().raw_keys(),
+            shard.copies.raw_map().raw_keys());
+}
+
+TEST(SnapshotIoShard, ShardPairKeyOutOfRangeIsRefused) {
+  const std::string path = TempPath("shard_range.cdsnap");
+  Dataset data = SmallData();
+  ShardResult shard;
+  shard.num_shards = 2;
+  PairPosterior posterior;
+  posterior.p_indep = 0.4;
+  shard.copies.Set(0, 700, posterior);  // data has 4 sources
+  CD_CHECK_OK(snapshot::WriteShardResult(path, shard));
+  auto loaded = snapshot::ReadShardResult(path, data);
+  std::remove(path.c_str());
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST(SnapshotIoShard, CorruptShardFileIsRefused) {
+  const std::string path = TempPath("shard_corrupt.cdsnap");
+  ShardResult shard;
+  shard.num_shards = 2;
+  shard.counters = FilledCounters(0);
+  CD_CHECK_OK(snapshot::WriteShardResult(path, shard));
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  bytes.back() ^= 0x10;
+  WriteFileBytes(path, bytes);
+  auto loaded = snapshot::ReadShardResult(path, SmallData());
+  std::remove(path.c_str());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << loaded.status().message();
+}
+
+TEST(SnapshotIoShard, ShardFileIsNotASessionSnapshot) {
+  // A shard file must not load as a full session snapshot (it lacks
+  // the mandatory OPTIONS/DATASET/FUSION sections), and vice versa a
+  // session snapshot must not read as a shard file.
+  const std::string path = TempPath("shard_vs_snap.cdsnap");
+  ShardResult shard;
+  shard.num_shards = 2;
+  CD_CHECK_OK(snapshot::WriteShardResult(path, shard));
+  EXPECT_FALSE(snapshot::Read(path).ok());
+  std::remove(path.c_str());
+
+  SessionState state = FullState();
+  CD_CHECK_OK(snapshot::Write(path, state));
+  EXPECT_FALSE(snapshot::ReadShardResult(path, state.data).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotIoShard, BspStateRoundTrips) {
+  const std::string path = TempPath("bsp_state.cdsnap");
+  SessionState full = FullState();
+  snapshot::BspState state;
+  state.num_shards = 4;
+  state.counters = FilledCounters(1000);
+  state.fusion = full.fusion;
+  CD_CHECK_OK(snapshot::WriteBspState(path, state));
+  auto loaded = snapshot::ReadBspState(path, full.data);
+  std::remove(path.c_str());
+  CD_CHECK_OK(loaded.status());
+  EXPECT_EQ(loaded->num_shards, state.num_shards);
+  ExpectSameCounters(loaded->counters, state.counters);
+  EXPECT_EQ(loaded->fusion.value_probs, state.fusion.value_probs);
+  EXPECT_EQ(loaded->fusion.accuracies, state.fusion.accuracies);
+  EXPECT_EQ(loaded->fusion.truth, state.fusion.truth);
+  EXPECT_EQ(loaded->fusion.rounds, state.fusion.rounds);
+  EXPECT_EQ(loaded->fusion.converged, state.fusion.converged);
+  EXPECT_EQ(loaded->fusion.copies.raw_map().raw_keys(),
+            state.fusion.copies.raw_map().raw_keys());
+}
+
+TEST(SnapshotIoShard, BspStateDimensionMismatchIsRefused) {
+  const std::string path = TempPath("bsp_dims.cdsnap");
+  SessionState full = FullState();
+  snapshot::BspState state;
+  state.num_shards = 2;
+  state.fusion = full.fusion;
+  state.fusion.value_probs.push_back(0.5);  // one slot too many
+  CD_CHECK_OK(snapshot::WriteBspState(path, state));
+  auto loaded = snapshot::ReadBspState(path, full.data);
+  std::remove(path.c_str());
+  ASSERT_FALSE(loaded.ok());
+}
+
 }  // namespace
 }  // namespace copydetect

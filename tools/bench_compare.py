@@ -8,7 +8,9 @@ of anchor benchmarks — the perf-gate CI's comparator.
         [--claims bench/PERF_CLAIMS.json] \
         [--warn-ratio 1.25] [--fail-ratio 2.0]
 
-Records are matched by (name, detector, dataset, threads); an anchor
+Records are matched by (name, detector, dataset, scale, threads) —
+scale disambiguates scaling-schema files, where every sweep point
+shares the record name "detect_total"; an anchor
 selects every record whose `name` starts with it (so threads variants
 like ".../1" are all covered). The comparison is current/baseline on
 `real_seconds`:
@@ -57,10 +59,14 @@ def load_records(path):
 
 
 def key_of(record):
+    # `scale` joins the key because scaling-schema records all share a
+    # name ("detect_total") and differ only by sweep point; formatting
+    # with %g keeps 0.5 == 0.50 across regenerated files.
     return (
         record.get("name", ""),
         record.get("detector", ""),
         record.get("dataset", ""),
+        "%g" % float(record.get("scale", 0.0)),
         int(record.get("threads", 1)),
     )
 
@@ -81,7 +87,7 @@ def check_claims(claims_path, baseline, current):
             return sorted(
                 k for k in records
                 if k[0].startswith(anchor)
-                and (threads is None or k[3] == int(threads)))
+                and (threads is None or k[-1] == int(threads)))
 
         base_keys = select(baseline)
         cur_keys = select(current)

@@ -3,11 +3,11 @@
 //   (b) the HYBRID threshold (items shared before switching from INDEX
 //       bookkeeping to BOUND+), swept around the paper's 16;
 //   (c) the §VIII parallel index scan, thread sweep.
-#include "core/bound.h"
-#include "core/parallel_index.h"
+#include "core/bound.h"           // cd-lint: allow(layering) white-box ablation bench (docs/API.md exemption)
+#include "core/parallel_index.h"  // cd-lint: allow(layering) white-box ablation bench (docs/API.md exemption)
 
 #include "bench_util.h"
-#include "fusion/truth_finder.h"
+#include "fusion/truth_finder.h"  // cd-lint: allow(layering) white-box ablation bench (docs/API.md exemption)
 
 using namespace copydetect;
 using namespace copydetect::bench;

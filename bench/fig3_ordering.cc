@@ -1,11 +1,11 @@
 // Figure 3: effect of the index processing order — BYPROVIDER and
 // BYCONTRIBUTION as a time ratio against RANDOM ordering, under BOUND
 // and under HYBRID.
-#include "core/bound.h"
-#include "core/hybrid.h"
+#include "core/bound.h"   // cd-lint: allow(layering) white-box ordering bench (docs/API.md exemption)
+#include "core/hybrid.h"  // cd-lint: allow(layering) white-box ordering bench (docs/API.md exemption)
 
 #include "bench_util.h"
-#include "fusion/truth_finder.h"
+#include "fusion/truth_finder.h"  // cd-lint: allow(layering) white-box ordering bench (docs/API.md exemption)
 
 using namespace copydetect;
 using namespace copydetect::bench;

@@ -31,15 +31,15 @@
 #include "bench_util.h"
 #include "common/flat_hash.h"
 #include "common/random.h"
-#include "core/bayes.h"
-#include "core/inverted_index.h"
-#include "core/pairwise.h"
-#include "core/sharded_detector.h"
-#include "fusion/truth_finder.h"
-#include "simjoin/intersect.h"
-#include "simjoin/overlap.h"
-#include "simjoin/prefix_join.h"
-#include "topk/nra.h"
+#include "core/bayes.h"  // cd-lint: allow(layering) white-box microbench (docs/API.md exemption)
+#include "core/inverted_index.h"  // cd-lint: allow(layering) white-box microbench (docs/API.md exemption)
+#include "core/pairwise.h"  // cd-lint: allow(layering) white-box microbench (docs/API.md exemption)
+#include "core/sharded_detector.h"  // cd-lint: allow(layering) white-box microbench (docs/API.md exemption)
+#include "fusion/truth_finder.h"  // cd-lint: allow(layering) white-box microbench (docs/API.md exemption)
+#include "simjoin/intersect.h"  // cd-lint: allow(layering) white-box microbench (docs/API.md exemption)
+#include "simjoin/overlap.h"  // cd-lint: allow(layering) white-box microbench (docs/API.md exemption)
+#include "simjoin/prefix_join.h"  // cd-lint: allow(layering) white-box microbench (docs/API.md exemption)
+#include "topk/nra.h"  // cd-lint: allow(layering) white-box microbench (docs/API.md exemption)
 
 namespace copydetect {
 namespace {

@@ -99,6 +99,16 @@ class Executor {
 
   size_t num_threads_;
   std::unique_ptr<ThreadPool> pool_;  // null in serial mode
+
+  // Arena-lease protocol (lock-free, so Clang Thread Safety Analysis
+  // cannot check it — atomics are not capabilities; TSan and
+  // arena_test's overlapping-lease cases cover it dynamically):
+  // arenas_[i] is readable/writable only between winning the
+  // compare_exchange on arena_claimed_[i] (acquire) and the release
+  // store in ReleaseArena. The acquire/release pair also orders the
+  // lazy construction of arenas_[i] between successive lease holders.
+  // No CD_GUARDED_BY applies; AcquireArena/ReleaseArena are the only
+  // two functions that touch either array after construction.
   std::vector<std::unique_ptr<Arena>> arenas_;
   std::unique_ptr<std::atomic<bool>[]> arena_claimed_;
 };

@@ -3,10 +3,20 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace copydetect {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Serializes sink swaps against in-flight line emission: a LogMessage
+/// flush holds the mutex across the sink call, so SetLogSink never
+/// yanks a sink out from under a line being written, and concurrent
+/// log lines never interleave their bytes.
+Mutex g_sink_mu;
+LogSinkFn g_sink CD_GUARDED_BY(g_sink_mu) = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -31,6 +41,11 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSink(LogSinkFn sink) {
+  MutexLock lock(g_sink_mu);
+  g_sink = sink;
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -42,8 +57,14 @@ LogMessage::~LogMessage() {
   for (const char* p = file_; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
+  const std::string body = stream_.str();
+  MutexLock lock(g_sink_mu);
+  if (g_sink != nullptr) {
+    g_sink(level_, base, line_, body.c_str());
+    return;
+  }
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), base, line_,
-               stream_.str().c_str());
+               body.c_str());
 }
 
 }  // namespace internal_logging

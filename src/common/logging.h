@@ -12,6 +12,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Sink override for emitted log lines (level, basename, line, body).
+/// The stateless function pointer keeps installation race-free to
+/// describe: the sink itself is guarded by an internal Mutex, so a
+/// swap never tears a line being written.
+using LogSinkFn = void (*)(LogLevel level, const char* file, int line,
+                           const char* message);
+
+/// Installs `sink` as the destination for log lines; null restores the
+/// default stderr sink. Thread-safe; intended for tests and for hosts
+/// that want the engine's diagnostics in their own log stream.
+void SetLogSink(LogSinkFn sink);
+
 namespace internal_logging {
 
 class LogMessage {

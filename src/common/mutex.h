@@ -1,0 +1,80 @@
+#ifndef COPYDETECT_COMMON_MUTEX_H_
+#define COPYDETECT_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace copydetect {
+
+/// std::mutex wearing the CD_CAPABILITY annotation so Clang Thread
+/// Safety Analysis can check the lock discipline of everything
+/// CD_GUARDED_BY it. Same cost as std::mutex; the annotated names
+/// (Lock/Unlock) are the project spelling, the lowercase BasicLockable
+/// aliases exist so CondVar (std::condition_variable_any) can unlock
+/// and relock it inside Wait.
+class CD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CD_ACQUIRE() { mu_.lock(); }
+  void Unlock() CD_RELEASE() { mu_.unlock(); }
+  bool TryLock() CD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable spellings for std::condition_variable_any. The
+  // analysis treats them exactly like Lock/Unlock.
+  void lock() CD_ACQUIRE() { mu_.lock(); }
+  void unlock() CD_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (std::lock_guard with a scoped-capability
+/// annotation): the analysis knows the mutex is held for exactly the
+/// enclosing scope, including early return/continue/break paths.
+class CD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CD_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() CD_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with the annotated Mutex. Wait declares
+/// CD_REQUIRES(mu): the caller holds `mu` on entry and holds it again
+/// on return (the unlock/relock inside std::condition_variable_any is
+/// invisible to the analysis, which is exactly the contract a caller
+/// sees). Spurious wakeups are possible — always wait in a loop that
+/// re-checks the guarded predicate:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+///
+/// Checking the predicate inline (not via a lambda) keeps the guarded
+/// reads inside the annotated function body where the analysis can
+/// prove them.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) CD_REQUIRES(mu) { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_COMMON_MUTEX_H_

@@ -1,0 +1,83 @@
+#ifndef COPYDETECT_COMMON_THREAD_ANNOTATIONS_H_
+#define COPYDETECT_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attribute macros (CD_GUARDED_BY,
+/// CD_REQUIRES, ...). Under clang, `-Wthread-safety
+/// -Wthread-safety-beta` turns the lock discipline these annotations
+/// declare into compile-time errors (the `static-analysis` CI job
+/// builds with them as -Werror); under every other compiler the macros
+/// expand to nothing, so annotated headers stay portable.
+///
+/// The annotated `Mutex`/`MutexLock`/`CondVar` wrappers these macros
+/// are designed around live in common/mutex.h. Conventions (also in
+/// docs/ARCHITECTURE.md "Static analysis"):
+///
+///  * every mutex-guarded member is CD_GUARDED_BY its mutex;
+///  * functions that expect the caller to hold a lock say
+///    CD_REQUIRES(mu) instead of re-documenting it in prose;
+///  * CD_NO_THREAD_SAFETY_ANALYSIS is a last resort, and every use
+///    carries a written justification for why the analysis cannot
+///    follow the code (the lint suite audits that the escape hatch
+///    stays rare).
+///
+/// These macros are internal (docs/API.md): they may change or vanish
+/// whenever the analysis toolchain moves; applications must not
+/// include this header.
+
+#if defined(__clang__)
+#define CD_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define CD_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define CD_CAPABILITY(x) CD_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type that acquires in its constructor and releases
+/// in its destructor (MutexLock).
+#define CD_SCOPED_CAPABILITY \
+  CD_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define CD_GUARDED_BY(x) CD_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define CD_PT_GUARDED_BY(x) \
+  CD_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function that may only be called while holding the listed mutexes.
+#define CD_REQUIRES(...) \
+  CD_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed mutexes and holds them on return.
+#define CD_ACQUIRE(...) \
+  CD_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed mutexes (held on entry).
+#define CD_RELEASE(...) \
+  CD_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function that acquires the mutex iff it returns `ret`.
+#define CD_TRY_ACQUIRE(ret, ...) \
+  CD_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function that must NOT be called while holding the listed mutexes
+/// (deadlock guard for functions that acquire them themselves).
+#define CD_EXCLUDES(...) \
+  CD_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Tells the analysis (without runtime effect here) that the calling
+/// thread already holds the mutex.
+#define CD_ASSERT_CAPABILITY(x) \
+  CD_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// Function returning a reference to the mutex that guards its class.
+#define CD_RETURN_CAPABILITY(x) \
+  CD_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: the function's lock juggling is correct but beyond
+/// the analysis. Every use MUST carry a comment explaining why.
+#define CD_NO_THREAD_SAFETY_ANALYSIS \
+  CD_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // COPYDETECT_COMMON_THREAD_ANNOTATIONS_H_

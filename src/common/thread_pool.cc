@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cassert>
 
+#include "common/mutex.h"
+
 namespace copydetect {
 
 namespace {
@@ -25,10 +27,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -38,11 +40,11 @@ bool ThreadPool::InWorkerThread() const {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     assert(!shutdown_);
     queue_.push(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
@@ -55,7 +57,7 @@ void ThreadPool::Wait() {
     for (;;) {
       std::function<void()> task;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (!queue_.empty()) {
           task = std::move(queue_.front());
           queue_.pop();
@@ -64,30 +66,30 @@ void ThreadPool::Wait() {
       }
       if (task) {
         task();
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         --in_flight_;
         if (queue_.empty() && in_flight_ == waiting_workers_) {
-          idle_cv_.notify_all();
+          idle_cv_.NotifyAll();
         }
         continue;
       }
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!queue_.empty()) continue;  // raced with a new Submit: drain
       ++waiting_workers_;
       // Our joining the waiters may complete the group (e.g. every
       // remaining in-flight task is now waiting here).
-      if (in_flight_ == waiting_workers_) idle_cv_.notify_all();
-      idle_cv_.wait(lock, [this] {
-        return !queue_.empty() || in_flight_ == waiting_workers_;
-      });
+      if (in_flight_ == waiting_workers_) idle_cv_.NotifyAll();
+      while (queue_.empty() && in_flight_ != waiting_workers_) {
+        idle_cv_.Wait(mu_);
+      }
       const bool done = queue_.empty() && in_flight_ == waiting_workers_;
       --waiting_workers_;
       if (done) return;
       // New work arrived while waiting — go back to draining it.
     }
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || in_flight_ != 0) idle_cv_.Wait(mu_);
 }
 
 void ThreadPool::ParallelFor(size_t n,
@@ -108,11 +110,14 @@ void ThreadPool::ParallelFor(size_t n,
   const size_t per = (n + chunks - 1) / chunks;
   struct Latch {
     std::atomic<size_t> next{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t pending;
+    Mutex mu;
+    CondVar cv;
+    size_t pending CD_GUARDED_BY(mu) = 0;
   } latch;
-  latch.pending = chunks;
+  {
+    MutexLock lock(latch.mu);
+    latch.pending = chunks;
+  }
   for (size_t c = 0; c < chunks; ++c) {
     Submit([&latch, &fn, per, n] {
       for (;;) {
@@ -121,12 +126,12 @@ void ThreadPool::ParallelFor(size_t n,
         size_t end = std::min(n, begin + per);
         for (size_t i = begin; i < end; ++i) fn(i);
       }
-      std::lock_guard<std::mutex> lock(latch.mu);
-      if (--latch.pending == 0) latch.cv.notify_one();
+      MutexLock lock(latch.mu);
+      if (--latch.pending == 0) latch.cv.NotifyOne();
     });
   }
-  std::unique_lock<std::mutex> lock(latch.mu);
-  latch.cv.wait(lock, [&latch] { return latch.pending == 0; });
+  MutexLock lock(latch.mu);
+  while (latch.pending != 0) latch.cv.Wait(latch.mu);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -134,8 +139,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) {
         if (shutdown_) break;
         continue;
@@ -146,13 +151,13 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       // waiting_workers_ == 0 makes this the plain all-idle condition;
       // otherwise it also releases workers blocked in Wait() once only
       // waiters remain in flight.
       if (queue_.empty() && in_flight_ == waiting_workers_) {
-        idle_cv_.notify_all();
+        idle_cv_.NotifyAll();
       }
     }
   }

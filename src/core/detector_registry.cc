@@ -36,6 +36,7 @@ int cd_force_link_builtin_detectors() {
 DetectorRegistry& DetectorRegistry::Global() {
   // Construct-on-first-use: registrars run during static init from
   // arbitrary TUs and must find a live registry.
+  // cd-lint: allow(banned-new-delete) intentional leak; destructor order vs. registrars is undefined
   static DetectorRegistry* registry = new DetectorRegistry();
   return *registry;
 }

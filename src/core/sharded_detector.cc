@@ -29,6 +29,7 @@ StatusOr<std::unique_ptr<ShardedDetector>> ShardedDetector::Create(
   std::string name = StrFormat("sharded-%.*s/%u",
                                static_cast<int>(inner_name.size()),
                                inner_name.data(), num_shards);
+  // cd-lint: allow(banned-new-delete) private ctor; make_unique cannot reach it
   return std::unique_ptr<ShardedDetector>(new ShardedDetector(
       std::move(name), params, std::move(inners)));
 }

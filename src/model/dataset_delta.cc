@@ -309,7 +309,11 @@ StatusOr<AppliedDelta> Dataset::Apply(const DatasetDelta& delta) const {
   std::unordered_map<SourceId, std::vector<ResolvedOp*>> source_ops;
   source_ops.reserve(sum.touched_sources.size());
   for (ResolvedOp& r : rops) source_ops[r.source].push_back(&r);
-  for (auto& [s, ops] : source_ops) {
+  // touched_sources is the sorted-unique set of rop sources, so this
+  // visits every source_ops entry, in source-id order rather than
+  // bucket order.
+  for (SourceId s : sum.touched_sources) {
+    std::vector<ResolvedOp*>& ops = source_ops[s];
     std::sort(ops.begin(), ops.end(),
               [](const ResolvedOp* a, const ResolvedOp* b) {
                 return a->item < b->item;

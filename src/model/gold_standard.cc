@@ -25,7 +25,9 @@ bool GoldStandard::Contains(ItemId item) const {
 std::vector<ItemId> GoldStandard::Items() const {
   std::vector<ItemId> items;
   items.reserve(truth_.size());
+  // cd-lint: allow(unordered-iteration) key harvest only; the sort below fixes the output order
   for (const auto& [item, value] : truth_) items.push_back(item);
+  std::sort(items.begin(), items.end());
   return items;
 }
 
@@ -33,6 +35,7 @@ double GoldStandard::Accuracy(const Dataset& data,
                               const std::vector<SlotId>& chosen) const {
   if (truth_.empty()) return 0.0;
   size_t correct = 0;
+  // cd-lint: allow(unordered-iteration) order-invariant integer tally, no FP accumulation
   for (const auto& [item, value] : truth_) {
     if (item >= chosen.size()) continue;
     SlotId slot = chosen[item];
@@ -43,8 +46,7 @@ double GoldStandard::Accuracy(const Dataset& data,
 
 GoldStandard GoldStandard::Sample(size_t k, uint64_t seed) const {
   if (k >= truth_.size()) return *this;
-  std::vector<ItemId> items = Items();
-  std::sort(items.begin(), items.end());
+  std::vector<ItemId> items = Items();  // already sorted
   Rng rng(seed);
   std::vector<uint64_t> picks =
       rng.SampleWithoutReplacement(items.size(), k);
@@ -61,9 +63,7 @@ Status GoldStandard::SaveCsv(const Dataset& data,
   std::vector<std::vector<std::string>> rows;
   rows.reserve(truth_.size() + 1);
   rows.push_back({"item", "true_value"});
-  std::vector<ItemId> items = Items();
-  std::sort(items.begin(), items.end());
-  for (ItemId item : items) {
+  for (ItemId item : Items()) {
     rows.push_back(
         {std::string(data.item_name(item)), truth_.at(item)});
   }

@@ -27,7 +27,7 @@ class GoldStandard {
   bool Contains(ItemId item) const;
   size_t size() const { return truth_.size(); }
 
-  /// Items present in the gold set (unsorted).
+  /// Items present in the gold set, sorted by id.
   std::vector<ItemId> Items() const;
 
   /// Fraction of gold items on which `chosen` (item -> chosen slot,

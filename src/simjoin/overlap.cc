@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <bit>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "model/dataset.h"
 #include "simjoin/intersect.h"
 
@@ -47,10 +48,11 @@ struct SharedOverlapsRegistry {
     size_t publishers = 0;
   };
 
-  std::mutex mu;
-  std::unordered_map<uint64_t, Entry> published;
+  Mutex mu;
+  std::unordered_map<uint64_t, Entry> published CD_GUARDED_BY(mu);
 
   static SharedOverlapsRegistry& Instance() {
+    // cd-lint: allow(banned-new-delete) intentional leak; sessions may withdraw during static teardown
     static SharedOverlapsRegistry* registry = new SharedOverlapsRegistry;
     return *registry;
   }
@@ -61,7 +63,7 @@ struct SharedOverlapsRegistry {
 void SharedOverlaps::Publish(
     uint64_t generation, std::shared_ptr<const OverlapCounts> counts) {
   SharedOverlapsRegistry& registry = SharedOverlapsRegistry::Instance();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto& entry = registry.published[generation];
   ++entry.publishers;
   if (entry.counts == nullptr) {
@@ -74,14 +76,14 @@ void SharedOverlaps::Publish(
 std::shared_ptr<const OverlapCounts> SharedOverlaps::Lookup(
     uint64_t generation) {
   SharedOverlapsRegistry& registry = SharedOverlapsRegistry::Instance();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.published.find(generation);
   return it == registry.published.end() ? nullptr : it->second.counts;
 }
 
 void SharedOverlaps::Withdraw(uint64_t generation) {
   SharedOverlapsRegistry& registry = SharedOverlapsRegistry::Instance();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.published.find(generation);
   if (it == registry.published.end()) return;
   if (--it->second.publishers == 0) registry.published.erase(it);
@@ -89,7 +91,7 @@ void SharedOverlaps::Withdraw(uint64_t generation) {
 
 size_t SharedOverlaps::NumPublished() {
   SharedOverlapsRegistry& registry = SharedOverlapsRegistry::Instance();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   return registry.published.size();
 }
 

@@ -72,6 +72,7 @@ StatusOr<std::shared_ptr<MmapReader>> MmapReader::Open(
     return Status::IOError("cannot mmap snapshot file: " + path);
   }
 
+  // cd-lint: allow(banned-new-delete) private ctor; make_shared cannot reach it
   std::shared_ptr<MmapReader> reader(new MmapReader());
   reader->path_ = path;
   reader->base_ = static_cast<const uint8_t*>(mapped);

@@ -87,7 +87,9 @@ TEST(ArenaHashMapTest, MatchesFlatHashMapLayoutOnRandomWorkloads) {
         uint64_t* a = arena_map.Find(probe_key);
         uint64_t* f = flat_map.Find(probe_key);
         ASSERT_EQ(a == nullptr, f == nullptr);
-        if (a != nullptr) ASSERT_EQ(*a, *f);
+        if (a != nullptr) {
+          ASSERT_EQ(*a, *f);
+        }
       }
     }
     ASSERT_EQ(arena_map.size(), flat_map.size());

@@ -1,0 +1,7 @@
+// Fixture: bench reaching past the facade — expect layering at line 4;
+// line 3 (the facade) and line 5 (common utilities) are legal.
+#include "copydetect/session.h"
+#include "core/bayes.h"
+#include "common/random.h"
+
+int FixtureBench() { return 0; }

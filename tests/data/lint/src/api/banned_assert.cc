@@ -1,0 +1,6 @@
+// Fixture: abort in the facade layer — expect banned-assert at line 5.
+#include <cassert>
+
+void FixtureValidate(int n) {
+  assert(n > 0);
+}

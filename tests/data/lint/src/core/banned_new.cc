@@ -1,0 +1,11 @@
+// Fixture: raw ownership — expect banned-new-delete at lines 5 and 6.
+struct Blob { int x; };
+
+int FixtureOwn() {
+  Blob* b = new Blob();
+  delete b;
+  return 0;
+}
+
+// Deleted functions must not trip the rule:
+struct NoCopy { NoCopy(const NoCopy&) = delete; };

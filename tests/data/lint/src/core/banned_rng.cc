@@ -1,0 +1,8 @@
+// Fixture: nondeterministic randomness — expect banned-rng at lines
+// 6, 7 and 8.
+#include <cstdlib>
+#include <random>
+
+int FixtureSeed() { return rand(); }
+std::random_device g_entropy;
+long FixtureClockSeed() { return static_cast<long>(time(nullptr)); }

@@ -1,0 +1,5 @@
+// Fixture: core must not include eval — expect layering at line 3.
+#include "common/status.h"
+#include "eval/metrics.h"
+
+int FixtureLayering() { return 0; }

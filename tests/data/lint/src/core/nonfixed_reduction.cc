@@ -1,0 +1,11 @@
+// Fixture: unordered floating-point accumulation — expect
+// nonfixed-reduction at lines 7 and 10.
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+std::atomic<double> g_sum{0.0};
+
+double FixtureReduce(const std::vector<double>& v) {
+  return std::reduce(v.begin(), v.end());
+}

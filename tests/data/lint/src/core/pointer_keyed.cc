@@ -1,0 +1,6 @@
+// Fixture: pointer-keyed container — expect pointer-keyed at line 6.
+#include <map>
+
+struct Source;
+
+std::map<Source*, int> g_weights;

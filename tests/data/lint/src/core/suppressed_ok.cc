@@ -1,0 +1,8 @@
+// Fixture: a justified suppression silences the rule and is itself
+// clean — expect zero findings from this file.
+struct Pool { int x; };
+
+Pool* FixtureLeak() {
+  // cd-lint: allow(banned-new-delete) fixture: justified exemption covering the line below
+  return new Pool();
+}

@@ -1,0 +1,10 @@
+// Fixture: suppression audit — expect suppression findings at lines
+// 5 (no reason), 7 (unknown rule) and 9 (suppresses nothing).
+struct Grid { int x; };
+
+Grid* FixtureNoReason() { return new Grid(); }  // cd-lint: allow(banned-new-delete)
+
+int FixtureUnknown() { return 0; }  // cd-lint: allow(no-such-rule) typo'd rule id
+
+// cd-lint: allow(banned-rng) nothing on the next line uses an RNG
+int FixtureUnused() { return 4; }

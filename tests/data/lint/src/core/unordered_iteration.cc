@@ -1,0 +1,12 @@
+// Fixture: bucket-order iteration in a result-bearing module —
+// expect unordered-iteration at lines 8 and 10.
+#include <unordered_map>
+
+int FixtureUnordered() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  for (const auto& [k, v] : counts) (void)k;
+  int total = 0;
+  for (auto it = counts.begin(); it != counts.end(); ++it) total += it->second;
+  return total;
+}

@@ -1,0 +1,9 @@
+// Fixture: the container is declared in the header; LintTree's
+// cross-header harvest must still flag the iteration at line 7.
+#include "model/counts.h"
+
+int FixtureTally(const Counts& c) {
+  int n = 0;
+  for (const auto& [s, v] : c.by_source) n += v;
+  return n;
+}

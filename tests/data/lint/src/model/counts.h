@@ -1,0 +1,11 @@
+// Fixture header: declares the container counts.cc iterates.
+#ifndef FIXTURE_MODEL_COUNTS_H_
+#define FIXTURE_MODEL_COUNTS_H_
+
+#include <unordered_map>
+
+struct Counts {
+  std::unordered_map<int, int> by_source;
+};
+
+#endif  // FIXTURE_MODEL_COUNTS_H_

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "fusion/value_probs.h"
 #include "test_util.h"
 
@@ -56,11 +59,17 @@ TEST(GoldStandard, SampleIsSubset) {
   }
   // Deterministic.
   GoldStandard again = gold.Sample(10, 7);
-  auto a = sample.Items();
-  auto b = again.Items();
-  std::sort(a.begin(), a.end());
-  std::sort(b.begin(), b.end());
-  EXPECT_EQ(a, b);
+  EXPECT_EQ(sample.Items(), again.Items());
+}
+
+TEST(GoldStandard, ItemsAreSortedById) {
+  GoldStandard gold;
+  for (ItemId d : {ItemId{42}, ItemId{3}, ItemId{17}, ItemId{8}}) {
+    gold.Set(d, "v");
+  }
+  const std::vector<ItemId> items = gold.Items();
+  EXPECT_TRUE(std::is_sorted(items.begin(), items.end()));
+  EXPECT_EQ(items, (std::vector<ItemId>{3, 8, 17, 42}));
 }
 
 TEST(GoldStandard, SampleLargerThanSetReturnsAll) {

@@ -1,0 +1,159 @@
+#include "lexer.h"
+
+#include <algorithm>
+
+namespace copydetect::lint {
+
+namespace {
+
+/// Appends `n` spaces (newlines pass through separately).
+void Blank(std::string* out, std::string_view src, size_t begin,
+           size_t end) {
+  for (size_t i = begin; i < end && i < src.size(); ++i) {
+    out->push_back(src[i] == '\n' ? '\n' : ' ');
+  }
+}
+
+}  // namespace
+
+int CleanedSource::LineOf(size_t offset) const {
+  auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(),
+                             offset);
+  return static_cast<int>(it - line_starts_.begin());
+}
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+CleanedSource CleanSource(std::string_view src) {
+  CleanedSource out;
+  out.code.reserve(src.size());
+  out.line_starts_.push_back(0);
+  int line = 1;
+  size_t i = 0;
+  auto advance_line = [&](char c) {
+    out.code.push_back(c);
+    if (c == '\n') {
+      ++line;
+      out.line_starts_.push_back(out.code.size());
+    }
+  };
+  while (i < src.size()) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '/' && next == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = src.size();
+      out.comments.emplace_back(line,
+                                std::string(src.substr(i, end - i)));
+      Blank(&out.code, src, i, end);
+      i = end;
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      size_t end = src.find("*/", i + 2);
+      end = end == std::string_view::npos ? src.size() : end + 2;
+      out.comments.emplace_back(line,
+                                std::string(src.substr(i, end - i)));
+      // Blank() keeps the newlines, but line_starts_ must still grow.
+      for (size_t j = i; j < end; ++j) advance_line(src[j] == '\n' ? '\n' : ' ');
+      i = end;
+      continue;
+    }
+    if (c == 'R' && next == '"' &&
+        (i == 0 || !IsIdentChar(src[i - 1]))) {
+      // Raw string literal: R"delim( ... )delim".
+      size_t open = src.find('(', i + 2);
+      if (open != std::string_view::npos) {
+        std::string closer = ")";
+        closer += src.substr(i + 2, open - (i + 2));
+        closer += '"';
+        size_t end = src.find(closer, open + 1);
+        end = end == std::string_view::npos ? src.size()
+                                            : end + closer.size();
+        for (size_t j = i; j < end; ++j) {
+          advance_line(src[j] == '\n' ? '\n' : ' ');
+        }
+        i = end;
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      advance_line(c);
+      ++i;
+      while (i < src.size() && src[i] != c) {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          advance_line(' ');
+          advance_line(' ');
+          i += 2;
+          continue;
+        }
+        advance_line(src[i] == '\n' ? '\n' : ' ');
+        ++i;
+      }
+      if (i < src.size()) {
+        advance_line(c);
+        ++i;
+      }
+      continue;
+    }
+    advance_line(c);
+    ++i;
+  }
+  return out;
+}
+
+std::vector<size_t> FindWord(std::string_view code,
+                             std::string_view word) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = code.find(word, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const size_t after = pos + word.size();
+    const bool right_ok =
+        after >= code.size() || !IsIdentChar(code[after]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos += word.size();
+  }
+  return hits;
+}
+
+size_t SkipSpace(std::string_view code, size_t pos) {
+  while (pos < code.size() &&
+         (code[pos] == ' ' || code[pos] == '\t' || code[pos] == '\n' ||
+          code[pos] == '\r')) {
+    ++pos;
+  }
+  return pos < code.size() ? pos : std::string_view::npos;
+}
+
+size_t SkipBalanced(std::string_view code, size_t pos) {
+  if (pos >= code.size()) return std::string_view::npos;
+  const char open = code[pos];
+  char close;
+  switch (open) {
+    case '<': close = '>'; break;
+    case '(': close = ')'; break;
+    case '[': close = ']'; break;
+    case '{': close = '}'; break;
+    default: return std::string_view::npos;
+  }
+  int depth = 0;
+  for (size_t i = pos; i < code.size(); ++i) {
+    char c = code[i];
+    if (c == open) {
+      ++depth;
+    } else if (c == close) {
+      if (--depth == 0) return i + 1;
+    } else if (open == '<' && (c == ';' || c == '{')) {
+      // A template argument list never crosses these; the `<` was a
+      // comparison operator after all.
+      return std::string_view::npos;
+    }
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace copydetect::lint

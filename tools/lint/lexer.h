@@ -1,0 +1,54 @@
+#ifndef COPYDETECT_TOOLS_LINT_LEXER_H_
+#define COPYDETECT_TOOLS_LINT_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace copydetect::lint {
+
+/// A C++ source file reduced to the token stream the rules reason
+/// about: comment bodies and string/character literal contents are
+/// blanked with spaces, byte offsets and line breaks are preserved, so
+/// every offset into `code` maps to the same line as in the original.
+/// Comments are kept separately (with their 1-based start line) for
+/// the `// cd-lint: allow(<rule>) <reason>` suppression syntax.
+struct CleanedSource {
+  std::string code;
+  std::vector<std::pair<int, std::string>> comments;
+
+  /// 1-based line of a byte offset into `code`.
+  int LineOf(size_t offset) const;
+
+ private:
+  friend CleanedSource CleanSource(std::string_view src);
+  std::vector<size_t> line_starts_;
+};
+
+/// Strips comments and literal contents from `src`. Handles //-, /* */
+/// comments, "..." and '...' literals with escapes, and raw string
+/// literals R"delim(...)delim".
+CleanedSource CleanSource(std::string_view src);
+
+/// True for [A-Za-z0-9_] — the identifier alphabet word scans split on.
+bool IsIdentChar(char c);
+
+/// Byte offsets of every whole-word occurrence of `word` in `code`.
+std::vector<size_t> FindWord(std::string_view code, std::string_view word);
+
+/// First non-whitespace offset at or after `pos` (npos at end).
+size_t SkipSpace(std::string_view code, size_t pos);
+
+/// Given `pos` at an opening bracket (`<`, `(`, `[`, `{`), returns the
+/// offset one past its matching closer, tracking all four bracket
+/// kinds; npos when unbalanced. For `<` the scan treats `>` as the
+/// closer (template context — the cleaned code has no strings left to
+/// confuse it, but a stray comparison operator can still unbalance the
+/// scan, in which case npos is returned and the caller skips).
+size_t SkipBalanced(std::string_view code, size_t pos);
+
+}  // namespace copydetect::lint
+
+#endif  // COPYDETECT_TOOLS_LINT_LEXER_H_

@@ -40,10 +40,12 @@ class ConfiguredScanDetector : public CopyDetector {
 }  // namespace
 
 int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  double scale = flags.GetDouble("scale", 1.0);
-  uint64_t seed = flags.GetUint64("seed", 7);
-  flags.Finish();
+  double scale = 1.0;
+  uint64_t seed = 7;
+  FlagSet flags("ablation: DESIGN.md design-choice ablations");
+  flags.Double("scale", &scale, "data-set scale factor");
+  flags.Uint64("seed", &seed, "world generator seed");
+  flags.ParseOrDie(argc, argv);
 
   // --- (a) tail set on/off. ---
   TextTable tail;

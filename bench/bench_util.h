@@ -93,11 +93,11 @@ inline std::string Improvement(double before, double now) {
   return StrFormat("%.1f%%", frac * 100.0);
 }
 
-/// Declares the shared --json=<path> flag (currently wired into
-/// micro_core and scaling; harnesses opt in by declaring it).
-/// Empty (the default) means human-readable output only.
-inline std::string JsonFlag(FlagParser& flags) {
-  return flags.GetString("json", "");
+/// Registers the shared --json=<path> flag on a harness's FlagSet
+/// (harnesses opt in by calling this before ParseOrDie). Empty (the
+/// default) means human-readable output only.
+inline void JsonFlag(FlagSet& flags, std::string* path) {
+  flags.String("json", path, "write BENCH JSON records here");
 }
 
 /// Writes `reporter` to `path` when --json was given; exits non-zero

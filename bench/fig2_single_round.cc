@@ -8,10 +8,12 @@ using namespace copydetect;
 using namespace copydetect::bench;
 
 int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  double scale = flags.GetDouble("scale", 1.0);
-  uint64_t seed = flags.GetUint64("seed", 7);
-  flags.Finish();
+  double scale = 1.0;
+  uint64_t seed = 7;
+  FlagSet flags("fig2_single_round: Figure 2 single-round algorithms");
+  flags.Double("scale", &scale, "data-set scale factor");
+  flags.Uint64("seed", &seed, "world generator seed");
+  flags.ParseOrDie(argc, argv);
 
   TextTable computations;
   computations.SetHeader(

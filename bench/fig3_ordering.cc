@@ -32,10 +32,12 @@ double RunWithOrdering(const World& world, const FusionOptions& options,
 }  // namespace
 
 int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  double scale = flags.GetDouble("scale", 1.0);
-  uint64_t seed = flags.GetUint64("seed", 7);
-  flags.Finish();
+  double scale = 1.0;
+  uint64_t seed = 7;
+  FlagSet flags("fig3_ordering: Figure 3 index processing order");
+  flags.Double("scale", &scale, "data-set scale factor");
+  flags.Uint64("seed", &seed, "world generator seed");
+  flags.ParseOrDie(argc, argv);
 
   for (bool hybrid : {false, true}) {
     TextTable table;

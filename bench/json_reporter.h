@@ -32,6 +32,11 @@
 // configuration ran with (1 = the serial path). Records with equal
 // name/detector/dataset/scale but different `threads` form the
 // speedup curve of one configuration.
+//
+// schema_version 3 added `p50_seconds` / `p99_seconds`: per-operation
+// latency percentiles for load-style harnesses (serve_load today).
+// 0 for harnesses that measure a single timed run — a mean carries no
+// distribution.
 
 #include <cstdint>
 #include <string>
@@ -51,6 +56,8 @@ struct BenchRecord {
   uint64_t iterations = 1;
   double items_per_second = 0.0;
   uint64_t threads = 1;  ///< executor width (1 = serial path)
+  double p50_seconds = 0.0;  ///< median per-op latency (0 = unmeasured)
+  double p99_seconds = 0.0;  ///< tail per-op latency (0 = unmeasured)
 };
 
 /// Escapes `s` for use inside a JSON string literal (no quotes added).

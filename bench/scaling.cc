@@ -15,22 +15,26 @@ using namespace copydetect;
 using namespace copydetect::bench;
 
 int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  // Sweep factors applied on top of the dataset's base scale.
-  double max_factor = flags.GetDouble("max-factor", 4.0);
-  uint64_t seed = flags.GetUint64("seed", 7);
-  std::string dataset = flags.GetString("dataset", "book-cs");
-  // Base scale of the sweep (factor 1). 0 = the bench default for the
-  // dataset, falling back to 0.5 for profiles outside the bench set
-  // (book-xl).
-  double base_scale = flags.GetDouble("base-scale", 0.0);
-  std::vector<std::string> detectors =
-      Split(flags.GetString("detectors", "pairwise,index,incremental"),
-            ',');
-  // 1 = serial (the historical configuration), 0 = hardware width.
-  uint64_t threads = flags.GetUint64("threads", 1);
-  std::string json_path = JsonFlag(flags);
-  flags.Finish();
+  double max_factor = 4.0;
+  uint64_t seed = 7;
+  std::string dataset = "book-cs";
+  double base_scale = 0.0;
+  std::string detector_list = "pairwise,index,incremental";
+  uint64_t threads = 1;
+  std::string json_path;
+  FlagSet flags("scaling: detection-cost scaling curves");
+  flags.Double("max-factor", &max_factor,
+               "largest size multiplier in the sweep");
+  flags.Uint64("seed", &seed, "world generator seed");
+  flags.String("dataset", &dataset, "bench data-set name");
+  flags.Double("base-scale", &base_scale,
+               "starting scale (0 = the data set's bench default)");
+  flags.String("detectors", &detector_list,
+               "comma-separated detector names to sweep");
+  flags.Uint64("threads", &threads, "executor width per run");
+  JsonFlag(flags, &json_path);
+  flags.ParseOrDie(argc, argv);
+  std::vector<std::string> detectors = Split(detector_list, ',');
 
   JsonReporter reporter("scaling");
 

@@ -1,0 +1,207 @@
+// Serving-layer load driver: sustained mixed read/update throughput
+// against one SessionManager session, the concurrency shape copydetectd
+// serves (ROADMAP "concurrent serving" exit criterion).
+//
+// N reader threads hammer SessionRef::report() (the lock-free RCU
+// load) while M writer threads push small DatasetDelta batches through
+// the session's single-writer queue, for a fixed wall-clock window.
+// Per-operation latencies are recorded and reported as p50/p99
+// alongside throughput — one BENCH record per operation kind
+// (schema_version 3 adds the percentile fields):
+//
+//   ./serve_load --readers=4 --writers=2 --seconds=2
+//       --json=BENCH_serve.json
+//
+// The driver runs the manager in-process rather than through the
+// socket: the wire layer is one read()/write() per request and would
+// measure the kernel, not the serving data structures under test.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "copydetect/session_manager.h"
+
+using namespace copydetect;
+using namespace copydetect::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Percentile by rank over an unsorted latency vector (nth_element —
+/// the vectors run to millions of entries for readers).
+double Percentile(std::vector<double>& latencies, double p) {
+  if (latencies.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(p * static_cast<double>(
+                                            latencies.size() - 1));
+  std::nth_element(latencies.begin(), latencies.begin() + rank,
+                   latencies.end());
+  return latencies[rank];
+}
+
+struct OpStats {
+  std::vector<double> latencies;
+  uint64_t ops = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t readers = 4;
+  uint64_t writers = 2;
+  double seconds = 2.0;
+  std::string dataset = "book-cs";
+  double scale = 0.1;
+  uint64_t seed = 7;
+  std::string detector = "index";
+  std::string json_path;
+  FlagSet flags(
+      "serve_load: mixed read/update load on one managed session");
+  flags.Uint64("readers", &readers,
+               "threads calling report() in a loop");
+  flags.Uint64("writers", &writers,
+               "threads applying Update batches in a loop");
+  flags.Double("seconds", &seconds, "measurement window length");
+  flags.String("dataset", &dataset, "bench data-set name");
+  flags.Double("scale", &scale, "data-set scale factor");
+  flags.Uint64("seed", &seed, "world generator seed");
+  flags.String("detector", &detector, "detector registry name");
+  JsonFlag(flags, &json_path);
+  flags.ParseOrDie(argc, argv);
+
+  World world = MakeWorld({dataset, scale}, seed);
+  SessionOptions session_options = SessionOptionsFor(world);
+  session_options.detector = detector;
+
+  SessionManagerOptions manager_options;
+  auto manager = SessionManager::Start(manager_options);
+  CD_CHECK_OK(manager.status());
+  auto ref = (*manager)->Open("load", session_options, world.data);
+  CD_CHECK_OK(ref.status());
+
+  const size_t total_threads =
+      static_cast<size_t>(readers + writers);
+  std::printf("serve_load: %s scale %.2f, %llu readers + %llu writers "
+              "for %.1fs\n",
+              dataset.c_str(), scale,
+              static_cast<unsigned long long>(readers),
+              static_cast<unsigned long long>(writers), seconds);
+
+  std::atomic<bool> stop{false};
+  std::vector<OpStats> reader_stats(readers);
+  std::vector<OpStats> writer_stats(writers);
+  std::vector<std::thread> threads;
+
+  for (uint64_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      OpStats& stats = reader_stats[r];
+      // Reader ops are tens of nanoseconds; sampling every op would
+      // time the clock, not the load. Record 1 in 64, count all.
+      uint64_t sample = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if ((sample++ & 63) == 0) {
+          auto begin = Clock::now();
+          auto snap = ref->report();
+          stats.latencies.push_back(Seconds(Clock::now() - begin));
+          if (snap == nullptr) break;  // unreachable; keeps snap live
+        } else {
+          auto snap = ref->report();
+          if (snap == nullptr) break;
+        }
+        ++stats.ops;
+      }
+    });
+  }
+  for (uint64_t w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      OpStats& stats = writer_stats[w];
+      uint64_t batch = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        DatasetDelta delta;
+        // Each writer cycles assertions from its own source over a
+        // small item set — steady overwrite churn, bounded growth.
+        const std::string source =
+            "load_src_" + std::to_string(w);
+        delta.Set(source, "load_item_" + std::to_string(batch % 8),
+                  std::to_string(batch % 5));
+        ++batch;
+        auto begin = Clock::now();
+        Status applied = ref->Update(delta);
+        stats.latencies.push_back(Seconds(Clock::now() - begin));
+        CD_CHECK_OK(applied);
+        ++stats.ops;
+      }
+    });
+  }
+
+  auto window_begin = Clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  const double elapsed = Seconds(Clock::now() - window_begin);
+
+  JsonReporter reporter("serve_load");
+  auto report_kind = [&](const char* kind,
+                         std::vector<OpStats>& per_thread,
+                         uint64_t thread_count) {
+    std::vector<double> latencies;
+    uint64_t ops = 0;
+    double measured_seconds = 0.0;
+    for (OpStats& stats : per_thread) {
+      ops += stats.ops;
+      for (double l : stats.latencies) measured_seconds += l;
+      latencies.insert(latencies.end(), stats.latencies.begin(),
+                       stats.latencies.end());
+    }
+    const double p50 = Percentile(latencies, 0.50);
+    const double p99 = Percentile(latencies, 0.99);
+    const double throughput =
+        elapsed > 0.0 ? static_cast<double>(ops) / elapsed : 0.0;
+    std::printf("  %-7s %12llu ops  %12.0f ops/s  p50 %s  p99 %s\n",
+                kind, static_cast<unsigned long long>(ops), throughput,
+                HumanSeconds(p50).c_str(), HumanSeconds(p99).c_str());
+    BenchRecord record;
+    record.name = std::string("serve_load/") + kind;
+    record.detector = detector;
+    record.dataset = dataset;
+    record.scale = scale;
+    // Mean latency over the *sampled* ops; total thread-seconds spent
+    // inside sampled calls as the cpu proxy.
+    record.real_seconds = latencies.empty()
+                              ? 0.0
+                              : measured_seconds /
+                                    static_cast<double>(latencies.size());
+    record.cpu_seconds = measured_seconds;
+    record.iterations = ops;
+    record.items_per_second = throughput;
+    record.threads = thread_count;
+    record.p50_seconds = p50;
+    record.p99_seconds = p99;
+    reporter.Add(record);
+  };
+  report_kind("query", reader_stats, readers);
+  report_kind("update", writer_stats, writers);
+
+  const auto final_snap = ref->report();
+  std::printf("  final report version %llu (%zu client threads)\n",
+              static_cast<unsigned long long>(final_snap->version),
+              total_threads);
+  if (final_snap->version == 0 && writers > 0) {
+    std::fprintf(stderr, "serve_load: no update ever applied\n");
+    return 1;
+  }
+
+  MaybeWriteJson(reporter, json_path);
+  (*manager)->Shutdown();
+  return 0;
+}

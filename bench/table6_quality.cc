@@ -46,10 +46,12 @@ void PrintQualityReport(const World& world, const std::string& dataset,
 }  // namespace
 
 int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  double scale = flags.GetDouble("scale", 1.0);
-  uint64_t seed = flags.GetUint64("seed", 7);
-  flags.Finish();
+  double scale = 1.0;
+  uint64_t seed = 7;
+  FlagSet flags("table6_quality: Table VI detection/fusion quality");
+  flags.Double("scale", &scale, "data-set scale factor");
+  flags.Uint64("seed", &seed, "world generator seed");
+  flags.ParseOrDie(argc, argv);
 
   for (const BenchDataset& spec : QualityDatasets(scale)) {
     World world = MakeWorld(spec, seed);

@@ -43,11 +43,14 @@ DatasetDelta SmallFeedDelta(const Dataset& data) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  double scale = flags.GetDouble("scale", 1.0);
-  uint64_t seed = flags.GetUint64("seed", 7);
-  std::string json_path = JsonFlag(flags);
-  flags.Finish();
+  double scale = 1.0;
+  uint64_t seed = 7;
+  std::string json_path;
+  FlagSet flags("table8_incremental: Table VIII INCREMENTAL vs HYBRID");
+  flags.Double("scale", &scale, "data-set scale factor");
+  flags.Uint64("seed", &seed, "world generator seed");
+  JsonFlag(flags, &json_path);
+  flags.ParseOrDie(argc, argv);
 
   JsonReporter reporter("table8_incremental");
 

@@ -68,11 +68,14 @@ void PrintClusters(const Dataset& data, const CopyResult& copies,
 }  // namespace
 
 int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  double scale = flags.GetDouble("scale", 0.5);
-  uint64_t seed = flags.GetUint64("seed", 11);
-  double rate = flags.GetDouble("rate", 0.1);
-  flags.Finish();
+  double scale = 0.5;
+  uint64_t seed = 11;
+  double rate = 0.1;
+  FlagSet flags("book_aggregator: Book-CS world with sampling");
+  flags.Double("scale", &scale, "world scale factor");
+  flags.Uint64("seed", &seed, "world generator seed");
+  flags.Double("rate", &rate, "detection sampling rate");
+  flags.ParseOrDie(argc, argv);
 
   auto world_or = MakeWorldByName("book-cs", scale, seed);
   CD_CHECK_OK(world_or.status());

@@ -100,47 +100,85 @@ Status WriteCopiesCsv(const std::string& path, const Dataset& data,
 }
 
 Status RunCli(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  std::string data_path = flags.GetString("data", "");
-  std::string generate = flags.GetString("generate", "");
-  double scale = flags.GetDouble("scale", 0.2);
-  uint64_t seed = flags.GetUint64("seed", 7);
-  std::string detector_name = flags.GetString("detector", "hybrid");
-  double alpha = flags.GetDouble("alpha", 0.1);
-  double s = flags.GetDouble("s", 0.8);
-  double n = flags.GetDouble("n", 50.0);
-  uint64_t max_rounds = flags.GetUint64("max-rounds", 12);
-  // 1 = serial (default), 0 = hardware concurrency, N = N workers.
-  uint64_t threads = flags.GetUint64("threads", 1);
-  std::string out_truth = flags.GetString("out-truth", "");
-  std::string out_accs = flags.GetString("out-accuracies", "");
-  std::string out_copies = flags.GetString("out-copies", "");
-  std::string save_data = flags.GetString("save-data", "");
+  std::string data_path;
+  std::string generate;
+  double scale = 0.2;
+  uint64_t seed = 7;
+  std::string detector_name = "hybrid";
+  double alpha = 0.1;
+  double s = 0.8;
+  double n = 50.0;
+  uint64_t max_rounds = 12;
+  uint64_t threads = 1;
+  std::string out_truth;
+  std::string out_accs;
+  std::string out_copies;
+  std::string save_data;
+  std::string save_snapshot;
+  std::string load_snapshot;
+  std::string load_mode_name = "owned";
+  uint64_t shards = 1;
+  uint64_t shard = 0;
+  std::string init_state;
+  std::string state_path;
+  std::string emit_shard;
+  std::string merge_shards;
+
+  FlagSet flags(
+      "copydetect_cli: run the full pipeline from the command line");
+  flags.String("data", &data_path, "input observations CSV");
+  flags.String("generate", &generate,
+               "synthetic world profile (book-cs, stock-1day, ...)");
+  flags.Double("scale", &scale, "generated-world scale factor");
+  flags.Uint64("seed", &seed, "world generator seed");
+  flags.String("detector", &detector_name,
+               "detector registry name ('help' lists them)");
+  flags.Double("alpha", &alpha, "a-priori copying probability");
+  flags.Double("s", &s, "copy selectivity");
+  flags.Double("n", &n, "false values per item");
+  flags.Uint64("max-rounds", &max_rounds, "fusion round cap");
+  flags.Uint64("threads", &threads,
+               "executor width (1 = serial, 0 = all hardware threads)");
+  flags.String("out-truth", &out_truth, "write resolved-truth CSV here");
+  flags.String("out-accuracies", &out_accs,
+               "write learned-accuracies CSV here");
+  flags.String("out-copies", &out_copies, "write copy-graph CSV here");
+  flags.String("save-data", &save_data, "write the observations CSV here");
   // Snapshot persistence (docs/FORMATS.md): --save-snapshot persists
   // the finished session; --load-snapshot warm-starts from such a
   // file instead of re-parsing + re-running.
-  std::string save_snapshot = flags.GetString("save-snapshot", "");
-  std::string load_snapshot = flags.GetString("load-snapshot", "");
-  std::string load_mode_name = flags.GetString("load-mode", "owned");
+  flags.String("save-snapshot", &save_snapshot,
+               "persist the finished session here");
+  flags.String("load-snapshot", &load_snapshot,
+               "warm-start from this snapshot file");
+  flags.String("load-mode", &load_mode_name,
+               "snapshot backing: owned | mapped");
   // Multi-process sharded runs (Session BSP API): --init-state writes
   // the round-0 coordinator state, --emit-shard runs this process's
   // shard for the next round, --merge-shards folds a round's shard
   // files and advances the fusion loop.
-  uint64_t shards = flags.GetUint64("shards", 1);
-  uint64_t shard = flags.GetUint64("shard", 0);
-  std::string init_state = flags.GetString("init-state", "");
-  std::string state_path = flags.GetString("state", "");
-  std::string emit_shard = flags.GetString("emit-shard", "");
-  std::string merge_shards = flags.GetString("merge-shards", "");
+  flags.Uint64("shards", &shards, "BSP: total shard count");
+  flags.Uint64("shard", &shard, "BSP: this process's shard id");
+  flags.String("init-state", &init_state,
+               "BSP: write round-0 coordinator state here");
+  flags.String("state", &state_path, "BSP: coordinator state file");
+  flags.String("emit-shard", &emit_shard,
+               "BSP: write this round's shard file here");
+  flags.String("merge-shards", &merge_shards,
+               "BSP: comma-separated shard files to fold");
   // Unknown flags are an error, never a silent fall-through to
   // defaults. The detector list rides along so the most common typo
   // (--detector mis-spellings and friends) is self-correcting.
-  Status flag_status = flags.FinishStatus();
+  Status flag_status = flags.Parse(argc, argv);
   if (!flag_status.ok()) {
     return Status::InvalidArgument(
         flag_status.message() +
         " (detectors, via --detector=<name>: " + ListDetectorsJoined() +
         ")");
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Help().c_str());
+    return Status::OK();
   }
 
   if (detector_name == "help" || detector_name == "list") {
@@ -210,10 +248,10 @@ Status RunCli(int argc, char** argv) {
   std::optional<Session> session;
   Report report;
   if (!load_snapshot.empty()) {
-    auto loaded = Session::Load(load_snapshot,
-                                load_mode_name == "mapped"
-                                    ? LoadMode::kMapped
-                                    : LoadMode::kOwned);
+    LoadOptions load_options(load_mode_name == "mapped"
+                                 ? LoadMode::kMapped
+                                 : LoadMode::kOwned);
+    auto loaded = Session::Load(load_snapshot, load_options);
     CD_RETURN_IF_ERROR(loaded.status());
     session.emplace(std::move(*loaded));
     world.data = *session->current_data();

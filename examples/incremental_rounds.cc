@@ -16,10 +16,12 @@
 using namespace copydetect;
 
 int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  double scale = flags.GetDouble("scale", 0.1);
-  uint64_t seed = flags.GetUint64("seed", 9);
-  flags.Finish();
+  double scale = 0.1;
+  uint64_t seed = 9;
+  FlagSet flags("incremental_rounds: round-by-round INCREMENTAL demo");
+  flags.Double("scale", &scale, "world scale factor");
+  flags.Uint64("seed", &seed, "world generator seed");
+  flags.ParseOrDie(argc, argv);
 
   auto world_or = MakeWorldByName("stock-1day", scale, seed);
   CD_CHECK_OK(world_or.status());

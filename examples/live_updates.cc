@@ -40,11 +40,14 @@ DatasetDelta DailyFeed(const Dataset& data, SourceId source, int day,
 }  // namespace
 
 int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  double scale = flags.GetDouble("scale", 0.1);
-  uint64_t seed = flags.GetUint64("seed", 42);
-  uint64_t days = flags.GetUint64("days", 5);
-  flags.Finish();
+  double scale = 0.1;
+  uint64_t seed = 42;
+  uint64_t days = 5;
+  FlagSet flags("live_updates: evolving-snapshot online scenario");
+  flags.Double("scale", &scale, "world scale factor");
+  flags.Uint64("seed", &seed, "world generator seed");
+  flags.Uint64("days", &days, "number of simulated feed days");
+  flags.ParseOrDie(argc, argv);
 
   auto world_or = GenerateWorld(Stock1DayProfile(scale), seed);
   CD_CHECK_OK(world_or.status());

@@ -15,8 +15,8 @@ using namespace copydetect;
 int main(int argc, char** argv) {
   // No flags — but typos must fail loudly instead of silently running
   // with defaults.
-  FlagParser flags(argc, argv);
-  flags.Finish();
+  FlagSet flags("quickstart: the paper's running example end to end");
+  flags.ParseOrDie(argc, argv);
 
   World world = MotivatingExample();
   const Dataset& data = world.data;

@@ -18,10 +18,12 @@
 using namespace copydetect;
 
 int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  double scale = flags.GetDouble("scale", 0.1);
-  uint64_t seed = flags.GetUint64("seed", 42);
-  flags.Finish();
+  double scale = 0.1;
+  uint64_t seed = 42;
+  FlagSet flags("stock_feeds: Stock-1day world walkthrough");
+  flags.Double("scale", &scale, "world scale factor");
+  flags.Uint64("seed", &seed, "world generator seed");
+  flags.ParseOrDie(argc, argv);
 
   // Start from the Stock-1day shape, then make the world adversarial:
   // more low-accuracy feeds, bigger copier cliques with near-total

@@ -48,11 +48,14 @@ void CheckSameReport(const Report& got, const Report& want,
 }  // namespace
 
 int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
-  double scale = flags.GetDouble("scale", 0.1);
-  uint64_t seed = flags.GetUint64("seed", 42);
-  std::string path = flags.GetString("snapshot", "warm_start.cdsnap");
-  flags.Finish();
+  double scale = 0.1;
+  uint64_t seed = 42;
+  std::string path = "warm_start.cdsnap";
+  FlagSet flags("warm_start: snapshot persistence across restarts");
+  flags.Double("scale", &scale, "world scale factor");
+  flags.Uint64("seed", &seed, "world generator seed");
+  flags.String("snapshot", &path, "snapshot file to write and reload");
+  flags.ParseOrDie(argc, argv);
 
   auto world_or = GenerateWorld(Stock1DayProfile(scale), seed);
   CD_CHECK_OK(world_or.status());

@@ -1,9 +1,11 @@
 #include "copydetect/session.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "common/executor.h"
+#include "common/json.h"
 #include "common/timer.h"
 #include "core/incremental.h"
 #include "core/inverted_index.h"
@@ -757,6 +759,110 @@ Status OptionsFromFields(const std::vector<snapshot::OptionField>& fields,
 
 }  // namespace
 
+std::string Report::ToJson(const Dataset& data) const {
+  JsonValue root = JsonValue::Object();
+  root.Set("detector", JsonValue::Str(detector));
+  root.Set("threads", JsonValue::Uint64(threads));
+  root.Set("rounds", JsonValue::Int64(fusion.rounds));
+  root.Set("converged", JsonValue::Bool(fusion.converged));
+  root.Set("num_sources", JsonValue::Uint64(data.num_sources()));
+  root.Set("num_items", JsonValue::Uint64(data.num_items()));
+
+  JsonValue truth_arr = JsonValue::Array();
+  for (size_t item = 0; item < fusion.truth.size(); ++item) {
+    SlotId slot = fusion.truth[item];
+    JsonValue entry = JsonValue::Object();
+    entry.Set("item",
+              JsonValue::Str(data.item_name(static_cast<ItemId>(item))));
+    if (slot == kInvalidSlot) {
+      entry.Set("value", JsonValue::Null());
+      entry.Set("probability", JsonValue::Null());
+    } else {
+      entry.Set("value", JsonValue::Str(data.slot_value(slot)));
+      entry.Set("probability",
+                JsonValue::Double(slot < fusion.value_probs.size()
+                                      ? fusion.value_probs[slot]
+                                      : 0.0));
+    }
+    truth_arr.Append(std::move(entry));
+  }
+  root.Set("truth", std::move(truth_arr));
+
+  JsonValue acc_arr = JsonValue::Array();
+  for (size_t s = 0; s < fusion.accuracies.size(); ++s) {
+    acc_arr.Append(
+        JsonValue::Object()
+            .Set("source",
+                 JsonValue::Str(data.source_name(static_cast<SourceId>(s))))
+            .Set("accuracy", JsonValue::Double(fusion.accuracies[s])));
+  }
+  root.Set("accuracies", std::move(acc_arr));
+
+  // The pair map iterates in table order; sort by (a, b) so the bytes
+  // are independent of hash layout.
+  struct Pair {
+    SourceId a;
+    SourceId b;
+    PairPosterior p;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(fusion.copies.NumTracked());
+  fusion.copies.ForEach(
+      [&pairs](SourceId a, SourceId b, const PairPosterior& p) {
+        if (p.IsCopying()) pairs.push_back({a, b, p});
+      });
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& x, const Pair& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  JsonValue copies_arr = JsonValue::Array();
+  for (const Pair& pr : pairs) {
+    copies_arr.Append(
+        JsonValue::Object()
+            .Set("a", JsonValue::Str(data.source_name(pr.a)))
+            .Set("b", JsonValue::Str(data.source_name(pr.b)))
+            .Set("p_indep", JsonValue::Double(pr.p.p_indep))
+            .Set("p_a_copies_b", JsonValue::Double(pr.p.p_first_copies))
+            .Set("p_b_copies_a", JsonValue::Double(pr.p.p_second_copies)));
+  }
+  root.Set("copies", std::move(copies_arr));
+
+  JsonValue clusters_arr = JsonValue::Array();
+  for (const CopyCluster& cluster : graph.clusters) {
+    JsonValue members = JsonValue::Array();
+    for (SourceId m : cluster.members) {
+      members.Append(JsonValue::Str(data.source_name(m)));
+    }
+    JsonValue edges = JsonValue::Array();
+    for (const ClassifiedEdge& e : cluster.edges) {
+      const char* kind = e.kind == EdgeKind::kDirect     ? "direct"
+                         : e.kind == EdgeKind::kCoCopy ? "co-copy"
+                                                         : "indirect";
+      edges.Append(
+          JsonValue::Object()
+              .Set("a", JsonValue::Str(data.source_name(e.a)))
+              .Set("b", JsonValue::Str(data.source_name(e.b)))
+              .Set("kind", JsonValue::Str(kind))
+              .Set("p_a_copies_b", JsonValue::Double(e.pr_a_copies_b))
+              .Set("p_b_copies_a", JsonValue::Double(e.pr_b_copies_a)));
+    }
+    JsonValue cl = JsonValue::Object();
+    cl.Set("original", cluster.original == kInvalidSource
+                           ? JsonValue::Null()
+                           : JsonValue::Str(
+                                 data.source_name(cluster.original)));
+    cl.Set("members", std::move(members));
+    cl.Set("edges", std::move(edges));
+    clusters_arr.Append(std::move(cl));
+  }
+  root.Set("clusters", std::move(clusters_arr));
+
+  // Deliberately absent: the timing fields of FusionResult (wall time
+  // is never deterministic) and the detector counters (per-run, reset
+  // to zero by Session::Load — including them would make a reloaded
+  // session render differently from the one that wrote the snapshot).
+  return root.Dump();
+}
+
 Status Session::Save(const std::string& path) {
   if (running()) {
     return Status::FailedPrecondition(
@@ -800,18 +906,16 @@ Status Session::Save(const std::string& path) {
   return snapshot::Write(path, state);
 }
 
-StatusOr<Session> Session::Load(const std::string& path) {
-  return Load(path, LoadMode::kOwned);
-}
-
-StatusOr<Session> Session::Load(const std::string& path, LoadMode mode) {
-  auto state = mode == LoadMode::kMapped ? snapshot::ReadMapped(path)
-                                         : snapshot::Read(path);
+StatusOr<Session> Session::Load(const std::string& path,
+                                const LoadOptions& options) {
+  auto state = options.mode == LoadMode::kMapped
+                   ? snapshot::ReadMapped(path)
+                   : snapshot::Read(path);
   if (!state.ok()) return state.status();
-  SessionOptions options;
-  Status parsed = OptionsFromFields(state->options, &options);
+  SessionOptions session_options;
+  Status parsed = OptionsFromFields(state->options, &session_options);
   if (!parsed.ok()) return parsed;
-  auto session = Session::Create(options);
+  auto session = Session::Create(session_options);
   if (!session.ok()) return session.status();
   Status installed = session->InstallLoaded(std::move(*state));
   if (!installed.ok()) return installed;

@@ -43,6 +43,7 @@
 
 #include "common/csv.h"
 #include "common/executor.h"
+#include "common/flags.h"
 #include "common/stringutil.h"
 #include "common/timer.h"
 #include "core/copy_graph.h"
@@ -200,6 +201,20 @@ struct Report {
   const CopyResult& copies() const { return fusion.copies; }
   int rounds() const { return fusion.rounds; }
   bool converged() const { return fusion.converged; }
+
+  /// Stable JSON rendering of the report (the serving wire format and
+  /// the `query` verb's payload). `data` supplies the source/item
+  /// names the report's dense arrays are indexed by — pass the data
+  /// set the report was produced from (Session::current_data()).
+  ///
+  /// **Determinism contract:** the bytes are a pure function of the
+  /// report's semantic content — copies sorted by pair, numbers
+  /// rendered as shortest-round-trip decimals, no timing fields and no
+  /// per-run detector counters (Load resets those to zero) — so two
+  /// bit-identical reports render byte-identically across processes
+  /// and restarts. The serving recovery smoke byte-compares exactly
+  /// this string across a daemon kill/restart.
+  std::string ToJson(const Dataset& data) const;
 };
 
 /// How Session::Load materializes the snapshot's arrays.
@@ -214,6 +229,17 @@ enum class LoadMode {
   /// copy-on-writes out of the mapping. Version-1 files and
   /// big-endian hosts transparently fall back to kOwned.
   kMapped,
+};
+
+/// Everything Session::Load can be told about *how* to materialize a
+/// snapshot, in one growable struct (new knobs land here instead of
+/// spawning more overloads).
+struct LoadOptions {
+  LoadOptions() {}
+  /// Implicit from LoadMode so call sites can pass the enum directly.
+  LoadOptions(LoadMode m) : mode(m) {}  // NOLINT(runtime/explicit)
+
+  LoadMode mode = LoadMode::kOwned;
 };
 
 /// The facade over the whole pipeline. Create() validates the options
@@ -303,14 +329,21 @@ class Session {
   /// Fails closed with a descriptive Status on truncation, foreign
   /// magic, unknown future format versions, checksum mismatches, or
   /// structurally inconsistent payloads — never undefined behavior.
-  static StatusOr<Session> Load(const std::string& path);
+  ///
+  /// `options` selects how the arrays materialize (LoadOptions::mode:
+  /// owned heap decode vs zero-copy mapped views — the session's
+  /// report() is byte-identical either way, only the memory footprint
+  /// differs) and is where future load knobs land. LoadOptions
+  /// converts implicitly from LoadMode, so `Load(path, LoadMode::
+  /// kMapped)` keeps working unchanged.
+  static StatusOr<Session> Load(const std::string& path,
+                                const LoadOptions& options);
 
-  /// Load with an explicit storage backend. LoadMode::kOwned is the
-  /// plain Load above; LoadMode::kMapped serves the big arrays
-  /// zero-copy out of the mapped file — the session's report() is
-  /// byte-identical either way (tests/session_snapshot_test.cc), only
-  /// the memory footprint differs.
-  static StatusOr<Session> Load(const std::string& path, LoadMode mode);
+  /// \deprecated Thin forwarder for the pre-LoadOptions signature;
+  /// calls Load(path, LoadOptions()). See docs/API.md.
+  static StatusOr<Session> Load(const std::string& path) {
+    return Load(path, LoadOptions());
+  }
 
   // --- Multi-process sharded runs (BSP; docs/ARCHITECTURE.md). ---
   //

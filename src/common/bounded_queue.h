@@ -1,0 +1,107 @@
+#ifndef COPYDETECT_COMMON_BOUNDED_QUEUE_H_
+#define COPYDETECT_COMMON_BOUNDED_QUEUE_H_
+
+/// \file
+/// A bounded blocking MPSC/MPMC queue — the backpressure channel
+/// between the serving daemon's connection threads (producers) and a
+/// session's single writer worker (consumer). Producers block when the
+/// queue is full, so a slow consumer throttles its clients instead of
+/// growing an unbounded backlog; Close() lets the consumer drain the
+/// remainder and exit deterministically.
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace copydetect {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` >= 1: the most items that can sit unconsumed.
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping `item`)
+  /// iff the queue was closed.
+  bool Push(T item) CD_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      while (items_.size() >= capacity_ && !closed_) {
+        space_cv_.Wait(mu_);
+      }
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    item_cv_.NotifyOne();
+    return true;
+  }
+
+  /// Non-blocking Push: false when full or closed.
+  bool TryPush(T item) CD_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    item_cv_.NotifyOne();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is both closed and
+  /// drained (then nullopt — the consumer's exit signal).
+  std::optional<T> Pop() CD_EXCLUDES(mu_) {
+    std::optional<T> out;
+    {
+      MutexLock lock(mu_);
+      while (items_.empty() && !closed_) item_cv_.Wait(mu_);
+      if (items_.empty()) return std::nullopt;  // closed and drained
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    space_cv_.NotifyOne();
+    return out;
+  }
+
+  /// Closes the queue: Push returns false from now on, Pop drains the
+  /// remaining items then returns nullopt. Idempotent.
+  void Close() CD_EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      closed_ = true;
+    }
+    item_cv_.NotifyAll();
+    space_cv_.NotifyAll();
+  }
+
+  bool closed() const CD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const CD_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  CondVar item_cv_;   ///< producers notify: an item arrived (or close)
+  CondVar space_cv_;  ///< consumer notifies: a slot freed (or close)
+  std::deque<T> items_ CD_GUARDED_BY(mu_);
+  bool closed_ CD_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace copydetect
+
+#endif  // COPYDETECT_COMMON_BOUNDED_QUEUE_H_

@@ -24,6 +24,14 @@ Executor::Executor(size_t num_threads) {
 
 Executor::~Executor() = default;
 
+void Executor::Shutdown() {
+  // The pool outlives the drain on purpose: ThreadPool::Shutdown
+  // leaves Submit/ParallelFor functional (inline on the caller), so
+  // components still holding this executor keep working, just without
+  // parallelism.
+  if (pool_ != nullptr) pool_->Shutdown();
+}
+
 ArenaLease Executor::AcquireArena(size_t shard) {
   size_t slot = shard % num_threads_;
   bool expected = false;

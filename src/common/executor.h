@@ -86,6 +86,14 @@ class Executor {
   /// unless serial().
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Deterministic drain for daemons: completes every task already
+  /// handed to the pool, then joins the worker threads. Afterwards the
+  /// executor stays usable — ParallelFor simply degrades to inline
+  /// execution on the caller (as if serial()). Idempotent; safe to
+  /// call concurrently; must not be called from inside a ParallelFor
+  /// body. A no-op in serial mode.
+  void Shutdown();
+
   /// Leases the persistent scratch arena for `shard` (mod num_threads).
   /// Falls back to a private heap arena when that slot is held by an
   /// overlapping ParallelFor from another thread — exclusivity is

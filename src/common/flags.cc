@@ -1,0 +1,250 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stringutil.h"
+
+namespace copydetect {
+
+FlagSet::FlagSet(std::string_view summary) : summary_(summary) {}
+
+void FlagSet::Register(
+    std::string_view name, std::string_view help, std::string default_text,
+    std::variant<std::string*, double*, uint64_t*, bool*> t) {
+  if (FindFlag(name) != nullptr) {
+    registration_errors_.push_back("flag --" + std::string(name) +
+                                   " registered twice");
+    return;
+  }
+  Flag f;
+  f.name = std::string(name);
+  f.help = std::string(help);
+  f.default_text = std::move(default_text);
+  f.target = t;
+  flags_.push_back(std::move(f));
+}
+
+void FlagSet::String(std::string_view name, std::string* var,
+                     std::string_view help) {
+  Register(name, help, var->empty() ? "\"\"" : *var, var);
+}
+
+void FlagSet::Double(std::string_view name, double* var,
+                     std::string_view help) {
+  Register(name, help, StrFormat("%g", *var), var);
+}
+
+void FlagSet::Uint64(std::string_view name, uint64_t* var,
+                     std::string_view help) {
+  Register(name, help, std::to_string(*var), var);
+}
+
+void FlagSet::Bool(std::string_view name, bool* var,
+                   std::string_view help) {
+  Register(name, help, *var ? "true" : "false", var);
+}
+
+FlagSet::Flag* FlagSet::FindFlag(std::string_view name) {
+  for (Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  std::vector<std::string> errors = registration_errors_;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return Status::OK();
+    }
+    if (!StartsWith(arg, "--")) {
+      errors.push_back("unexpected positional argument '" +
+                       std::string(arg) + "'");
+      continue;
+    }
+    arg.remove_prefix(2);
+    size_t eq = arg.find('=');
+    std::string_view key =
+        eq == std::string_view::npos ? arg : arg.substr(0, eq);
+    Flag* flag = FindFlag(key);
+    if (flag == nullptr) {
+      errors.push_back("unknown flag --" + std::string(key));
+      continue;
+    }
+    flag->provided = true;
+    bool has_value = eq != std::string_view::npos;
+    std::string_view value = has_value ? arg.substr(eq + 1) : "";
+    if (auto** s = std::get_if<std::string*>(&flag->target)) {
+      if (!has_value) {
+        errors.push_back("--" + flag->name + " expects a value");
+      } else {
+        **s = std::string(value);
+      }
+    } else if (auto** d = std::get_if<double*>(&flag->target)) {
+      if (!has_value || !ParseDouble(value, *d)) {
+        errors.push_back("--" + flag->name + " expects a number, got '" +
+                         std::string(value) + "'");
+      }
+    } else if (auto** u = std::get_if<uint64_t*>(&flag->target)) {
+      if (!has_value || !ParseUint64(value, *u)) {
+        errors.push_back("--" + flag->name +
+                         " expects a non-negative integer, got '" +
+                         std::string(value) + "'");
+      }
+    } else if (auto** b = std::get_if<bool*>(&flag->target)) {
+      // "--x" means true; "--x=false" / "--x=0" mean false, matching
+      // the legacy parser.
+      **b = !has_value || (value != "false" && value != "0");
+    }
+  }
+  if (errors.empty()) return Status::OK();
+  return Status::InvalidArgument(Join(errors, "; "));
+}
+
+void FlagSet::ParseOrDie(int argc, char** argv) {
+  Status status = Parse(argc, argv);
+  if (help_requested_) {
+    std::fputs(Help().c_str(), stdout);
+    std::exit(0);
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n(--help lists the flags)\n",
+                 program_.c_str(), status.message().c_str());
+    std::exit(2);
+  }
+}
+
+bool FlagSet::Provided(std::string_view name) const {
+  for (const Flag& f : flags_) {
+    if (f.name == name) return f.provided;
+  }
+  return false;
+}
+
+std::string FlagSet::Help() const {
+  std::string out;
+  if (!summary_.empty()) {
+    out += summary_;
+    out += "\n\n";
+  }
+  out += "Flags (--name=value; bare --name for booleans):\n";
+  for (const Flag& f : flags_) {
+    const char* type = "string";
+    if (std::holds_alternative<double*>(f.target)) type = "double";
+    if (std::holds_alternative<uint64_t*>(f.target)) type = "uint";
+    if (std::holds_alternative<bool*>(f.target)) type = "bool";
+    out += StrFormat("  --%-24s %-6s default %-10s %s\n", f.name.c_str(),
+                     type, f.default_text.c_str(), f.help.c_str());
+  }
+  out += "  --help                   print this message and exit\n";
+  return out;
+}
+
+FlagParser::FlagParser(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!StartsWith(arg, "--")) {
+      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n",
+                   program_.c_str(), argv[i]);
+      std::exit(2);
+    }
+    arg.remove_prefix(2);
+    Entry e;
+    size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      e.key = std::string(arg);
+      e.value = "true";
+    } else {
+      e.key = std::string(arg.substr(0, eq));
+      e.value = std::string(arg.substr(eq + 1));
+    }
+    entries_.push_back(std::move(e));
+  }
+}
+
+double FlagParser::GetDouble(std::string_view name, double def) {
+  for (Entry& e : entries_) {
+    if (e.key == name) {
+      e.consumed = true;
+      double v = 0.0;
+      if (!ParseDouble(e.value, &v)) {
+        std::fprintf(stderr, "%s: --%s expects a number, got '%s'\n",
+                     program_.c_str(), e.key.c_str(), e.value.c_str());
+        std::exit(2);
+      }
+      return v;
+    }
+  }
+  return def;
+}
+
+uint64_t FlagParser::GetUint64(std::string_view name, uint64_t def) {
+  for (Entry& e : entries_) {
+    if (e.key == name) {
+      e.consumed = true;
+      uint64_t v = 0;
+      if (!ParseUint64(e.value, &v)) {
+        std::fprintf(stderr, "%s: --%s expects an integer, got '%s'\n",
+                     program_.c_str(), e.key.c_str(), e.value.c_str());
+        std::exit(2);
+      }
+      return v;
+    }
+  }
+  return def;
+}
+
+std::string FlagParser::GetString(std::string_view name,
+                                  std::string_view def) {
+  for (Entry& e : entries_) {
+    if (e.key == name) {
+      e.consumed = true;
+      return e.value;
+    }
+  }
+  return std::string(def);
+}
+
+bool FlagParser::GetBool(std::string_view name, bool def) {
+  for (Entry& e : entries_) {
+    if (e.key == name) {
+      e.consumed = true;
+      return e.value != "false" && e.value != "0";
+    }
+  }
+  return def;
+}
+
+bool FlagParser::Provided(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.key == name) return true;
+  }
+  return false;
+}
+
+void FlagParser::Finish() const {
+  Status status = FinishStatus();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", program_.c_str(),
+                 status.message().c_str());
+    std::exit(2);
+  }
+}
+
+Status FlagParser::FinishStatus() const {
+  std::string unknown;
+  for (const Entry& e : entries_) {
+    if (e.consumed) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += "--" + e.key;
+  }
+  if (unknown.empty()) return Status::OK();
+  return Status::InvalidArgument("unknown flag(s): " + unknown);
+}
+
+}  // namespace copydetect

@@ -39,44 +39,11 @@ std::string WithCommas(uint64_t n);
 /// Renders seconds compactly: "812us", "3.1ms", "2.45s", "81.3s".
 std::string HumanSeconds(double seconds);
 
-/// Parses "--key=value" style flags out of argv. Unknown flags are
-/// fatal (prints usage and exits) so benchmark drivers fail loudly.
-class FlagParser {
- public:
-  FlagParser(int argc, char** argv);
-
-  /// Declares a double flag, returns its value (default when absent).
-  double GetDouble(std::string_view name, double def);
-  /// Declares an integer flag.
-  uint64_t GetUint64(std::string_view name, uint64_t def);
-  /// Declares a string flag.
-  std::string GetString(std::string_view name, std::string_view def);
-  /// Declares a boolean flag ("--x" or "--x=true/false").
-  bool GetBool(std::string_view name, bool def);
-
-  /// True when the flag appeared on the command line (regardless of
-  /// Get* declarations) — for rejecting explicitly-passed flags that
-  /// conflict with another mode, where "equal to the default" and
-  /// "absent" must not be conflated. Does not consume the flag.
-  bool Provided(std::string_view name) const;
-
-  /// Call after all Get* declarations: aborts on unconsumed flags.
-  void Finish() const;
-
-  /// Non-fatal variant for Status-based mains: OK when every flag was
-  /// consumed, InvalidArgument naming all unknown flags otherwise.
-  Status FinishStatus() const;
-
- private:
-  struct Entry {
-    std::string key;
-    std::string value;
-    bool consumed = false;
-  };
-  std::vector<Entry> entries_;
-  std::string program_;
-};
-
 }  // namespace copydetect
+
+// FlagParser moved to common/flags.h (alongside its FlagSet
+// replacement). This include keeps old spellings compiling for one PR;
+// include common/flags.h directly.
+#include "common/flags.h"
 
 #endif  // COPYDETECT_COMMON_STRINGUTIL_H_

@@ -25,13 +25,26 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  assert(!InWorkerThread());
+  MutexLock serialize(join_mu_);
+  if (joined_) return;
+  {
+    MutexLock lock(mu_);
+    draining_ = true;  // new Submits run inline from here on
+  }
+  // Every task that made it into the queue before draining_ flipped
+  // runs to completion — Wait() covers both queued and in-flight work.
+  Wait();
   {
     MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
+  joined_ = true;
 }
 
 bool ThreadPool::InWorkerThread() const {
@@ -41,10 +54,15 @@ bool ThreadPool::InWorkerThread() const {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     MutexLock lock(mu_);
-    assert(!shutdown_);
-    queue_.push(std::move(task));
+    if (!draining_) {
+      queue_.push(std::move(task));
+      work_cv_.NotifyOne();
+      return;
+    }
   }
-  work_cv_.NotifyOne();
+  // Pool draining or already shut down: run inline on the caller so
+  // the work still happens, deterministically, with no queue involved.
+  task();
 }
 
 void ThreadPool::Wait() {

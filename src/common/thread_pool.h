@@ -38,8 +38,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Thread-safe.
+  /// Enqueues a task. Thread-safe. After Shutdown() the task runs
+  /// inline on the calling thread instead — submitted work is never
+  /// silently dropped.
   void Submit(std::function<void()> task) CD_EXCLUDES(mu_);
+
+  /// Deterministic drain for daemons: stops accepting queued work,
+  /// runs every already-submitted task to completion, then joins the
+  /// workers. After it returns, Submit/ParallelFor still work but
+  /// execute inline on the caller. Idempotent; concurrent callers all
+  /// block until the drain completes. Must not be called from a worker
+  /// thread (a worker cannot join itself).
+  void Shutdown() CD_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has completed. From a worker
   /// thread, helps by executing queued tasks inline, then blocks until
@@ -79,6 +89,15 @@ class ThreadPool {
   /// so in_flight_ >= waiting_workers_ always holds).
   size_t waiting_workers_ CD_GUARDED_BY(mu_) = 0;
   bool shutdown_ CD_GUARDED_BY(mu_) = false;
+  /// Set first by Shutdown(): new Submits bypass the queue and run
+  /// inline while the drain proceeds.
+  bool draining_ CD_GUARDED_BY(mu_) = false;
+
+  /// Serializes Shutdown() bodies so a second caller blocks until the
+  /// first finishes joining, instead of racing the join. Always
+  /// acquired before mu_, never while holding it.
+  Mutex join_mu_;
+  bool joined_ CD_GUARDED_BY(join_mu_) = false;
 };
 
 }  // namespace copydetect

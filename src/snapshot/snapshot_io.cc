@@ -1,8 +1,11 @@
 #include "snapshot/snapshot_io.h"
 
+#include <dirent.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -1162,6 +1165,33 @@ Status Write(const std::string& path, const SessionState& state) {
   }
 
   return WriteFileAtomic(path, FrameSections(state.generation, sections));
+}
+
+StatusOr<std::vector<std::string>> ListSnapshotFiles(
+    const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT || errno == ENOTDIR) {
+      return Status::NotFound("snapshot scan: no directory at '" + dir +
+                              "'");
+    }
+    return Status::IOError("snapshot scan: opendir('" + dir +
+                           "') failed: " + std::strerror(errno));
+  }
+  constexpr std::string_view kExt = ".cdsnap";
+  std::vector<std::string> out;
+  for (struct dirent* entry = ::readdir(d); entry != nullptr;
+       entry = ::readdir(d)) {
+    std::string_view name(entry->d_name);
+    if (name.size() <= kExt.size() ||
+        name.substr(name.size() - kExt.size()) != kExt) {
+      continue;
+    }
+    out.push_back(dir + "/" + std::string(name));
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 StatusOr<SessionState> Read(const std::string& path) {

@@ -169,6 +169,16 @@ Status Write(const std::string& path, const SessionState& state);
 /// to hand to the detection algorithms.
 StatusOr<SessionState> Read(const std::string& path);
 
+/// Recovery scan: the `.cdsnap` files directly inside `dir`, sorted
+/// by filename so recovery order is deterministic. Paths are returned
+/// joined ("dir/name.cdsnap"); non-snapshot files are skipped
+/// silently (a state directory may hold temp files from interrupted
+/// atomic writes). NotFound when `dir` does not exist or is not a
+/// directory — a daemon treats that as "no state yet", anything else
+/// as a real error.
+StatusOr<std::vector<std::string>> ListSnapshotFiles(
+    const std::string& dir);
+
 /// A `.cdsnap` file mapped read-only into the address space. Open()
 /// validates the framing eagerly (magic, version, bounds-checked
 /// section table, meta checksum, v2 section alignment); section

@@ -1,0 +1,124 @@
+#include "common/bounded_queue.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace copydetect {
+namespace {
+
+TEST(BoundedQueue, FifoSingleThread) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+}
+
+TEST(BoundedQueue, TryPushRefusesWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  queue.Pop();
+  EXPECT_TRUE(queue.TryPush(3));
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<std::string> queue(4);
+  queue.Push("a");
+  queue.Push("b");
+  queue.Close();
+  EXPECT_FALSE(queue.Push("c"));       // rejected after close
+  EXPECT_EQ(queue.Pop(), "a");         // but the backlog drains
+  EXPECT_EQ(queue.Pop(), "b");
+  EXPECT_EQ(queue.Pop(), std::nullopt);  // then end-of-stream
+  EXPECT_EQ(queue.Pop(), std::nullopt);  // idempotent
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPop) {
+  BoundedQueue<int> queue(1);
+  std::thread popper([&queue] { EXPECT_EQ(queue.Pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  popper.join();
+}
+
+TEST(BoundedQueue, PushBlocksUntilSpaceFrees) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread pusher([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks: capacity 1, occupied
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.Pop(), 1);
+  pusher.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.Pop(), 2);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPush) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::thread pusher([&queue] { EXPECT_FALSE(queue.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  pusher.join();
+}
+
+TEST(BoundedQueue, ManyProducersOneConsumer) {
+  // The serving shape: several connections push update jobs, one
+  // session worker drains. Everything pushed before Close must come
+  // out exactly once.
+  BoundedQueue<int> queue(3);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> seen;
+  std::thread consumer([&] {
+    while (auto item = queue.Pop()) seen.push_back(*item);
+  });
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  consumer.join();
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+  std::vector<bool> hit(kProducers * kPerProducer, false);
+  for (int v : seen) {
+    ASSERT_FALSE(hit[static_cast<size_t>(v)]);
+    hit[static_cast<size_t>(v)] = true;
+  }
+}
+
+TEST(BoundedQueue, MoveOnlyPayload) {
+  BoundedQueue<std::unique_ptr<int>> queue(2);
+  queue.Push(std::make_unique<int>(5));
+  auto out = queue.Pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 5);
+}
+
+TEST(BoundedQueue, CapacityClampsToAtLeastOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_FALSE(queue.TryPush(2));
+}
+
+}  // namespace
+}  // namespace copydetect

@@ -1,0 +1,7 @@
+// Fixture: serve reaches the engine only through the facade (plus
+// snapshot/common) — expect layering at line 5.
+#include "common/status.h"
+#include "copydetect/session_manager.h"
+#include "fusion/fusion.h"
+
+int FixtureServeLayering() { return 0; }

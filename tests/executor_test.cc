@@ -74,5 +74,37 @@ TEST(Executor, ReusableAcrossManyRounds) {
   EXPECT_EQ(total.load(), 50 * 64);
 }
 
+TEST(Executor, ShutdownDrainsThenDegradesToInline) {
+  // Regression: Shutdown must reject no submitted work — everything
+  // in flight finishes, and later ParallelFor calls still cover every
+  // index (inline on the caller instead of on the dead pool).
+  Executor executor(4);
+  std::atomic<int> total{0};
+  executor.ParallelFor(256, [&](size_t) { total.fetch_add(1); });
+  executor.Shutdown();
+  EXPECT_EQ(total.load(), 256);
+  std::thread::id caller = std::this_thread::get_id();
+  executor.ParallelFor(32, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    total.fetch_add(1);
+  });
+  EXPECT_EQ(total.load(), 256 + 32);
+}
+
+TEST(Executor, ShutdownInSerialModeIsNoop) {
+  Executor executor(1);
+  executor.Shutdown();
+  size_t runs = 0;
+  executor.ParallelFor(5, [&](size_t) { ++runs; });
+  EXPECT_EQ(runs, 5u);
+}
+
+TEST(Executor, ShutdownIsIdempotent) {
+  Executor executor(2);
+  executor.Shutdown();
+  executor.Shutdown();
+  SUCCEED();
+}
+
 }  // namespace
 }  // namespace copydetect

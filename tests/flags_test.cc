@@ -1,0 +1,119 @@
+#include "common/flags.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace copydetect {
+namespace {
+
+/// Builds a mutable argv from string literals (Parse wants char**).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (std::string& arg : storage_) pointers_.push_back(arg.data());
+  }
+  int argc() { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagSet, ParsesEveryTypeAndKeepsDefaults) {
+  std::string name = "default-name";
+  double rate = 2.5;
+  uint64_t count = 7;
+  bool flag = false;
+  FlagSet flags("test");
+  flags.String("name", &name, "a string");
+  flags.Double("rate", &rate, "a double");
+  flags.Uint64("count", &count, "an int");
+  flags.Bool("flag", &flag, "a bool");
+
+  Argv argv({"prog", "--name=x", "--count=42", "--flag"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_EQ(name, "x");
+  EXPECT_EQ(rate, 2.5);  // untouched default
+  EXPECT_EQ(count, 42u);
+  EXPECT_TRUE(flag);
+}
+
+TEST(FlagSet, ProvidedDistinguishesAbsentFromDefault) {
+  uint64_t n = 5;
+  FlagSet flags;
+  flags.Uint64("n", &n, "");
+  Argv argv({"prog", "--n=5"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_TRUE(flags.Provided("n"));
+  EXPECT_FALSE(flags.Provided("missing"));
+}
+
+TEST(FlagSet, BoolSyntaxVariants) {
+  bool a = false, b = true, c = false;
+  FlagSet flags;
+  flags.Bool("a", &a, "");
+  flags.Bool("b", &b, "");
+  flags.Bool("c", &c, "");
+  Argv argv({"prog", "--a", "--b=false", "--c=true"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+  EXPECT_TRUE(c);
+}
+
+TEST(FlagSet, AggregatesAllErrorsInOneMessage) {
+  uint64_t n = 0;
+  FlagSet flags;
+  flags.Uint64("n", &n, "");
+  Argv argv({"prog", "--n=notanumber", "--unknown=1", "positional"});
+  Status status = flags.Parse(argv.argc(), argv.argv());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("notanumber"), std::string::npos);
+  EXPECT_NE(status.message().find("unknown"), std::string::npos);
+  EXPECT_NE(status.message().find("positional"), std::string::npos);
+}
+
+TEST(FlagSet, HelpRequestShortCircuits) {
+  uint64_t n = 0;
+  FlagSet flags("summary line");
+  flags.Uint64("n", &n, "the n flag");
+  Argv argv({"prog", "--help", "--n=bogus"});
+  ASSERT_TRUE(flags.Parse(argv.argc(), argv.argv()).ok());
+  EXPECT_TRUE(flags.help_requested());
+  const std::string help = flags.Help();
+  EXPECT_NE(help.find("summary line"), std::string::npos);
+  EXPECT_NE(help.find("the n flag"), std::string::npos);
+}
+
+TEST(FlagSet, HelpShowsRegistrationTimeDefaults) {
+  std::string path = "/tmp/x.sock";
+  FlagSet flags;
+  flags.String("socket", &path, "socket path");
+  EXPECT_NE(flags.Help().find("/tmp/x.sock"), std::string::npos);
+}
+
+TEST(FlagSet, DuplicateRegistrationIsAParseError) {
+  uint64_t a = 0, b = 0;
+  FlagSet flags;
+  flags.Uint64("n", &a, "");
+  flags.Uint64("n", &b, "");
+  Argv argv({"prog"});
+  EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()).ok());
+}
+
+// The deprecated parse-first API must keep working for one PR (it is
+// re-exported through common/stringutil.h for old includes).
+TEST(FlagParser, DeprecatedAliasStillWorks) {
+  Argv argv({"prog", "--scale=0.5", "--name=x"});
+  FlagParser parser(argv.argc(), argv.argv());
+  EXPECT_EQ(parser.GetDouble("scale", 1.0), 0.5);
+  EXPECT_EQ(parser.GetString("name", ""), "x");
+  EXPECT_TRUE(parser.FinishStatus().ok());
+}
+
+}  // namespace
+}  // namespace copydetect

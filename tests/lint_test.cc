@@ -45,6 +45,7 @@ TEST(LintTree, FindsEveryPlantedViolationExactly) {
       "src/core/unordered_iteration.cc:8:unordered-iteration",
       "src/core/unordered_iteration.cc:10:unordered-iteration",
       "src/model/counts.cc:7:unordered-iteration",
+      "src/serve/layering_violation.cc:5:layering",
   };
   EXPECT_EQ(Keys(LintTree(options)), expected);
 }
@@ -56,6 +57,7 @@ TEST(LintTree, CheckFilterRestrictsToLayering) {
   const std::vector<std::string> expected = {
       "bench/app_layering.cc:4:layering",
       "src/core/layering_violation.cc:3:layering",
+      "src/serve/layering_violation.cc:5:layering",
   };
   EXPECT_EQ(Keys(LintTree(options)), expected);
 }

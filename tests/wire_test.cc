@@ -1,0 +1,128 @@
+#include "serve/wire.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace copydetect {
+namespace serve {
+namespace {
+
+TEST(Wire, ParseRequestPullsVerbAndSession) {
+  auto request =
+      ParseRequest("{\"verb\":\"query\",\"session\":\"books\"}");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->verb, "query");
+  EXPECT_EQ(request->session, "books");
+  EXPECT_TRUE(request->body.is_object());
+}
+
+TEST(Wire, ParseRequestSessionOptional) {
+  auto request = ParseRequest("{\"verb\":\"stats\"}");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->session, "");
+}
+
+TEST(Wire, ParseRequestFailsClosed) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest("[1,2]").ok());              // not an object
+  EXPECT_FALSE(ParseRequest("{\"session\":\"x\"}").ok());  // no verb
+  EXPECT_FALSE(ParseRequest("{\"verb\":7}").ok());       // wrong kind
+  EXPECT_FALSE(ParseRequest("{\"verb\":\"\"}").ok());    // empty verb
+}
+
+TEST(Wire, OkResponseLeadsWithOk) {
+  const std::string response = OkResponse(
+      JsonValue::Object().Set("version", JsonValue::Uint64(3)));
+  EXPECT_EQ(response, "{\"ok\":true,\"version\":3}");
+}
+
+TEST(Wire, ErrorResponseCarriesCodeAndMessage) {
+  const std::string response =
+      ErrorResponse(Status::NotFound("no session \"x\""));
+  auto parsed = ParseJson(response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->GetBool("ok", true));
+  const JsonValue* error = parsed->Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->GetString("code"), "NotFound");
+  EXPECT_NE(error->GetString("message").find("no session"),
+            std::string::npos);
+}
+
+TEST(Wire, DeltaFromJsonDecodesSetsAndRetracts) {
+  auto body = ParseJson(
+      "{\"verb\":\"update\",\"set\":[[\"s1\",\"i1\",\"7\"],"
+      "[\"s2\",\"i2\",\"8\"]],\"retract\":[[\"s3\",\"i3\"]]}");
+  ASSERT_TRUE(body.ok());
+  auto delta = DeltaFromJson(*body);
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  EXPECT_EQ(delta->ops().size(), 3u);
+  EXPECT_FALSE(delta->empty());
+}
+
+TEST(Wire, DeltaFromJsonRejectsMalformedTuples) {
+  for (const char* bad : {
+           "{\"set\":[[\"s\",\"i\"]]}",            // 2 fields, needs 3
+           "{\"retract\":[[\"s\",\"i\",\"v\"]]}",  // 3 fields, needs 2
+           "{\"set\":[[\"s\",\"i\",7]]}",          // non-string value
+           "{\"set\":\"nope\"}",                   // not an array
+           "{}",                                   // empty delta
+       }) {
+    auto body = ParseJson(bad);
+    ASSERT_TRUE(body.ok()) << bad;
+    EXPECT_FALSE(DeltaFromJson(*body).ok()) << bad;
+  }
+}
+
+TEST(Wire, SessionOptionsFromJsonAppliesKnobs) {
+  auto spec = ParseJson(
+      "{\"detector\":\"index\",\"threads\":2,\"alpha\":0.2,"
+      "\"n\":25,\"max_rounds\":5}");
+  ASSERT_TRUE(spec.ok());
+  auto options = SessionOptionsFromJson(*spec);
+  ASSERT_TRUE(options.ok()) << options.status().ToString();
+  EXPECT_EQ(options->detector, "index");
+  EXPECT_EQ(options->threads, 2u);
+  EXPECT_EQ(options->alpha, 0.2);
+  EXPECT_EQ(options->n, 25.0);
+  EXPECT_EQ(options->max_rounds, 5);
+}
+
+TEST(Wire, SessionOptionsFromJsonFailsClosedOnUnknownKeys) {
+  auto spec = ParseJson("{\"detecter\":\"index\"}");  // typo
+  ASSERT_TRUE(spec.ok());
+  auto options = SessionOptionsFromJson(*spec);
+  ASSERT_FALSE(options.ok());
+  EXPECT_NE(options.status().message().find("detecter"),
+            std::string::npos);
+}
+
+TEST(Wire, SessionOptionsFromJsonRefusesOnlineUpdates) {
+  auto spec = ParseJson("{\"online_updates\":true}");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(SessionOptionsFromJson(*spec).ok());
+}
+
+TEST(Wire, WorldFromJsonGeneratesNamedProfile) {
+  auto spec = ParseJson("{\"generate\":\"example\"}");
+  ASSERT_TRUE(spec.ok());
+  auto world = WorldFromJson(*spec);
+  ASSERT_TRUE(world.ok()) << world.status().ToString();
+  EXPECT_GT(world->data.num_sources(), 0u);
+  EXPECT_GT(world->suggested_n, 0.0);
+}
+
+TEST(Wire, WorldFromJsonRejectsMissingOrUnknownProfile) {
+  auto no_generate = ParseJson("{\"scale\":0.5}");
+  ASSERT_TRUE(no_generate.ok());
+  EXPECT_FALSE(WorldFromJson(*no_generate).ok());
+  auto unknown = ParseJson("{\"generate\":\"no-such-profile\"}");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_FALSE(WorldFromJson(*unknown).ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace copydetect

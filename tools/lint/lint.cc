@@ -42,6 +42,11 @@ AllowedDeps() {
           {"api",
            {"eval", "snapshot", "fusion", "datagen", "core", "simjoin",
             "topk", "model", "common"}},
+          // The serving layer sits ON TOP of the facade: deliberately
+          // narrower than its link-time closure. copydetectd must not
+          // grow ties into engine internals — everything goes through
+          // copydetect/*.h, plus snapshot for state-dir recovery.
+          {"serve", {"api", "snapshot", "common"}},
       };
   return deps;
 }

@@ -1,0 +1,277 @@
+// copydetect-client — one-shot driver for copydetectd (docs/SERVER.md).
+//
+// Builds one request line from flags, sends it over the daemon's
+// socket, prints the response line to stdout and exits 0 iff the
+// daemon answered {"ok":true}:
+//
+//   copydetect-client --socket=S --verb=open --session=books
+//       --generate=book-cs --scale=0.1 --detector=hybrid
+//   copydetect-client --socket=S --verb=update --session=books
+//       --set="newsrc:item_3:42;newsrc:item_4:17"
+//   copydetect-client --socket=S --verb=query --session=books
+//       --report-out=report.json
+//
+// --request overrides the flag-built body with a raw JSON line (escape
+// hatch for verbs/fields the flags do not model). --report-out writes
+// the byte-stable "report" member of a query response to a file — the
+// serve-smoke CI leg compares those bytes across a daemon kill/restart.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/json.h"
+#include "copydetect/session.h"
+
+namespace {
+
+using copydetect::JsonValue;
+using copydetect::Split;
+using copydetect::Status;
+using copydetect::StatusOr;
+
+/// Connects to the daemon, retrying for up to `retry_seconds` — the
+/// smoke script starts the daemon in the background and races it.
+StatusOr<int> Connect(const std::string& socket_path,
+                      double retry_seconds) {
+  sockaddr_un addr{};
+  if (socket_path.empty() ||
+      socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad --socket path");
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(retry_seconds));
+  for (;;) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError(std::string("socket() failed: ") +
+                             std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    int saved = errno;
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::IOError("connecting to '" + socket_path +
+                             "' failed: " + std::strerror(saved));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+/// Reads one newline-terminated response line.
+StatusOr<std::string> ReadLine(int fd) {
+  std::string line;
+  char c;
+  for (;;) {
+    ssize_t n = ::read(fd, &c, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::IOError("daemon closed the connection mid-response");
+    }
+    if (c == '\n') return line;
+    line.push_back(c);
+  }
+}
+
+/// "src:item:val;src:item:val" → [["src","item","val"],...] appended
+/// to `out`. `fields` is 2 for --retract, 3 for --set.
+Status AppendTuples(const std::string& spec, size_t fields,
+                    const char* flag, JsonValue* out) {
+  for (const std::string& entry : Split(spec, ';')) {
+    if (entry.empty()) continue;
+    std::vector<std::string> parts = Split(entry, ':');
+    if (parts.size() != fields) {
+      return Status::InvalidArgument(
+          std::string("--") + flag + ": entry '" + entry + "' needs " +
+          std::to_string(fields) + " colon-separated fields");
+    }
+    JsonValue tuple = JsonValue::Array();
+    for (const std::string& part : parts) {
+      tuple.Append(JsonValue::Str(part));
+    }
+    out->Append(std::move(tuple));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/copydetectd.sock";
+  std::string verb;
+  std::string session;
+  std::string raw_request;
+  std::string report_out;
+  double retry_seconds = 0.0;
+  // open:
+  std::string generate;
+  double scale = 1.0;
+  uint64_t seed = 42;
+  std::string detector;
+  uint64_t threads = 0;
+  uint64_t n = 0;
+  // update:
+  std::string set_spec;
+  std::string retract_spec;
+  bool async = false;
+
+  copydetect::FlagSet flags(
+      "copydetect-client: send one request to a copydetectd daemon");
+  flags.String("socket", &socket_path, "daemon socket path");
+  flags.String("verb", &verb,
+               "open | query | update | save | stats | close");
+  flags.String("session", &session, "session name");
+  flags.String("request", &raw_request,
+               "raw JSON request line (overrides all verb flags)");
+  flags.String("report-out", &report_out,
+               "write the \"report\" member of the response here");
+  flags.Double("retry-seconds", &retry_seconds,
+               "keep retrying the connect this long (daemon startup)");
+  flags.String("generate", &generate,
+               "open: dataset profile (book-cs, stock-1day, ...)");
+  flags.Double("scale", &scale, "open: dataset scale factor");
+  flags.Uint64("seed", &seed, "open: dataset RNG seed");
+  flags.String("detector", &detector, "open: detector name");
+  flags.Uint64("threads", &threads, "open: executor width (0 = default)");
+  flags.Uint64("n", &n, "open: false-value pool size (0 = suggested)");
+  flags.String("set", &set_spec,
+               "update: \"source:item:value;...\" assertions");
+  flags.String("retract", &retract_spec,
+               "update: \"source:item;...\" retractions");
+  flags.Bool("async", &async,
+             "update: enqueue without waiting for the rebuilt report");
+  flags.ParseOrDie(argc, argv);
+
+  std::string request;
+  if (!raw_request.empty()) {
+    request = raw_request;
+  } else {
+    if (verb.empty()) {
+      std::fprintf(stderr,
+                   "copydetect-client: --verb (or --request) required\n");
+      return 2;
+    }
+    JsonValue body = JsonValue::Object().Set("verb", JsonValue::Str(verb));
+    if (!session.empty()) {
+      body.Set("session", JsonValue::Str(session));
+    }
+    if (verb == "open") {
+      if (generate.empty()) {
+        std::fprintf(stderr, "copydetect-client: open needs --generate\n");
+        return 2;
+      }
+      body.Set("data", JsonValue::Object()
+                           .Set("generate", JsonValue::Str(generate))
+                           .Set("scale", JsonValue::Double(scale))
+                           .Set("seed", JsonValue::Uint64(seed)));
+      JsonValue options = JsonValue::Object();
+      if (!detector.empty()) {
+        options.Set("detector", JsonValue::Str(detector));
+      }
+      if (flags.Provided("threads")) {
+        options.Set("threads", JsonValue::Uint64(threads));
+      }
+      if (flags.Provided("n")) {
+        options.Set("n", JsonValue::Uint64(n));
+      }
+      if (!options.members().empty()) {
+        body.Set("options", std::move(options));
+      }
+    } else if (verb == "update") {
+      JsonValue set = JsonValue::Array();
+      JsonValue retract = JsonValue::Array();
+      Status tuples = AppendTuples(set_spec, 3, "set", &set);
+      if (tuples.ok()) {
+        tuples = AppendTuples(retract_spec, 2, "retract", &retract);
+      }
+      if (!tuples.ok()) {
+        std::fprintf(stderr, "copydetect-client: %s\n",
+                     tuples.ToString().c_str());
+        return 2;
+      }
+      if (!set.items().empty()) body.Set("set", std::move(set));
+      if (!retract.items().empty()) {
+        body.Set("retract", std::move(retract));
+      }
+      if (async) body.Set("async", JsonValue::Bool(true));
+    }
+    request = body.Dump();
+  }
+
+  auto fd = Connect(socket_path, retry_seconds);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "copydetect-client: %s\n",
+                 fd.status().ToString().c_str());
+    return 1;
+  }
+  request += '\n';
+  if (!WriteAll(*fd, request)) {
+    std::fprintf(stderr, "copydetect-client: send failed: %s\n",
+                 std::strerror(errno));
+    ::close(*fd);
+    return 1;
+  }
+  auto response = ReadLine(*fd);
+  ::close(*fd);
+  if (!response.ok()) {
+    std::fprintf(stderr, "copydetect-client: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->c_str());
+
+  auto parsed = copydetect::ParseJson(*response);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "copydetect-client: bad response JSON: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  if (!parsed->GetBool("ok", false)) return 1;
+
+  if (!report_out.empty()) {
+    const JsonValue* report = parsed->Find("report");
+    if (report == nullptr) {
+      std::fprintf(stderr,
+                   "copydetect-client: --report-out set but the "
+                   "response has no \"report\" member\n");
+      return 1;
+    }
+    std::ofstream out(report_out, std::ios::binary | std::ios::trunc);
+    out << report->Dump() << '\n';
+    if (!out.good()) {
+      std::fprintf(stderr, "copydetect-client: writing '%s' failed\n",
+                   report_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -63,6 +63,61 @@ struct BenchRecord {
 /// Escapes `s` for use inside a JSON string literal (no quotes added).
 std::string JsonEscape(std::string_view s);
 
+/// One (scenario, detector) quality measurement for QUALITY.json —
+/// the quality-trajectory sibling of BenchRecord. Flat for the same
+/// reason: tools/bench_compare.py --quality diffs two documents
+/// record-by-record and fails CI on recall/precision/accuracy
+/// regressions, so speed work cannot silently trade away quality.
+///
+///   {
+///     "benchmark": "quality_sweep",
+///     "schema_version": 1,
+///     "records": [
+///       {"scenario": "adaptive-switch", "detector": "hybrid",
+///        "scale": 0.5, "precision": 1.0, "recall": 0.92, "f1": 0.958,
+///        "fusion_accuracy": 0.91, "output_pairs": 24,
+///        "reference_pairs": 26},
+///       ...
+///     ]
+///   }
+///
+/// `precision` is measured against the clique closure of the planted
+/// pairs and `recall` against the direct edges (see
+/// eval/quality.h:ScoreCopyPairs).
+struct QualityRecord {
+  std::string scenario;
+  std::string detector;
+  double scale = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double fusion_accuracy = 0.0;
+  uint64_t output_pairs = 0;     ///< detected direct pairs
+  uint64_t reference_pairs = 0;  ///< planted direct pairs
+};
+
+/// Collects QualityRecords and writes the QUALITY.json document.
+class QualityReporter {
+ public:
+  explicit QualityReporter(std::string benchmark_name);
+
+  void Add(QualityRecord record);
+
+  bool empty() const { return records_.empty(); }
+  size_t size() const { return records_.size(); }
+
+  /// Renders the full document (trailing newline included).
+  std::string ToJson() const;
+
+  /// Writes the document to `path`; false (with a stderr message) on
+  /// IO failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string benchmark_name_;
+  std::vector<QualityRecord> records_;
+};
+
 class JsonReporter {
  public:
   explicit JsonReporter(std::string benchmark_name);

@@ -434,7 +434,7 @@ void BM_SessionLoadBookFull(benchmark::State& state) {
     }
   }
   for (auto _ : state) {
-    auto loaded = Session::Load(path);
+    auto loaded = Session::Load(path, LoadOptions());
     if (!loaded.ok()) {
       state.SkipWithError(loaded.status().message().c_str());
       break;

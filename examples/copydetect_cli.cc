@@ -35,6 +35,7 @@
 //   ./copydetect_cli --data=obs.csv --shards=3 --state=st.cdsnap
 //       --merge-shards=shard0.cdsnap,shard1.cdsnap,shard2.cdsnap
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <utility>
 
@@ -43,6 +44,29 @@
 using namespace copydetect;
 
 namespace {
+
+// Observation files are CSV by default; a .json/.ndjson/.jsonl
+// extension selects the ndjson format (docs/FORMATS.md §JSON). Both
+// --data and --save-data honor the same rule.
+bool IsJsonPath(const std::string& path) {
+  for (const char* ext : {".json", ".ndjson", ".jsonl"}) {
+    size_t len = std::strlen(ext);
+    if (path.size() >= len &&
+        path.compare(path.size() - len, len, ext) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<Dataset> LoadObservations(const std::string& path) {
+  return IsJsonPath(path) ? Dataset::LoadJson(path)
+                          : Dataset::LoadCsv(path);
+}
+
+Status SaveObservations(const Dataset& data, const std::string& path) {
+  return IsJsonPath(path) ? data.SaveJson(path) : data.SaveCsv(path);
+}
 
 Status WriteTruthCsv(const std::string& path, const Dataset& data,
                      const Report& report) {
@@ -126,7 +150,8 @@ Status RunCli(int argc, char** argv) {
 
   FlagSet flags(
       "copydetect_cli: run the full pipeline from the command line");
-  flags.String("data", &data_path, "input observations CSV");
+  flags.String("data", &data_path,
+               "input observations file (CSV; .json/.ndjson = ndjson)");
   flags.String("generate", &generate,
                "synthetic world profile (book-cs, stock-1day, ...)");
   flags.Double("scale", &scale, "generated-world scale factor");
@@ -143,7 +168,8 @@ Status RunCli(int argc, char** argv) {
   flags.String("out-accuracies", &out_accs,
                "write learned-accuracies CSV here");
   flags.String("out-copies", &out_copies, "write copy-graph CSV here");
-  flags.String("save-data", &save_data, "write the observations CSV here");
+  flags.String("save-data", &save_data,
+               "write the observations here (CSV; .json/.ndjson = ndjson)");
   // Snapshot persistence (docs/FORMATS.md): --save-snapshot persists
   // the finished session; --load-snapshot warm-starts from such a
   // file instead of re-parsing + re-running.
@@ -268,7 +294,7 @@ Status RunCli(int argc, char** argv) {
       have_gold = true;
       if (n == 50.0) n = world.suggested_n;
     } else {
-      auto data = Dataset::LoadCsv(data_path);
+      auto data = LoadObservations(data_path);
       CD_RETURN_IF_ERROR(data.status());
       world.data = std::move(data).value();
     }
@@ -295,7 +321,7 @@ Status RunCli(int argc, char** argv) {
 
     if (bsp_modes == 1) {
       if (!save_data.empty()) {
-        CD_RETURN_IF_ERROR(world.data.SaveCsv(save_data));
+        CD_RETURN_IF_ERROR(SaveObservations(world.data, save_data));
       }
       if (!init_state.empty()) {
         CD_RETURN_IF_ERROR(
@@ -331,7 +357,7 @@ Status RunCli(int argc, char** argv) {
     }
   }
   if (!save_data.empty() && bsp_modes == 0) {
-    CD_RETURN_IF_ERROR(world.data.SaveCsv(save_data));
+    CD_RETURN_IF_ERROR(SaveObservations(world.data, save_data));
   }
 
   std::printf("Data: %s\n", ComputeStats(world.data).ToString().c_str());

@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
   // ---- Process 2: restart, warm start from the file. ----
   Stopwatch warm_watch;
   warm_watch.Start();
-  auto restored = Session::Load(path);
+  auto restored = Session::Load(path, LoadOptions());
   CD_CHECK_OK(restored.status());
   warm_watch.Stop();
   std::printf("warm start: report restored in %s (%.0fx faster than "

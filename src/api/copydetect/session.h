@@ -51,8 +51,10 @@
 #include "core/sampling.h"
 #include "datagen/generator.h"
 #include "datagen/motivating_example.h"
+#include "datagen/scenarios.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
+#include "eval/quality.h"
 #include "eval/table.h"
 #include "fusion/truth_finder.h"
 #include "model/dataset_delta.h"
@@ -338,12 +340,6 @@ class Session {
   /// kMapped)` keeps working unchanged.
   static StatusOr<Session> Load(const std::string& path,
                                 const LoadOptions& options);
-
-  /// \deprecated Thin forwarder for the pre-LoadOptions signature;
-  /// calls Load(path, LoadOptions()). See docs/API.md.
-  static StatusOr<Session> Load(const std::string& path) {
-    return Load(path, LoadOptions());
-  }
 
   // --- Multi-process sharded runs (BSP; docs/ARCHITECTURE.md). ---
   //

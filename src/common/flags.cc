@@ -144,107 +144,4 @@ std::string FlagSet::Help() const {
   return out;
 }
 
-FlagParser::FlagParser(int argc, char** argv) {
-  program_ = argc > 0 ? argv[0] : "prog";
-  for (int i = 1; i < argc; ++i) {
-    std::string_view arg(argv[i]);
-    if (!StartsWith(arg, "--")) {
-      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n",
-                   program_.c_str(), argv[i]);
-      std::exit(2);
-    }
-    arg.remove_prefix(2);
-    Entry e;
-    size_t eq = arg.find('=');
-    if (eq == std::string_view::npos) {
-      e.key = std::string(arg);
-      e.value = "true";
-    } else {
-      e.key = std::string(arg.substr(0, eq));
-      e.value = std::string(arg.substr(eq + 1));
-    }
-    entries_.push_back(std::move(e));
-  }
-}
-
-double FlagParser::GetDouble(std::string_view name, double def) {
-  for (Entry& e : entries_) {
-    if (e.key == name) {
-      e.consumed = true;
-      double v = 0.0;
-      if (!ParseDouble(e.value, &v)) {
-        std::fprintf(stderr, "%s: --%s expects a number, got '%s'\n",
-                     program_.c_str(), e.key.c_str(), e.value.c_str());
-        std::exit(2);
-      }
-      return v;
-    }
-  }
-  return def;
-}
-
-uint64_t FlagParser::GetUint64(std::string_view name, uint64_t def) {
-  for (Entry& e : entries_) {
-    if (e.key == name) {
-      e.consumed = true;
-      uint64_t v = 0;
-      if (!ParseUint64(e.value, &v)) {
-        std::fprintf(stderr, "%s: --%s expects an integer, got '%s'\n",
-                     program_.c_str(), e.key.c_str(), e.value.c_str());
-        std::exit(2);
-      }
-      return v;
-    }
-  }
-  return def;
-}
-
-std::string FlagParser::GetString(std::string_view name,
-                                  std::string_view def) {
-  for (Entry& e : entries_) {
-    if (e.key == name) {
-      e.consumed = true;
-      return e.value;
-    }
-  }
-  return std::string(def);
-}
-
-bool FlagParser::GetBool(std::string_view name, bool def) {
-  for (Entry& e : entries_) {
-    if (e.key == name) {
-      e.consumed = true;
-      return e.value != "false" && e.value != "0";
-    }
-  }
-  return def;
-}
-
-bool FlagParser::Provided(std::string_view name) const {
-  for (const Entry& entry : entries_) {
-    if (entry.key == name) return true;
-  }
-  return false;
-}
-
-void FlagParser::Finish() const {
-  Status status = FinishStatus();
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s: %s\n", program_.c_str(),
-                 status.message().c_str());
-    std::exit(2);
-  }
-}
-
-Status FlagParser::FinishStatus() const {
-  std::string unknown;
-  for (const Entry& e : entries_) {
-    if (e.consumed) continue;
-    if (!unknown.empty()) unknown += ", ";
-    unknown += "--" + e.key;
-  }
-  if (unknown.empty()) return Status::OK();
-  return Status::InvalidArgument("unknown flag(s): " + unknown);
-}
-
 }  // namespace copydetect

@@ -11,10 +11,9 @@
 /// variables at registration time, and parse errors are aggregated so
 /// a user sees every mistake in one message.
 ///
-/// The older `FlagParser` (parse-first, `Get*`-to-declare) lives here
-/// too, **deprecated**: new code uses `FlagSet`; the remaining alias
-/// include in `common/stringutil.h` and this class both go away next
-/// PR.
+/// (The pre-FlagSet `FlagParser` and its alias include in
+/// `common/stringutil.h` served their one-release deprecation window
+/// and are gone; the `deprecated-shim` lint rule keeps them gone.)
 
 #include <cstdint>
 #include <string>
@@ -98,48 +97,6 @@ class FlagSet {
   std::vector<Flag> flags_;
   std::vector<std::string> registration_errors_;
   bool help_requested_ = false;
-};
-
-/// Parses "--key=value" style flags out of argv. Unknown flags are
-/// fatal (prints usage and exits) so benchmark drivers fail loudly.
-///
-/// \deprecated Superseded by FlagSet (typed registration, generated
-/// --help, aggregated errors). Kept one PR for out-of-tree callers;
-/// new code must not use it.
-class FlagParser {
- public:
-  FlagParser(int argc, char** argv);
-
-  /// Declares a double flag, returns its value (default when absent).
-  double GetDouble(std::string_view name, double def);
-  /// Declares an integer flag.
-  uint64_t GetUint64(std::string_view name, uint64_t def);
-  /// Declares a string flag.
-  std::string GetString(std::string_view name, std::string_view def);
-  /// Declares a boolean flag ("--x" or "--x=true/false").
-  bool GetBool(std::string_view name, bool def);
-
-  /// True when the flag appeared on the command line (regardless of
-  /// Get* declarations) — for rejecting explicitly-passed flags that
-  /// conflict with another mode, where "equal to the default" and
-  /// "absent" must not be conflated. Does not consume the flag.
-  bool Provided(std::string_view name) const;
-
-  /// Call after all Get* declarations: aborts on unconsumed flags.
-  void Finish() const;
-
-  /// Non-fatal variant for Status-based mains: OK when every flag was
-  /// consumed, InvalidArgument naming all unknown flags otherwise.
-  Status FinishStatus() const;
-
- private:
-  struct Entry {
-    std::string key;
-    std::string value;
-    bool consumed = false;
-  };
-  std::vector<Entry> entries_;
-  std::string program_;
 };
 
 }  // namespace copydetect

@@ -41,9 +41,4 @@ std::string HumanSeconds(double seconds);
 
 }  // namespace copydetect
 
-// FlagParser moved to common/flags.h (alongside its FlagSet
-// replacement). This include keeps old spellings compiling for one PR;
-// include common/flags.h directly.
-#include "common/flags.h"
-
 #endif  // COPYDETECT_COMMON_STRINGUTIL_H_

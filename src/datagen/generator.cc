@@ -34,6 +34,15 @@ double DrawAccuracy(const AccuracyModel& m, Rng* rng) {
 
 }  // namespace
 
+std::string TrueValueName(size_t item_index) {
+  return StrFormat("T%zu", item_index);
+}
+
+std::string FalseValueName(size_t item_index, uint64_t code) {
+  return StrFormat("F%zu_%llu", item_index,
+                   static_cast<unsigned long long>(code));
+}
+
 StatusOr<World> GenerateWorld(const WorldConfig& config, uint64_t seed) {
   if (config.num_sources < 2) {
     return Status::InvalidArgument("need at least 2 sources");
@@ -112,10 +121,9 @@ StatusOr<World> GenerateWorld(const WorldConfig& config, uint64_t seed) {
     builder.AddItem(StrFormat("D%zu", d));
   }
 
-  auto true_value = [](size_t item) { return StrFormat("T%zu", item); };
+  auto true_value = [](size_t item) { return TrueValueName(item); };
   auto false_value = [](size_t item, uint64_t k) {
-    return StrFormat("F%zu_%llu", item,
-                     static_cast<unsigned long long>(k));
+    return FalseValueName(item, k);
   };
 
   // ---- Correlated errors: items with a popular false value. ----
@@ -170,7 +178,17 @@ StatusOr<World> GenerateWorld(const WorldConfig& config, uint64_t seed) {
     taken.Reserve(orig_data.size() * 2 + 8);
     for (const auto& [item, value_code] : orig_data) {
       if (rng.Bernoulli(config.copying.selectivity)) {
-        provided[copier].emplace_back(item, value_code);
+        uint32_t code = value_code;
+        // Noisy copier: re-draw instead of taking verbatim. Guarded so
+        // the RNG stream (and thus every existing profile's world) is
+        // untouched when noise is off.
+        if (config.copying.noise > 0.0 &&
+            rng.Bernoulli(config.copying.noise)) {
+          code = rng.Bernoulli(plans[copier].accuracy)
+                     ? 0
+                     : draw_false_code(item);
+        }
+        provided[copier].emplace_back(item, code);
         taken.Insert(item);
       }
     }

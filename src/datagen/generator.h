@@ -43,9 +43,18 @@ struct World {
 ///    (uniform subset) and provides the true value with probability
 ///    A(S), otherwise a uniformly drawn false value;
 ///  * a copier copies each item of its original with probability
-///    `selectivity` (taking the value verbatim, true or false) and
+///    `selectivity` (taking the value verbatim, true or false — or,
+///    with probability `noise`, a freshly drawn perturbed value) and
 ///    provides independent values on its own extra items.
 StatusOr<World> GenerateWorld(const WorldConfig& config, uint64_t seed);
+
+/// The generator's value-naming convention, exported so the scenario
+/// library (datagen/scenarios.cc) can extend a generated world with
+/// DatasetDelta streams that speak the same value vocabulary: item
+/// index `d` has true value TrueValueName(d) and false pool
+/// FalseValueName(d, 0..false_pool-1).
+std::string TrueValueName(size_t item_index);
+std::string FalseValueName(size_t item_index, uint64_t code);
 
 }  // namespace copydetect
 

@@ -162,6 +162,134 @@ WorldConfig BookXlProfile(double scale) {
   return cfg;
 }
 
+WorldConfig NoisyCopierProfile(double scale) {
+  WorldConfig cfg;
+  cfg.name = "noisy-copier";
+  cfg.num_sources = Scaled(160, scale, 24);
+  cfg.num_items = Scaled(1200, scale, 60);
+  cfg.false_pool = 20;
+  cfg.min_coverage_items = 4;
+  // Dense enough coverage that even a half-selectivity copier shares
+  // a few dozen items with its original.
+  cfg.coverage = {.frac_small = 0.6,
+                  .small_lo = 0.02,
+                  .small_hi = 0.08,
+                  .big_lo = 0.08,
+                  .big_hi = 0.4};
+  cfg.accuracy = {.frac_low = 0.25,
+                  .low_lo = 0.1,
+                  .low_hi = 0.4,
+                  .high_lo = 0.55,
+                  .high_hi = 0.9};
+  // The adversarial part: copy only half the victim, garble 15% of
+  // the copied values. Both knobs cut the verbatim-sharing evidence
+  // the detectors key on.
+  cfg.copying = {.num_groups = Scaled(12, scale, 4),
+                 .group_min = 2,
+                 .group_max = 3,
+                 .selectivity = 0.5,
+                 .extra_coverage_frac = 0.02,
+                 .chain = false,
+                 .noise = 0.15};
+  cfg.gold_size = 150;
+  cfg.correlated_error_frac = 0.15;
+  cfg.correlated_error_bias = 0.5;
+  return cfg;
+}
+
+WorldConfig AdaptiveBaseProfile(double scale) {
+  WorldConfig cfg;
+  cfg.name = "adaptive-base";
+  cfg.num_sources = Scaled(150, scale, 24);
+  cfg.num_items = Scaled(1000, scale, 60);
+  cfg.false_pool = 20;
+  cfg.min_coverage_items = 4;
+  cfg.coverage = {.frac_small = 0.6,
+                  .small_lo = 0.03,
+                  .small_hi = 0.1,
+                  .big_lo = 0.1,
+                  .big_hi = 0.4};
+  cfg.accuracy = {.frac_low = 0.25,
+                  .low_lo = 0.1,
+                  .low_hi = 0.4,
+                  .high_lo = 0.55,
+                  .high_hi = 0.9};
+  // Many small groups: half of them will switch victims mid-stream,
+  // so the final copy graph mixes stable and re-targeted edges.
+  cfg.copying = {.num_groups = Scaled(10, scale, 6),
+                 .group_min = 2,
+                 .group_max = 3,
+                 .selectivity = 0.85,
+                 .extra_coverage_frac = 0.02,
+                 .chain = false};
+  cfg.gold_size = 150;
+  cfg.correlated_error_frac = 0.15;
+  cfg.correlated_error_bias = 0.5;
+  return cfg;
+}
+
+WorldConfig CollusionBaseProfile(double scale) {
+  WorldConfig cfg;
+  cfg.name = "collusion-base";
+  cfg.num_sources = Scaled(140, scale, 24);
+  cfg.num_items = Scaled(1000, scale, 60);
+  cfg.false_pool = 20;
+  cfg.min_coverage_items = 4;
+  cfg.coverage = {.frac_small = 0.6,
+                  .small_lo = 0.03,
+                  .small_hi = 0.1,
+                  .big_lo = 0.1,
+                  .big_hi = 0.4};
+  cfg.accuracy = {.frac_low = 0.25,
+                  .low_lo = 0.1,
+                  .low_hi = 0.4,
+                  .high_lo = 0.55,
+                  .high_hi = 0.9};
+  // No planted generator-level copying: the collusion rings are built
+  // by the scenario's delta stream (datagen/scenarios.cc).
+  cfg.copying = {.num_groups = 0,
+                 .group_min = 2,
+                 .group_max = 2,
+                 .selectivity = 0.0,
+                 .extra_coverage_frac = 0.0,
+                 .chain = false};
+  cfg.gold_size = 150;
+  cfg.correlated_error_frac = 0.15;
+  cfg.correlated_error_bias = 0.5;
+  return cfg;
+}
+
+WorldConfig ChurnBaseProfile(double scale) {
+  WorldConfig cfg;
+  cfg.name = "churn-base";
+  cfg.num_sources = Scaled(150, scale, 24);
+  cfg.num_items = Scaled(1000, scale, 60);
+  cfg.false_pool = 20;
+  cfg.min_coverage_items = 4;
+  cfg.coverage = {.frac_small = 0.6,
+                  .small_lo = 0.03,
+                  .small_hi = 0.1,
+                  .big_lo = 0.1,
+                  .big_hi = 0.4};
+  cfg.accuracy = {.frac_low = 0.25,
+                  .low_lo = 0.1,
+                  .low_hi = 0.4,
+                  .high_lo = 0.55,
+                  .high_hi = 0.9};
+  // A stable planted copy graph the detector must keep finding while
+  // the independent population churns around it.
+  cfg.copying = {.num_groups = Scaled(8, scale, 5),
+                 .group_min = 2,
+                 .group_max = 3,
+                 .selectivity = 0.85,
+                 .extra_coverage_frac = 0.02,
+                 .chain = false};
+  cfg.gold_size = 150;
+  cfg.correlated_error_frac = 0.15;
+  cfg.correlated_error_bias = 0.5;
+  return cfg;
+}
+
 bool LookupProfile(const std::string& name, double scale,
                    WorldConfig* out) {
   if (name == "book-cs") {
@@ -174,6 +302,8 @@ bool LookupProfile(const std::string& name, double scale,
     *out = Stock2WkProfile(scale);
   } else if (name == "book-xl") {
     *out = BookXlProfile(scale);
+  } else if (name == "noisy-copier") {
+    *out = NoisyCopierProfile(scale);
   } else {
     return false;
   }

@@ -42,6 +42,12 @@ struct CopyingModel {
   /// When true, copier k copies from copier k-1 (transitive chain)
   /// instead of everyone copying the original (star).
   bool chain = false;
+  /// Probability a *copied* value is perturbed: the copier re-draws the
+  /// value independently instead of taking it verbatim (a "noisy"
+  /// copier that reformats or mistranscribes). 0 = verbatim copying;
+  /// the RNG stream is untouched at 0, so existing profiles are
+  /// unchanged.
+  double noise = 0.0;
 };
 
 /// Full synthetic-world specification.
@@ -98,9 +104,30 @@ WorldConfig Stock2WkProfile(double scale = 1.0);
 /// it with the index family.
 WorldConfig BookXlProfile(double scale = 1.0);
 
+/// Adversarial scenario base: partial *and* noisy copiers — each
+/// copier takes only ~half of its original's items and perturbs ~15%
+/// of what it does take. The weakest detectable copying signal in the
+/// scenario library (datagen/scenarios.h); also a standalone profile
+/// ("noisy-copier").
+WorldConfig NoisyCopierProfile(double scale = 1.0);
+
+/// Base world for the adaptive-switch scenario: many small star
+/// groups whose copiers later re-sync to a different victim via a
+/// DatasetDelta stream (datagen/scenarios.cc plants the switches).
+WorldConfig AdaptiveBaseProfile(double scale = 1.0);
+
+/// Base world for the collusion-ring scenario: *no* planted copying —
+/// the rings arrive as a DatasetDelta stream of shared claims.
+WorldConfig CollusionBaseProfile(double scale = 1.0);
+
+/// Base world for the churn-feed scenario: a stable planted copy
+/// graph surrounded by independent sources that retire and fresh ones
+/// that appear through the delta stream.
+WorldConfig ChurnBaseProfile(double scale = 1.0);
+
 /// Looks a profile up by name ("book-cs", "book-full", "stock-1day",
-/// "stock-2wk", "book-xl"); nullptr-like empty name in the result
-/// means not found.
+/// "stock-2wk", "book-xl", "noisy-copier"); nullptr-like empty name
+/// in the result means not found.
 bool LookupProfile(const std::string& name, double scale,
                    WorldConfig* out);
 

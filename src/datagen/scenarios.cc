@@ -1,0 +1,320 @@
+#include "datagen/scenarios.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stringutil.h"
+#include "datagen/profiles.h"
+#include "model/gold_standard.h"
+#include "model/types.h"
+
+namespace copydetect {
+
+namespace {
+
+/// Applies the stream to `scenario->initial`, filling in the final
+/// `world.data` and per-source true accuracies resolved by name (the
+/// stream may introduce sources the base world never had).
+Status FinalizeStream(
+    const std::unordered_map<std::string, double>& accuracy_by_name,
+    Scenario* scenario) {
+  Dataset current = scenario->initial;
+  for (const DatasetDelta& delta : scenario->deltas) {
+    auto applied = current.Apply(delta);
+    if (!applied.ok()) return applied.status();
+    current = std::move(applied).value().data;
+  }
+  World* world = &scenario->world;
+  world->data = std::move(current);
+  const size_t n = world->data.num_sources();
+  world->true_accuracy.assign(n, 0.5);
+  for (size_t s = 0; s < n; ++s) {
+    auto it = accuracy_by_name.find(
+        std::string(world->data.source_name(static_cast<SourceId>(s))));
+    if (it != accuracy_by_name.end()) {
+      world->true_accuracy[s] = it->second;
+    }
+  }
+  return Status::OK();
+}
+
+std::unordered_map<std::string, double> BaseAccuracies(
+    const World& base) {
+  std::unordered_map<std::string, double> out;
+  out.reserve(base.true_accuracy.size());
+  for (size_t s = 0; s < base.true_accuracy.size(); ++s) {
+    out[std::string(base.data.source_name(static_cast<SourceId>(s)))] =
+        base.true_accuracy[s];
+  }
+  return out;
+}
+
+/// Moves everything scenario-invariant (truth, gold, suggested n)
+/// from a generated base world into the scenario, leaving the base's
+/// data as the initial snapshot.
+void AdoptBase(World base, Scenario* scenario) {
+  scenario->initial = base.data;
+  scenario->world.gold = std::move(base.gold);
+  scenario->world.full_truth = std::move(base.full_truth);
+  scenario->world.suggested_n = base.suggested_n;
+}
+
+// ---------------------------------------------------------------------
+// noisy-copier: the generator does all the work (CopyingModel::noise);
+// the stream is empty.
+// ---------------------------------------------------------------------
+StatusOr<Scenario> MakeNoisyCopier(double scale, uint64_t seed) {
+  auto base = GenerateWorld(NoisyCopierProfile(scale), seed);
+  if (!base.ok()) return base.status();
+  Scenario scenario;
+  scenario.name = "noisy-copier";
+  scenario.world.copy_pairs = base->copy_pairs;
+  auto accuracies = BaseAccuracies(*base);
+  AdoptBase(std::move(base).value(), &scenario);
+  CD_RETURN_IF_ERROR(FinalizeStream(accuracies, &scenario));
+  return scenario;
+}
+
+// ---------------------------------------------------------------------
+// adaptive-switch: every other star group's copiers drop their victim
+// mid-stream and re-sync to another group's original. Each switch is
+// one delta: Set for every claim copied from the new victim
+// (overwriting where the cell was occupied), Retract for every old
+// item the new victim does not cover — a full re-target in one
+// atomic feed push.
+// ---------------------------------------------------------------------
+StatusOr<Scenario> MakeAdaptiveSwitch(double scale, uint64_t seed) {
+  auto base = GenerateWorld(AdaptiveBaseProfile(scale), seed);
+  if (!base.ok()) return base.status();
+  Scenario scenario;
+  scenario.name = "adaptive-switch";
+  auto accuracies = BaseAccuracies(*base);
+
+  // Group the planted (copier, original) edges by original, in the
+  // generator's deterministic emission order.
+  std::vector<SourceId> originals;
+  std::unordered_map<SourceId, std::vector<SourceId>> members;
+  for (const auto& [copier, original] : base->copy_pairs) {
+    auto [it, inserted] = members.try_emplace(original);
+    if (inserted) originals.push_back(original);
+    it->second.push_back(copier);
+  }
+
+  Rng rng(seed ^ 0xada9717e5c3b0001ULL);
+  const Dataset& data = base->data;
+  for (size_t g = 0; g < originals.size(); ++g) {
+    const bool switches = originals.size() >= 2 && g % 2 == 1;
+    SourceId victim = switches
+                          ? originals[(g + 1) % originals.size()]
+                          : originals[g];
+    for (SourceId copier : members[originals[g]]) {
+      if (!switches) {
+        scenario.world.copy_pairs.emplace_back(copier, victim);
+        continue;
+      }
+      // Re-sync: copy each of the new victim's claims w.p. 0.85.
+      DatasetDelta delta;
+      std::vector<uint8_t> kept(data.num_items(), 0);
+      auto items = data.items_of(victim);
+      auto slots = data.slots_of(victim);
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (!rng.Bernoulli(0.85)) continue;
+        kept[items[i]] = 1;
+        delta.Set(data.source_name(copier), data.item_name(items[i]),
+                  data.slot_value(slots[i]));
+      }
+      for (ItemId item : data.items_of(copier)) {
+        if (!kept[item]) {
+          delta.Retract(data.source_name(copier), data.item_name(item));
+        }
+      }
+      if (!delta.empty()) scenario.deltas.push_back(std::move(delta));
+      scenario.world.copy_pairs.emplace_back(copier, victim);
+    }
+  }
+
+  AdoptBase(std::move(base).value(), &scenario);
+  CD_RETURN_IF_ERROR(FinalizeStream(accuracies, &scenario));
+  return scenario;
+}
+
+// ---------------------------------------------------------------------
+// collusion-ring: rings of 3-4 sources converge on a shared claim
+// pool drawn like a low-accuracy source (shared *false* values are
+// the detectable fingerprint). One delta per ring member, so the
+// clique assembles gradually across the stream.
+// ---------------------------------------------------------------------
+StatusOr<Scenario> MakeCollusionRing(double scale, uint64_t seed) {
+  auto base = GenerateWorld(CollusionBaseProfile(scale), seed);
+  if (!base.ok()) return base.status();
+  Scenario scenario;
+  scenario.name = "collusion-ring";
+  auto accuracies = BaseAccuracies(*base);
+
+  Rng rng(seed ^ 0xc011d0b0a7e90002ULL);
+  const Dataset& data = base->data;
+  const WorldConfig config = CollusionBaseProfile(scale);
+  const size_t num_rings =
+      std::max<size_t>(2, static_cast<size_t>(3.0 * scale + 0.5));
+  std::vector<size_t> ring_sizes;
+  size_t total_members = 0;
+  for (size_t r = 0; r < num_rings; ++r) {
+    size_t size = static_cast<size_t>(rng.UniformInt(3, 4));
+    ring_sizes.push_back(size);
+    total_members += size;
+  }
+  if (total_members > data.num_sources()) {
+    return Status::InvalidArgument(
+        "collusion-ring: world too small for the ring population");
+  }
+  std::vector<uint64_t> chosen = rng.SampleWithoutReplacement(
+      data.num_sources(), total_members);
+  rng.Shuffle(&chosen);
+
+  size_t cursor = 0;
+  const size_t shared_items =
+      std::min<size_t>(data.num_items(),
+                       std::max<size_t>(40, data.num_items() / 8));
+  for (size_t ring_size : ring_sizes) {
+    std::vector<SourceId> ring;
+    for (size_t k = 0; k < ring_size; ++k) {
+      ring.push_back(static_cast<SourceId>(chosen[cursor++]));
+    }
+    // The ring's shared claim pool: mostly-false values on a sampled
+    // item set (accuracy ~0.3 — colluders push an agenda, not truth).
+    std::vector<uint64_t> items = rng.SampleWithoutReplacement(
+        data.num_items(), shared_items);
+    std::vector<std::pair<ItemId, std::string>> pool;
+    pool.reserve(items.size());
+    for (uint64_t item : items) {
+      std::string value =
+          rng.Bernoulli(0.3)
+              ? std::string(
+                    base->full_truth.Lookup(static_cast<ItemId>(item)))
+              : FalseValueName(item, rng.NextBelow(config.false_pool));
+      pool.emplace_back(static_cast<ItemId>(item), std::move(value));
+    }
+    // Each member adopts each shared claim w.p. 0.9 — its own delta,
+    // so the clique assembles member by member.
+    for (SourceId member : ring) {
+      DatasetDelta delta;
+      for (const auto& [item, value] : pool) {
+        if (!rng.Bernoulli(0.9)) continue;
+        delta.Set(data.source_name(member), data.item_name(item), value);
+      }
+      if (!delta.empty()) scenario.deltas.push_back(std::move(delta));
+    }
+    for (size_t i = 0; i + 1 < ring.size(); ++i) {
+      for (size_t j = i + 1; j < ring.size(); ++j) {
+        scenario.world.copy_pairs.emplace_back(
+            std::min(ring[i], ring[j]), std::max(ring[i], ring[j]));
+      }
+    }
+  }
+
+  AdoptBase(std::move(base).value(), &scenario);
+  CD_RETURN_IF_ERROR(FinalizeStream(accuracies, &scenario));
+  return scenario;
+}
+
+// ---------------------------------------------------------------------
+// churn-feed: per round, a few independent sources retire (full
+// retraction) and fresh ones appear with their own independent
+// claims, while the planted copy graph stays put.
+// ---------------------------------------------------------------------
+StatusOr<Scenario> MakeChurnFeed(double scale, uint64_t seed) {
+  auto base = GenerateWorld(ChurnBaseProfile(scale), seed);
+  if (!base.ok()) return base.status();
+  Scenario scenario;
+  scenario.name = "churn-feed";
+  scenario.world.copy_pairs = base->copy_pairs;
+  auto accuracies = BaseAccuracies(*base);
+
+  Rng rng(seed ^ 0xc4c4a11f2e6d0003ULL);
+  const Dataset& data = base->data;
+  const WorldConfig config = ChurnBaseProfile(scale);
+
+  // Retirees come from the untouched independent population.
+  std::vector<uint8_t> in_copy_graph(data.num_sources(), 0);
+  for (const auto& [copier, original] : base->copy_pairs) {
+    in_copy_graph[copier] = 1;
+    in_copy_graph[original] = 1;
+  }
+  std::vector<SourceId> eligible;
+  for (size_t s = 0; s < data.num_sources(); ++s) {
+    if (!in_copy_graph[s]) eligible.push_back(static_cast<SourceId>(s));
+  }
+  rng.Shuffle(&eligible);
+
+  const size_t rounds = 6;
+  const size_t per_round =
+      std::max<size_t>(1, eligible.size() / (4 * rounds));
+  size_t retire_cursor = 0;
+  size_t next_new = 0;
+  for (size_t round = 0; round < rounds; ++round) {
+    DatasetDelta delta;
+    // Retire: full retraction of everything the source provides.
+    for (size_t k = 0;
+         k < per_round && retire_cursor < eligible.size(); ++k) {
+      SourceId retiree = eligible[retire_cursor++];
+      for (ItemId item : data.items_of(retiree)) {
+        delta.Retract(data.source_name(retiree), data.item_name(item));
+      }
+    }
+    // Appear: fresh independent sources claiming existing items.
+    for (size_t k = 0; k < per_round; ++k) {
+      std::string name = StrFormat("N%zu", next_new++);
+      double accuracy =
+          rng.Bernoulli(config.accuracy.frac_low)
+              ? rng.UniformDouble(config.accuracy.low_lo,
+                                  config.accuracy.low_hi)
+              : rng.UniformDouble(config.accuracy.high_lo,
+                                  config.accuracy.high_hi);
+      accuracies[name] = accuracy;
+      uint64_t coverage = std::max<uint64_t>(
+          config.min_coverage_items,
+          static_cast<uint64_t>(rng.UniformDouble(0.05, 0.2) *
+                                static_cast<double>(data.num_items())));
+      for (uint64_t item : rng.SampleWithoutReplacement(
+               data.num_items(), coverage)) {
+        std::string value =
+            rng.Bernoulli(accuracy)
+                ? std::string(base->full_truth.Lookup(
+                      static_cast<ItemId>(item)))
+                : FalseValueName(item,
+                                 rng.NextBelow(config.false_pool));
+        delta.Set(name, data.item_name(static_cast<ItemId>(item)),
+                  value);
+      }
+    }
+    if (!delta.empty()) scenario.deltas.push_back(std::move(delta));
+  }
+
+  AdoptBase(std::move(base).value(), &scenario);
+  CD_RETURN_IF_ERROR(FinalizeStream(accuracies, &scenario));
+  return scenario;
+}
+
+}  // namespace
+
+std::vector<std::string> ScenarioNames() {
+  return {"adaptive-switch", "churn-feed", "collusion-ring",
+          "noisy-copier"};
+}
+
+StatusOr<Scenario> MakeScenario(const std::string& name, double scale,
+                                uint64_t seed) {
+  if (name == "adaptive-switch") return MakeAdaptiveSwitch(scale, seed);
+  if (name == "churn-feed") return MakeChurnFeed(scale, seed);
+  if (name == "collusion-ring") return MakeCollusionRing(scale, seed);
+  if (name == "noisy-copier") return MakeNoisyCopier(scale, seed);
+  return Status::NotFound("unknown scenario '" + name +
+                          "' (want adaptive-switch, churn-feed, "
+                          "collusion-ring or noisy-copier)");
+}
+
+}  // namespace copydetect

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <fstream>
+#include <sstream>
 
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/stringutil.h"
 
 namespace copydetect {
@@ -58,6 +61,88 @@ StatusOr<Dataset> Dataset::LoadCsv(const std::string& path) {
                     row.size()));
     }
     builder.Add(row[0], row[1], row[2]);
+  }
+  return builder.Build();
+}
+
+Status Dataset::SaveJson(const std::string& path) const {
+  std::ostringstream out;
+  for (SourceId s = 0; s < num_sources(); ++s) {
+    std::span<const ItemId> items = items_of(s);
+    std::span<const SlotId> slots = slots_of(s);
+    for (size_t i = 0; i < items.size(); ++i) {
+      out << "{\"source\":\"" << JsonEscape(source_name(s))
+          << "\",\"item\":\"" << JsonEscape(item_name(items[i]))
+          << "\",\"value\":\"" << JsonEscape(slot_value(slots[i]))
+          << "\"}\n";
+    }
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::IOError(path + ": cannot open for writing");
+  }
+  const std::string text = out.str();
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  file.flush();
+  if (!file) return Status::IOError(path + ": write failed");
+  return Status::OK();
+}
+
+StatusOr<Dataset> Dataset::LoadJson(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError(path + ": cannot open");
+  DatasetBuilder builder;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    auto parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: %s", path.c_str(), line_number,
+                    parsed.status().message().c_str()));
+    }
+    if (!parsed->is_object()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%zu: expected one JSON object per line", path.c_str(),
+          line_number));
+    }
+    std::string_view source, item, value;
+    for (const auto& [key, member] : parsed->members()) {
+      std::string_view* field = nullptr;
+      if (key == "source") {
+        field = &source;
+      } else if (key == "item") {
+        field = &item;
+      } else if (key == "value") {
+        field = &value;
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: unknown member \"%s\" (want source, "
+                      "item, value)",
+                      path.c_str(), line_number, key.c_str()));
+      }
+      if (!member.is_string()) {
+        return Status::InvalidArgument(
+            StrFormat("%s:%zu: member \"%s\" must be a string",
+                      path.c_str(), line_number, key.c_str()));
+      }
+      *field = member.text();
+    }
+    // Distinguishes an absent member from a present-but-empty one:
+    // empty *values* are legal (LoadCsv accepts them), absent members
+    // are not.
+    if (parsed->Find("source") == nullptr ||
+        parsed->Find("item") == nullptr ||
+        parsed->Find("value") == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: object needs the three members source, "
+                    "item, value",
+                    path.c_str(), line_number));
+    }
+    builder.Add(source, item, value);
   }
   return builder.Build();
 }

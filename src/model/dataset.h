@@ -113,6 +113,22 @@ class Dataset {
   /// Parses a CSV of source,item,value rows into a Dataset.
   static StatusOr<Dataset> LoadCsv(const std::string& path);
 
+  /// Serializes as ndjson: one {"source":...,"item":...,"value":...}
+  /// object per line, observations in the same order as SaveCsv (see
+  /// docs/FORMATS.md §JSON).
+  Status SaveJson(const std::string& path) const;
+
+  /// Parses an ndjson file of observation objects into a Dataset.
+  /// Fail-closed: every non-blank line must be a JSON object with
+  /// exactly the three string members source/item/value — unknown
+  /// members, non-object lines and malformed JSON are
+  /// InvalidArgument with the offending line number; a missing file
+  /// is IOError. Loading the SaveJson of a Dataset reproduces its
+  /// observations exactly and is bit-identical to loading the same
+  /// Dataset's SaveCsv via LoadCsv (both loaders intern names in the
+  /// shared row order; the canonical layout does the rest).
+  static StatusOr<Dataset> LoadJson(const std::string& path);
+
   /// Applies a validated batch of observation changes, producing the
   /// next snapshot (fresh generation(), this object untouched) plus a
   /// compact summary of the touched sources/items/slots. The result is

@@ -114,25 +114,47 @@ void Server::AcceptLoop() {
 }
 
 void Server::ServeConnection(int fd) {
+  // A request line longer than this cannot be legitimate traffic; an
+  // unbounded line buffer would let one misbehaving client grow
+  // server memory without ever sending a newline. The oversized line
+  // is answered with the usual {"ok":false} envelope and drained to
+  // its terminating newline — the connection stays up and framed.
+  constexpr size_t kMaxLineBytes = 1 << 20;
   std::string buffer;
   char chunk[4096];
   bool open = true;
+  bool discarding = false;
   while (open) {
     ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // peer closed (or our Shutdown shut the fd)
     buffer.append(chunk, static_cast<size_t>(n));
     size_t newline;
-    while ((newline = buffer.find('\n')) != std::string::npos) {
+    while (open &&
+           (newline = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
+      if (discarding) {
+        // Tail of an oversized line that was already answered.
+        discarding = false;
+        continue;
+      }
       std::string response = HandleLine(line);
       response += '\n';
-      if (!WriteAll(fd, response)) {
-        open = false;
-        break;
-      }
+      if (!WriteAll(fd, response)) open = false;
     }
+    if (open && !discarding && buffer.size() > kMaxLineBytes) {
+      discarding = true;
+      std::string response = ErrorResponse(Status::InvalidArgument(
+          "request line exceeds " + std::to_string(kMaxLineBytes) +
+          " bytes"));
+      response += '\n';
+      if (!WriteAll(fd, response)) open = false;
+    }
+    // Memory stays bounded while the oversized line drains; the next
+    // newline still terminates it because the inner loop consumed
+    // every newline already in the buffer.
+    if (discarding) buffer.clear();
   }
   ::close(fd);
 }

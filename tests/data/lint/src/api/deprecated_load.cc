@@ -1,0 +1,7 @@
+// Fixture: the single-argument Load forwarder coming back.
+#include <string>
+
+struct Fixture {
+  static Fixture Load(const std::string& path);
+  static Fixture Load(const std::string& path, int options);
+};

@@ -1,0 +1,6 @@
+// Fixture: the retired parse-first flag API coming back.
+#include "common/flags.h"
+
+void Fixture(int argc, char** argv) {
+  FlagParser parser(argc, argv);
+}

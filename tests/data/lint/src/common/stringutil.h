@@ -1,0 +1,5 @@
+// Fixture: the retired forwarding include coming back to its old home.
+#ifndef FIXTURE_STRINGUTIL_H_
+#define FIXTURE_STRINGUTIL_H_
+#include "common/flags.h"
+#endif

@@ -105,15 +105,5 @@ TEST(FlagSet, DuplicateRegistrationIsAParseError) {
   EXPECT_FALSE(flags.Parse(argv.argc(), argv.argv()).ok());
 }
 
-// The deprecated parse-first API must keep working for one PR (it is
-// re-exported through common/stringutil.h for old includes).
-TEST(FlagParser, DeprecatedAliasStillWorks) {
-  Argv argv({"prog", "--scale=0.5", "--name=x"});
-  FlagParser parser(argv.argc(), argv.argv());
-  EXPECT_EQ(parser.GetDouble("scale", 1.0), 0.5);
-  EXPECT_EQ(parser.GetString("name", ""), "x");
-  EXPECT_TRUE(parser.FinishStatus().ok());
-}
-
 }  // namespace
 }  // namespace copydetect

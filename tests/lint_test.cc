@@ -30,6 +30,9 @@ TEST(LintTree, FindsEveryPlantedViolationExactly) {
   const std::vector<std::string> expected = {
       "bench/app_layering.cc:4:layering",
       "src/api/banned_assert.cc:5:banned-assert",
+      "src/api/deprecated_load.cc:5:deprecated-shim",
+      "src/common/deprecated_flagparser.cc:5:deprecated-shim",
+      "src/common/stringutil.h:4:deprecated-shim",
       "src/core/banned_new.cc:5:banned-new-delete",
       "src/core/banned_new.cc:6:banned-new-delete",
       "src/core/banned_rng.cc:6:banned-rng",
@@ -173,7 +176,32 @@ TEST(RuleEnabled, EmptyChecksEnablesEverythingGroupsExpand) {
   banned.checks = {"banned"};
   EXPECT_TRUE(RuleEnabled(banned, "banned-new-delete"));
   EXPECT_TRUE(RuleEnabled(banned, "banned-assert"));
+  EXPECT_TRUE(RuleEnabled(banned, "deprecated-shim"));
   EXPECT_FALSE(RuleEnabled(banned, "banned-rng"));
+}
+
+TEST(LintText, RetiredShimsStayRetired) {
+  Options options;
+  // The FlagParser identifier is banned in every layer, harnesses
+  // included; single-argument Load declarations only in the api layer
+  // (the two-argument LoadOptions form is the replacement).
+  constexpr char kFlagParser[] = R"cc(
+void F(int argc, char** argv) {
+  FlagParser parser(argc, argv);
+}
+)cc";
+  const std::vector<std::string> expected = {
+      "bench/x.cc:3:deprecated-shim"};
+  EXPECT_EQ(Keys(LintText(options, "bench/x.cc", kFlagParser)),
+            expected);
+
+  constexpr char kTwoArgLoad[] = R"cc(
+struct S {
+  static S Load(const std::string& path, int options);
+};
+)cc";
+  EXPECT_TRUE(
+      LintText(options, "src/api/x.cc", kTwoArgLoad).empty());
 }
 
 }  // namespace

@@ -54,9 +54,24 @@ class Client {
   bool connected() const { return connected_; }
 
   JsonValue Call(const std::string& request) {
-    std::string line = request + "\n";
-    EXPECT_EQ(::write(fd_, line.data(), line.size()),
-              static_cast<ssize_t>(line.size()));
+    SendRaw(request + "\n");
+    return ReadResponse();
+  }
+
+  /// Bytes on the wire verbatim — no newline appended, no framing
+  /// assumptions. For the malformed-traffic tests.
+  void SendRaw(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + sent, data.size() - sent);
+      ASSERT_GT(n, 0);
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// One response line, parsed. Fails the test on EOF or non-JSON —
+  /// exactly the "never disconnect, never desync" contract.
+  JsonValue ReadResponse() {
     std::string response;
     char c;
     while (::read(fd_, &c, 1) == 1 && c != '\n') response.push_back(c);
@@ -167,6 +182,64 @@ TEST(Server, HandleLineErrorPaths) {
       ParseJson(server->HandleLine(kOpenRequest))->GetBool("ok", false));
   EXPECT_EQ(error_code("{\"verb\":\"save\",\"session\":\"books\"}"),
             "FailedPrecondition");
+}
+
+TEST(Server, MalformedTrafficGetsEnvelopesNeverDisconnects) {
+  auto server = StartTestServer("malformed");
+  Client client(server->socket_path());
+  ASSERT_TRUE(client.connected());
+
+  // Every hostile line must come back as one {"ok":false,...}
+  // envelope on the same still-open connection.
+  const std::string hostile[] = {
+      "complete garbage, not json",
+      std::string("\x01\x02\xfe\xff binary", 11),
+      "{\"verb\":\"query\",\"session\":\"bo",  // truncated JSON
+      "{\"verb\":\"jump\",\"session\":\"x\"}",   // unknown verb
+      "[1,2,3]",                                  // non-object
+      "",                                         // empty line
+  };
+  for (const std::string& line : hostile) {
+    JsonValue response = client.Call(line);
+    EXPECT_FALSE(response.GetBool("ok", true)) << response.Dump();
+    const JsonValue* error = response.Find("error");
+    ASSERT_NE(error, nullptr) << response.Dump();
+    EXPECT_FALSE(error->GetString("code").empty()) << response.Dump();
+  }
+
+  // The connection survived all of it: a valid open still works.
+  JsonValue opened = client.Call(kOpenRequest);
+  EXPECT_TRUE(opened.GetBool("ok", false)) << opened.Dump();
+}
+
+TEST(Server, OversizedLineIsRefusedAndConnectionStaysFramed) {
+  auto server = StartTestServer("oversized");
+  Client client(server->socket_path());
+  ASSERT_TRUE(client.connected());
+
+  // Push past the 1 MiB line cap without ever sending a newline. The
+  // server must answer with an error envelope while the line is still
+  // open — an unbounded buffer would just grow forever instead.
+  const std::string flood((1 << 20) + (1 << 16), 'x');
+  client.SendRaw(flood);
+  JsonValue refused = client.ReadResponse();
+  EXPECT_FALSE(refused.GetBool("ok", true)) << refused.Dump();
+  const JsonValue* error = refused.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->GetString("code"), "InvalidArgument");
+  EXPECT_NE(error->GetString("message").find("exceeds"),
+            std::string::npos)
+      << error->Dump();
+
+  // Finish the oversized line (it was answered once, the tail is
+  // drained silently), then prove the framing recovered: garbage on
+  // the tail, a fresh valid request right after.
+  client.SendRaw("tail of the flood, still the same line\n");
+  JsonValue opened = client.Call(kOpenRequest);
+  ASSERT_TRUE(opened.GetBool("ok", false)) << opened.Dump();
+  JsonValue queried =
+      client.Call("{\"verb\":\"query\",\"session\":\"books\"}");
+  EXPECT_TRUE(queried.GetBool("ok", false)) << queried.Dump();
 }
 
 TEST(Server, QueryReportBytesAreStableAcrossRestart) {

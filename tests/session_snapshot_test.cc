@@ -95,7 +95,7 @@ void ExpectWarmStartEquivalence(const Dataset& base,
   CD_CHECK_OK(first.status());
   CD_CHECK_OK(live->Save(path));
 
-  auto loaded = Session::Load(path);
+  auto loaded = Session::Load(path, LoadOptions());
   CD_CHECK_OK(loaded.status());
   std::remove(path.c_str());
   EXPECT_EQ(loaded->detector_name(), live->detector_name());
@@ -124,7 +124,7 @@ void ExpectWarmStartEquivalence(const Dataset& base,
   // a second generation of process must still track the live one.
   if (!deltas.empty()) {
     CD_CHECK_OK(live->Save(path));
-    auto reloaded = Session::Load(path);
+    auto reloaded = Session::Load(path, LoadOptions());
     CD_CHECK_OK(reloaded.status());
     std::remove(path.c_str());
     ExpectSameReport(reloaded->report(), live->report());
@@ -189,7 +189,7 @@ TEST(SessionSnapshot, StreamingAfterLoadMatchesLiveSession) {
   CD_CHECK_OK(live.status());
   CD_CHECK_OK(live->Run(world.data).status());
   CD_CHECK_OK(live->Save(path));
-  auto loaded = Session::Load(path);
+  auto loaded = Session::Load(path, LoadOptions());
   CD_CHECK_OK(loaded.status());
   std::remove(path.c_str());
 
@@ -223,7 +223,7 @@ TEST(SessionSnapshot, FinishedStreamingRunSavesWithoutOnlineUpdates) {
     if (!*stepped) break;
   }
   CD_CHECK_OK(session->Save(path));
-  auto loaded = Session::Load(path);
+  auto loaded = Session::Load(path, LoadOptions());
   CD_CHECK_OK(loaded.status());
   std::remove(path.c_str());
   ExpectSameReport(loaded->report(), session->report());
@@ -246,7 +246,7 @@ TEST(SessionSnapshot, RunAfterLoadSupersedesTheLoadedSnapshot) {
   }
   CD_CHECK_OK(saver->Save(path));
 
-  auto loaded = Session::Load(path);
+  auto loaded = Session::Load(path, LoadOptions());
   CD_CHECK_OK(loaded.status());
   std::remove(path.c_str());
   auto other = MakeWorldByName("book-cs", 0.05, 3);
@@ -266,7 +266,7 @@ TEST(SessionSnapshot, RunAfterLoadSupersedesTheLoadedSnapshot) {
     if (!*stepped) break;
   }
   CD_CHECK_OK(loaded->Save(path));
-  auto reloaded = Session::Load(path);
+  auto reloaded = Session::Load(path, LoadOptions());
   CD_CHECK_OK(reloaded.status());
   std::remove(path.c_str());
   EXPECT_EQ(reloaded->current_data()->num_sources(),
@@ -284,7 +284,7 @@ TEST(SessionSnapshot, AccuracyOnlySessionRoundTrips) {
   CD_CHECK_OK(live.status());
   CD_CHECK_OK(live->Run(world.data).status());
   CD_CHECK_OK(live->Save(path));
-  auto loaded = Session::Load(path);
+  auto loaded = Session::Load(path, LoadOptions());
   CD_CHECK_OK(loaded.status());
   std::remove(path.c_str());
   ExpectSameReport(loaded->report(), live->report());
@@ -308,7 +308,7 @@ TEST(SessionSnapshot, SampledSessionRoundTrips) {
   CD_CHECK_OK(live.status());
   CD_CHECK_OK(live->Run(world->data).status());
   CD_CHECK_OK(live->Save(path));
-  auto loaded = Session::Load(path);
+  auto loaded = Session::Load(path, LoadOptions());
   CD_CHECK_OK(loaded.status());
   std::remove(path.c_str());
   ExpectSameReport(loaded->report(), live->report());
@@ -346,7 +346,7 @@ TEST(SessionSnapshot, OptionsRoundTripExactly) {
   CD_CHECK_OK(live.status());
   CD_CHECK_OK(live->Run(world.data).status());
   CD_CHECK_OK(live->Save(path));
-  auto loaded = Session::Load(path);
+  auto loaded = Session::Load(path, LoadOptions());
   CD_CHECK_OK(loaded.status());
   std::remove(path.c_str());
   const SessionOptions& got = loaded->options();
@@ -436,7 +436,7 @@ TEST(SessionSnapshotMapped, UpdateAfterMappedLoadCopiesOnWrite) {
   }
   // A save from the mapped session after COW round-trips cleanly.
   CD_CHECK_OK(mapped->Save(path));
-  auto reloaded = Session::Load(path);
+  auto reloaded = Session::Load(path, LoadOptions());
   CD_CHECK_OK(reloaded.status());
   std::remove(path.c_str());
   ExpectSameReport(reloaded->report(), mapped->report());
@@ -525,7 +525,7 @@ TEST(SessionSnapshot, UnknownOptionFieldFromTheFutureIsRefused) {
   state->options.push_back(
       snapshot::OptionField::Bool("quantum_mode", true));
   CD_CHECK_OK(snapshot::Write(path, *state));
-  auto loaded = Session::Load(path);
+  auto loaded = Session::Load(path, LoadOptions());
   std::remove(path.c_str());
   ASSERT_FALSE(loaded.ok());
   EXPECT_NE(loaded.status().message().find("quantum_mode"),
@@ -557,7 +557,7 @@ TEST(SessionSnapshot, TamperedTapeIndexIsRefusedAtLoad) {
   }
   ASSERT_TRUE(tampered) << "no taped index to tamper with";
   CD_CHECK_OK(snapshot::Write(path, *state));
-  auto loaded = Session::Load(path);
+  auto loaded = Session::Load(path, LoadOptions());
   std::remove(path.c_str());
   ASSERT_FALSE(loaded.ok());
   EXPECT_NE(loaded.status().message().find("out of range"),
@@ -580,7 +580,7 @@ TEST(SessionSnapshot, InvalidSavedOptionsFailValidationOnLoad) {
     if (field.name == "alpha") field.real_value = 7.0;  // out of range
   }
   CD_CHECK_OK(snapshot::Write(path, *state));
-  auto loaded = Session::Load(path);
+  auto loaded = Session::Load(path, LoadOptions());
   std::remove(path.c_str());
   ASSERT_FALSE(loaded.ok());
   EXPECT_NE(loaded.status().message().find("alpha"), std::string::npos)

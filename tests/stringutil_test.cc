@@ -72,15 +72,5 @@ TEST(HumanSeconds, PicksUnits) {
   EXPECT_EQ(HumanSeconds(42.0), "42.0s");
 }
 
-TEST(FlagParser, ParsesFlags) {
-  const char* argv[] = {"prog", "--scale=0.5", "--seed=7", "--verbose"};
-  FlagParser parser(4, const_cast<char**>(argv));
-  EXPECT_EQ(parser.GetDouble("scale", 1.0), 0.5);
-  EXPECT_EQ(parser.GetUint64("seed", 1), 7u);
-  EXPECT_TRUE(parser.GetBool("verbose", false));
-  EXPECT_EQ(parser.GetString("dataset", "all"), "all");
-  parser.Finish();
-}
-
 }  // namespace
 }  // namespace copydetect

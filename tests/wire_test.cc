@@ -32,6 +32,50 @@ TEST(Wire, ParseRequestFailsClosed) {
   EXPECT_FALSE(ParseRequest("{\"verb\":\"\"}").ok());    // empty verb
 }
 
+TEST(Wire, ParseRequestSurvivesHostileBytes) {
+  // A line off the socket can be anything: truncated JSON, raw binary,
+  // NULs. ParseRequest must return a status — never crash or accept.
+  const std::string hostile[] = {
+      "{\"verb\":\"query\",\"session\":\"bo",   // truncated mid-string
+      "{\"verb\":\"query\"",                    // truncated mid-object
+      std::string("\x00\x01\xfe\xff", 4),       // raw binary with NUL
+      "\xc3\x28 not utf8 {",                    // invalid UTF-8 lead-in
+      "{\"verb\":\"query\"}}",                  // trailing garbage
+      "{\"verb\": \"query\", }",                // trailing comma
+  };
+  for (const std::string& line : hostile) {
+    auto request = ParseRequest(line);
+    ASSERT_FALSE(request.ok()) << line;
+    EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument)
+        << line;
+    EXPECT_FALSE(request.status().message().empty()) << line;
+  }
+}
+
+TEST(Wire, ErrorResponseIsAlwaysOneWellFormedJsonLine) {
+  // Whatever hostile bytes end up quoted into a status message, the
+  // envelope must stay a single parseable ndjson line — a raw newline
+  // or unescaped quote would desynchronise the framing.
+  const Status awkward[] = {
+      Status::InvalidArgument("quote \" backslash \\ done"),
+      Status::InvalidArgument("line\nbreak\tand\rreturns"),
+      Status::InvalidArgument(std::string("nul \x00 inside", 12)),
+      Status::NotFound("unicode caf\xc3\xa9"),
+      Status::IOError(""),
+  };
+  for (const Status& status : awkward) {
+    const std::string response = ErrorResponse(status);
+    EXPECT_EQ(response.find('\n'), std::string::npos)
+        << status.ToString();
+    auto parsed = ParseJson(response);
+    ASSERT_TRUE(parsed.ok()) << response;
+    EXPECT_FALSE(parsed->GetBool("ok", true));
+    const JsonValue* error = parsed->Find("error");
+    ASSERT_NE(error, nullptr) << response;
+    EXPECT_FALSE(error->GetString("code").empty()) << response;
+  }
+}
+
 TEST(Wire, OkResponseLeadsWithOk) {
   const std::string response = OkResponse(
       JsonValue::Object().Set("version", JsonValue::Uint64(3)));

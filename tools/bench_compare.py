@@ -42,6 +42,21 @@ either failure exits 1:
 
 A claim whose anchor has no baseline or no current records fails — a
 claimed win that is no longer measured is not a win.
+
+--quality switches to the quality-gate comparison over QUALITY.json
+files (bench/json_reporter.h:QualityRecord, produced by
+bench/quality_sweep):
+
+    bench_compare.py --quality BASELINE_QUALITY.json QUALITY.json
+
+Records are matched by (scenario, detector, scale). The sweep is
+deterministic (fixed seed, deterministic detectors), so the gate is
+strict: any recall drop beyond --recall-drop (default 1e-6, i.e.
+effectively any drop) fails; precision, f1 and fusion_accuracy may
+drop by at most --metric-drop (default 0.02) before failing. A
+(scenario, detector) pair present in the baseline but missing from
+the current run fails — retiring a scenario requires regenerating the
+committed baseline, never silently measuring less.
 """
 
 import argparse
@@ -138,6 +153,61 @@ def check_claims(claims_path, baseline, current):
     return failed
 
 
+def quality_key_of(record):
+    return (
+        record.get("scenario", ""),
+        record.get("detector", ""),
+        "%g" % float(record.get("scale", 0.0)),
+    )
+
+
+def check_quality(args):
+    """The quality-gate comparison (--quality); returns the exit code."""
+    baseline = {quality_key_of(r): r for r in load_records(args.baseline)}
+    current = {quality_key_of(r): r for r in load_records(args.current)}
+    if not current:
+        print("::error::quality gate: current run measured nothing")
+        return 1
+
+    failed = False
+    for key in sorted(baseline):
+        label = "/".join(key)
+        cur = current.get(key)
+        if cur is None:
+            print(f"::error::quality gate: baseline pair '{label}' "
+                  f"missing from the current run — retiring a scenario "
+                  f"requires regenerating the committed baseline")
+            failed = True
+            continue
+        base = baseline[key]
+        # (metric, allowed drop): recall is the headline the gate
+        # exists for — effectively no drop allowed; the others get a
+        # small band for cross-machine floating-point drift.
+        checks = [
+            ("recall", args.recall_drop),
+            ("precision", args.metric_drop),
+            ("f1", args.metric_drop),
+            ("fusion_accuracy", args.metric_drop),
+        ]
+        for metric, allowed in checks:
+            base_v = float(base.get(metric, 0.0))
+            cur_v = float(cur.get(metric, 0.0))
+            drop = base_v - cur_v
+            line = (f"{label} {metric}: baseline {base_v:.4f}, "
+                    f"current {cur_v:.4f}")
+            if drop > allowed:
+                print(f"::error::quality gate FAIL {line} "
+                      f"(drop {drop:.4f} > allowed {allowed:g})")
+                failed = True
+            else:
+                print(f"OK    {line}")
+    for key in sorted(set(current) - set(baseline)):
+        label = "/".join(key)
+        print(f"NOTE  {label}: new pair, no baseline record "
+              f"(regenerate the committed QUALITY.json to gate it)")
+    return 1 if failed else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -145,7 +215,6 @@ def main():
     parser.add_argument(
         "--anchor",
         action="append",
-        required=True,
         help="benchmark name prefix to gate on (repeatable)",
     )
     parser.add_argument(
@@ -154,7 +223,19 @@ def main():
     )
     parser.add_argument("--warn-ratio", type=float, default=1.25)
     parser.add_argument("--fail-ratio", type=float, default=2.0)
+    parser.add_argument(
+        "--quality",
+        action="store_true",
+        help="compare QUALITY.json files instead of timing records",
+    )
+    parser.add_argument("--recall-drop", type=float, default=1e-6)
+    parser.add_argument("--metric-drop", type=float, default=0.02)
     args = parser.parse_args()
+
+    if args.quality:
+        return check_quality(args)
+    if not args.anchor:
+        parser.error("--anchor is required unless --quality is given")
 
     baseline = {key_of(r): r for r in load_records(args.baseline)}
     current = {key_of(r): r for r in load_records(args.current)}

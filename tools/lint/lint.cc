@@ -474,6 +474,56 @@ void CheckBannedAssert(FileScan* scan) {
   }
 }
 
+/// Shims that completed their one-release deprecation window must not
+/// creep back in: once the window closes, the old spelling is a lint
+/// error, not a courtesy. The registry below names each retired shim
+/// and how to spot a reintroduction.
+void CheckDeprecatedShim(FileScan* scan) {
+  const std::string& code = scan->cleaned.code;
+
+  // PR 9 deprecation, removed PR 10: the parse-first FlagParser
+  // (superseded by FlagSet).
+  for (size_t pos : FindWord(code, "FlagParser")) {
+    scan->Add(pos, "deprecated-shim",
+              "FlagParser was removed after its one-release "
+              "deprecation window — use FlagSet (common/flags.h)");
+  }
+
+  // PR 9 deprecation, removed PR 10: the forwarding include that let
+  // old code reach the flag parser through common/stringutil.h.
+  if (scan->relpath == "src/common/stringutil.h") {
+    for (const IncludeDirective& inc : scan->includes) {
+      if (inc.path == "common/flags.h") {
+        scan->findings.push_back(
+            {scan->relpath, inc.line, "deprecated-shim",
+             "the FlagParser forwarding include was removed — "
+             "stringutil stays flag-free; include common/flags.h at "
+             "use sites"});
+      }
+    }
+  }
+
+  // PR 9 deprecation, removed PR 10: the single-argument
+  // Session::Load(path) forwarder (superseded by LoadOptions). A
+  // one-parameter `Load(... std::string ...)` declaration in the api
+  // layer is the forwarder coming back under any spelling.
+  if (scan->layer == "api") {
+    for (size_t pos : FindWord(code, "Load")) {
+      size_t p = SkipSpace(code, pos + 4);
+      if (p == kNpos || p >= code.size() || code[p] != '(') continue;
+      size_t end = SkipBalanced(code, p);
+      if (end == kNpos) continue;
+      std::string_view params(code.data() + p + 1, end - 1 - (p + 1));
+      if (params.find(',') != kNpos) continue;  // two-arg form: fine
+      if (params.find("string") == kNpos) continue;  // not a decl
+      scan->Add(pos, "deprecated-shim",
+                "single-argument Session::Load(path) was removed "
+                "after its one-release deprecation window — take "
+                "LoadOptions (docs/API.md)");
+    }
+  }
+}
+
 void ApplySuppressions(FileScan* scan,
                        std::vector<Suppression>* suppressions) {
   std::vector<Finding> kept;
@@ -556,6 +606,9 @@ std::vector<Finding> ScanOne(const Options& options,
       CheckBannedAssert(&scan);
     }
   }
+  // Every layer including @app: retired shims stay retired in
+  // harnesses and examples too.
+  if (RuleEnabled(options, "deprecated-shim")) CheckDeprecatedShim(&scan);
 
   if (suppression_enabled) {
     ApplySuppressions(&scan, &suppressions);
@@ -593,7 +646,8 @@ std::vector<std::string> AllRuleIds() {
   return {"layering",          "unordered-iteration",
           "pointer-keyed",     "banned-rng",
           "nonfixed-reduction", "banned-new-delete",
-          "banned-assert",     "suppression"};
+          "banned-assert",     "deprecated-shim",
+          "suppression"};
 }
 
 bool RuleEnabled(const Options& options, std::string_view rule) {
@@ -606,7 +660,8 @@ bool RuleEnabled(const Options& options, std::string_view rule) {
       return true;
     }
     if (c == "banned" &&
-        (rule == "banned-new-delete" || rule == "banned-assert")) {
+        (rule == "banned-new-delete" || rule == "banned-assert" ||
+         rule == "deprecated-shim")) {
       return true;
     }
   }

@@ -55,6 +55,12 @@ struct Options {
 ///                          flagged).
 ///  * banned-assert       — assert() in src/api or src/snapshot, where
 ///                          Status is the error convention.
+///  * deprecated-shim     — a shim that already served its one-release
+///                          deprecation window coming back: the
+///                          FlagParser class, its forwarding include
+///                          in common/stringutil.h, or a
+///                          single-argument Session::Load overload in
+///                          the api layer (use LoadOptions).
 ///  * suppression         — malformed/unknown/unjustified/unused
 ///                          cd-lint annotations (not itself
 ///                          suppressible).
